@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Measured CPU baseline: runs our actual software TFHE (not the
+ * analytic model) single- and multi-threaded, reporting real PBS
+ * latency and throughput on this machine. Complements Table V's
+ * Concrete rows: the absolute numbers depend on how optimized the
+ * FFT is, but the scaling behaviour (throughput = threads/latency,
+ * no packing) is the phenomenon the paper's Sec. III builds on.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/table.h"
+#include "tfhe/context.h"
+
+using namespace strix;
+
+int
+main()
+{
+    std::printf("=== Measured software-TFHE PBS on this machine "
+                "(parameter set I) ===\n\n");
+
+    TfheContext ctx(paramsSetI(), 4242);
+    const uint64_t space = 4;
+    TorusPolynomial tv = makeIntTestVector(
+        ctx.params().N, space, [](int64_t x) { return x; });
+
+    // Pre-encrypt a pool of inputs (encryption uses the context RNG
+    // and is not thread-safe; bootstrapping is const and is).
+    std::vector<LweCiphertext> inputs;
+    for (int i = 0; i < 64; ++i)
+        inputs.push_back(ctx.encryptInt(i % 4, space));
+
+    using Clock = std::chrono::steady_clock;
+
+    // Single-thread latency.
+    const int warm = 2, reps = 8;
+    for (int i = 0; i < warm; ++i)
+        ctx.bootstrap(inputs[0], tv);
+    auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i)
+        ctx.bootstrap(inputs[i % inputs.size()], tv);
+    double lat_ms =
+        std::chrono::duration<double>(Clock::now() - t0).count() /
+        reps * 1e3;
+    std::printf("single-thread PBS+KS latency: %.2f ms "
+                "(Concrete on Xeon: 14 ms)\n\n",
+                lat_ms);
+
+    // Thread scaling: each worker bootstraps independently -- no
+    // packing, the TFHE bottleneck the paper attacks.
+    TextTable t;
+    t.header({"threads", "PBS/s", "scaling"});
+    double tp1 = 0.0;
+    unsigned hw = std::thread::hardware_concurrency();
+    for (unsigned n : {1u, 2u, 4u, std::max(4u, hw)}) {
+        std::atomic<int> done{0};
+        const int per_thread = 4;
+        auto t1 = Clock::now();
+        std::vector<std::thread> workers;
+        for (unsigned w = 0; w < n; ++w) {
+            workers.emplace_back([&, w] {
+                for (int i = 0; i < per_thread; ++i) {
+                    auto out = ctx.bootstrap(
+                        inputs[(w * per_thread + i) % inputs.size()],
+                        tv);
+                    done.fetch_add(1, std::memory_order_relaxed);
+                    (void)out;
+                }
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+        double secs =
+            std::chrono::duration<double>(Clock::now() - t1).count();
+        double tp = done.load() / secs;
+        if (n == 1)
+            tp1 = tp;
+        t.row({std::to_string(n), TextTable::num(tp, 1),
+               TextTable::num(tp / tp1, 2) + "x"});
+    }
+    t.print();
+    std::printf("\nEach thread bootstraps one message at a time; "
+                "throughput only scales with workers, never within a "
+                "bootstrap -- the 'no ciphertext packing' property "
+                "that motivates Strix's batching architecture.\n");
+    return 0;
+}

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the software TFHE substrate:
+ * transforms, multipliers, decomposition, external product, PBS,
+ * keyswitch, and gates. These are the measured counterparts of the
+ * CPU baseline's cost model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "tfhe/gates.h"
+
+using namespace strix;
+
+namespace {
+
+/** Shared set-I context (keygen is expensive; build once). */
+TfheContext &
+ctxI()
+{
+    static TfheContext ctx(paramsSetI(), 77);
+    return ctx;
+}
+
+void
+BM_ComplexFft(benchmark::State &state)
+{
+    const size_t m = state.range(0);
+    const FftPlan &plan = FftPlan::get(m);
+    std::vector<Cplx> data(m, Cplx(0.5, -0.25));
+    for (auto _ : state) {
+        plan.forward(data.data());
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ComplexFft)->Arg(512)->Arg(1024)->Arg(8192);
+
+void
+BM_NegacyclicForward(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    const auto &eng = NegacyclicFft::get(n);
+    Rng rng(1);
+    TorusPolynomial p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = rng.uniformTorus32();
+    FreqPolynomial f;
+    for (auto _ : state) {
+        eng.forward(f, p);
+        benchmark::DoNotOptimize(f.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NegacyclicForward)->Arg(1024)->Arg(2048)->Arg(16384);
+
+void
+BM_PolyMulNaive(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    Rng rng(2);
+    IntPolynomial a(n);
+    TorusPolynomial b(n), r(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = int32_t(rng.uniformBelow(1024)) - 512;
+        b[i] = rng.uniformTorus32();
+    }
+    for (auto _ : state) {
+        negacyclicMulNaive(r, a, b);
+        benchmark::DoNotOptimize(r.data());
+    }
+}
+BENCHMARK(BM_PolyMulNaive)->Arg(256)->Arg(1024);
+
+void
+BM_PolyMulKaratsuba(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    Rng rng(3);
+    IntPolynomial a(n);
+    TorusPolynomial b(n), r(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = int32_t(rng.uniformBelow(1024)) - 512;
+        b[i] = rng.uniformTorus32();
+    }
+    for (auto _ : state) {
+        negacyclicMulKaratsuba(r, a, b);
+        benchmark::DoNotOptimize(r.data());
+    }
+}
+BENCHMARK(BM_PolyMulKaratsuba)->Arg(256)->Arg(1024);
+
+void
+BM_PolyMulFft(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    Rng rng(4);
+    IntPolynomial a(n);
+    TorusPolynomial b(n), r(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = int32_t(rng.uniformBelow(1024)) - 512;
+        b[i] = rng.uniformTorus32();
+    }
+    for (auto _ : state) {
+        negacyclicMulFft(r, a, b);
+        benchmark::DoNotOptimize(r.data());
+    }
+}
+BENCHMARK(BM_PolyMulFft)->Arg(256)->Arg(1024)->Arg(16384);
+
+void
+BM_GadgetDecomposePoly(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    GadgetParams g{10, 2};
+    Rng rng(5);
+    TorusPolynomial p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = rng.uniformTorus32();
+    std::vector<IntPolynomial> out;
+    for (auto _ : state) {
+        gadgetDecomposePoly(out, p, g);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GadgetDecomposePoly)->Arg(1024)->Arg(16384);
+
+void
+BM_ExternalProductFft(benchmark::State &state)
+{
+    Rng rng(6);
+    const uint32_t n = 1024, k = 1;
+    GlweKey key(k, n, rng);
+    GadgetParams g{10, 2};
+    GgswFft ggsw(ggswEncrypt(key, 1, g, 0.0, rng));
+    TorusPolynomial mu(n);
+    GlweCiphertext ct = glweEncrypt(key, mu, 0.0, rng);
+    GlweCiphertext out;
+    for (auto _ : state) {
+        ggsw.externalProduct(out, ct);
+        benchmark::DoNotOptimize(&out);
+    }
+}
+BENCHMARK(BM_ExternalProductFft);
+
+void
+BM_ProgrammableBootstrap(benchmark::State &state)
+{
+    auto &ctx = ctxI();
+    auto ct = ctx.encryptInt(2, 4);
+    TorusPolynomial tv = makeIntTestVector(ctx.params().N, 4,
+                                           [](int64_t x) { return x; });
+    for (auto _ : state) {
+        auto out = programmableBootstrap(ct, tv, ctx.bsk());
+        benchmark::DoNotOptimize(&out);
+    }
+    state.SetLabel("parameter set I");
+}
+BENCHMARK(BM_ProgrammableBootstrap)->Unit(benchmark::kMillisecond)
+    ->MinTime(2.0);
+
+void
+BM_KeySwitch(benchmark::State &state)
+{
+    auto &ctx = ctxI();
+    auto ct = ctx.encryptInt(2, 4);
+    TorusPolynomial tv = makeIntTestVector(ctx.params().N, 4,
+                                           [](int64_t x) { return x; });
+    auto big = programmableBootstrap(ct, tv, ctx.bsk());
+    for (auto _ : state) {
+        auto out = keySwitch(big, ctx.ksk());
+        benchmark::DoNotOptimize(&out);
+    }
+}
+BENCHMARK(BM_KeySwitch)->Unit(benchmark::kMillisecond);
+
+void
+BM_GateNand(benchmark::State &state)
+{
+    auto &ctx = ctxI();
+    auto a = ctx.encryptBit(true);
+    auto b = ctx.encryptBit(false);
+    for (auto _ : state) {
+        auto out = gateNand(ctx, a, b);
+        benchmark::DoNotOptimize(&out);
+    }
+    state.SetLabel("bootstrapped NAND, set I");
+}
+BENCHMARK(BM_GateNand)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Design-space exploration with the Strix model: sweep the four
+ * parallelism levels, the folding scheme, and the HBM bandwidth, and
+ * print throughput / latency / area / efficiency for each candidate.
+ * This is the kind of study Sec. IV-A (parallelism prioritization)
+ * and Sec. VI-C (TvLP-vs-CLP) run to pick TvLP=8, CLP=4.
+ *
+ * Usage: design_explorer [param_set]   (I, II, III, IV; default IV)
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/table.h"
+#include "strix/accelerator.h"
+#include "strix/area_model.h"
+
+using namespace strix;
+
+int
+main(int argc, char **argv)
+{
+    const TfheParams *p = &paramsSetIV();
+    if (argc > 1) {
+        for (const auto &ps : paperParamSets())
+            if (ps.name == argv[1])
+                p = &ps;
+    }
+    std::printf("Design-space exploration on parameter set %s\n\n",
+                p->name.c_str());
+
+    TextTable t;
+    t.header({"TvLP", "CLP", "fold", "PBS/s", "lat ms", "BW GB/s",
+              "mm2", "W", "PBS/s/mm2", "bound"});
+
+    double best_eff = 0;
+    std::string best;
+    for (uint32_t tvlp : {1u, 2u, 4u, 8u, 16u}) {
+        for (uint32_t clp : {2u, 4u, 8u, 16u}) {
+            for (bool fold : {true, false}) {
+                StrixConfig cfg = StrixConfig::paperDefault();
+                cfg.tvlp = tvlp;
+                cfg.clp = clp;
+                cfg.folding = fold;
+                StrixAccelerator acc(cfg);
+                PbsPerf perf = acc.evaluatePbs(*p);
+                ChipBreakdown area = computeChipBreakdown(cfg, p->N);
+                double eff =
+                    perf.throughput_pbs_s / area.total.area_mm2;
+                if (eff > best_eff &&
+                    perf.required_bw_gbps < cfg.hbm_gbps) {
+                    best_eff = eff;
+                    best = std::to_string(tvlp) + "x" +
+                           std::to_string(clp) +
+                           (fold ? " folded" : " unfolded");
+                }
+                t.row({std::to_string(tvlp), std::to_string(clp),
+                       fold ? "y" : "n",
+                       TextTable::num(perf.throughput_pbs_s, 0),
+                       TextTable::num(perf.latency_ms, 2),
+                       TextTable::num(perf.required_bw_gbps, 0),
+                       TextTable::num(area.total.area_mm2, 1),
+                       TextTable::num(area.total.power_w, 1),
+                       TextTable::num(eff, 1),
+                       perf.memory_bound ? "mem" : "cmp"});
+            }
+        }
+    }
+    t.print();
+    std::printf("\nBest PBS/s per mm2 within one HBM stack: %s "
+                "(%.1f PBS/s/mm2)\n",
+                best.c_str(), best_eff);
+    std::printf("The paper's choice (TvLP=8, CLP=4, folded) trades a "
+                "little efficiency for the highest absolute "
+                "throughput that stays compute-bound at 300 GB/s.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Encrypted circuit evaluation, functional + scheduled.
+ *
+ * Builds gate-level circuits (adder, comparator, multiplier), runs a
+ * 3-bit adder fully encrypted on the software TFHE library, then
+ * lowers the bigger circuits to layered PBS workload graphs and
+ * schedules them on the Strix model vs the CPU/GPU baselines --
+ * demonstrating the full pipeline from netlist to accelerator
+ * timing.
+ */
+
+#include <cstdio>
+
+#include "baselines/cpu_model.h"
+#include "baselines/gpu_model.h"
+#include "common/table.h"
+#include "strix/accelerator.h"
+#include "workloads/circuit.h"
+
+using namespace strix;
+
+namespace {
+
+std::vector<bool>
+toBits(uint64_t v, uint32_t n)
+{
+    std::vector<bool> bits(n);
+    for (uint32_t i = 0; i < n; ++i)
+        bits[i] = (v >> i) & 1;
+    return bits;
+}
+
+uint64_t
+fromBits(const std::vector<bool> &bits)
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < bits.size(); ++i)
+        v |= uint64_t(bits[i]) << i;
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Part 1: run a 3-bit adder fully encrypted (real bootstraps,
+    // parameter set I with real noise).
+    std::printf("== Encrypted 3-bit adder (set I, real noise) ==\n");
+    TfheContext ctx(paramsSetI(), 31415);
+    Circuit adder = buildAdder(3);
+    std::printf("gates: %llu bootstraps, depth %u\n",
+                static_cast<unsigned long long>(adder.pbsCount()),
+                adder.depth());
+
+    bool all_ok = true;
+    for (auto [a, b] : {std::pair<int, int>{5, 3}, {7, 7}, {0, 6}}) {
+        auto in = toBits(a, 3);
+        auto bb = toBits(b, 3);
+        in.insert(in.end(), bb.begin(), bb.end());
+        uint64_t got = fromBits(adder.evalEncrypted(ctx, in));
+        std::printf("  %d + %d = %llu (expect %d) %s\n", a, b,
+                    static_cast<unsigned long long>(got), a + b,
+                    got == uint64_t(a + b) ? "ok" : "MISMATCH");
+        all_ok &= got == uint64_t(a + b);
+    }
+
+    // Part 2: schedule realistic circuit workloads on the platforms.
+    std::printf("\n== Circuit workloads scheduled on the platform "
+                "models (set I) ==\n\n");
+    StrixAccelerator strix;
+    CpuModel cpu;
+    GpuModel gpu(72, 1.0); // no NN fusion for gate workloads
+
+    TextTable t;
+    t.header({"circuit", "#PBS", "depth", "CPU ms", "GPU ms",
+              "Strix ms"});
+    for (const Circuit &c :
+         {buildAdder(32), buildMultiplier(8), buildLessThan(32)}) {
+        WorkloadGraph g = c.toWorkloadGraph();
+        double cpu_ms = cpu.runGraphSeconds(paramsSetI(), g) * 1e3;
+        double gpu_ms = gpu.runGraphSeconds(paramsSetI(), g) * 1e3;
+        double strix_ms =
+            strix.runGraph(paramsSetI(), g).seconds * 1e3;
+        t.row({c.name(), std::to_string(g.totalPbs()),
+               std::to_string(c.depth()), TextTable::num(cpu_ms, 1),
+               TextTable::num(gpu_ms, 1),
+               TextTable::num(strix_ms, 2)});
+    }
+    t.print();
+    std::printf("\nNote how the deep, narrow layers of a ripple adder "
+                "(few independent gates per level) underfill even "
+                "Strix's batch -- circuits with wide levels (the "
+                "multiplier) exploit the accelerator far better.\n");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * strixsim: command-line driver for the Strix simulator.
+ *
+ * Usage:
+ *   strixsim [--set I|II|III|IV] [--tvlp N] [--clp N] [--plp N]
+ *            [--colp N] [--no-fold] [--unroll] [--hbm GBPS]
+ *            [--lwes COUNT] [--trace]
+ *
+ * Prints the PBS microbenchmark (latency / throughput / bandwidth /
+ * batch sizes), the area/power estimate, and optionally the epoch
+ * schedule for a batch of COUNT ciphertexts.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table.h"
+#include "strix/accelerator.h"
+#include "strix/area_model.h"
+#include "strix/noc.h"
+#include "strix/scheduler.h"
+
+using namespace strix;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: strixsim [--set I|II|III|IV] [--tvlp N] [--clp N]\n"
+        "                [--plp N] [--colp N] [--no-fold] [--unroll]\n"
+        "                [--hbm GBPS] [--lwes COUNT] [--trace]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    StrixConfig cfg = StrixConfig::paperDefault();
+    const TfheParams *params = &paramsSetI();
+    uint64_t lwes = 0;
+    bool trace = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage();
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--set")) {
+            const char *name = need("--set");
+            params = nullptr;
+            for (const auto &p : paperParamSets())
+                if (p.name == name)
+                    params = &p;
+            if (!params) {
+                std::fprintf(stderr, "unknown parameter set %s\n", name);
+                usage();
+            }
+        } else if (!std::strcmp(argv[i], "--tvlp")) {
+            cfg.tvlp = std::atoi(need("--tvlp"));
+        } else if (!std::strcmp(argv[i], "--clp")) {
+            cfg.clp = std::atoi(need("--clp"));
+        } else if (!std::strcmp(argv[i], "--plp")) {
+            cfg.plp = std::atoi(need("--plp"));
+        } else if (!std::strcmp(argv[i], "--colp")) {
+            cfg.colp = std::atoi(need("--colp"));
+        } else if (!std::strcmp(argv[i], "--hbm")) {
+            cfg.hbm_gbps = std::atof(need("--hbm"));
+        } else if (!std::strcmp(argv[i], "--lwes")) {
+            lwes = std::strtoull(need("--lwes"), nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--no-fold")) {
+            cfg.folding = false;
+        } else if (!std::strcmp(argv[i], "--unroll")) {
+            cfg.key_unrolling = true;
+        } else if (!std::strcmp(argv[i], "--trace")) {
+            trace = true;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            usage();
+        }
+    }
+
+    std::printf("Strix configuration: TvLP=%u CLP=%u PLP=%u CoLP=%u "
+                "fold=%s unroll=%s HBM=%.0f GB/s, parameter set %s\n\n",
+                cfg.tvlp, cfg.clp, cfg.plp, cfg.colp,
+                cfg.folding ? "yes" : "no",
+                cfg.key_unrolling ? "yes" : "no", cfg.hbm_gbps,
+                params->name.c_str());
+
+    StrixAccelerator acc(cfg);
+    PbsPerf perf = acc.evaluatePbs(*params);
+    UnitTiming timing(cfg, *params);
+    ChipBreakdown area = computeChipBreakdown(cfg);
+    NocModel noc(cfg, *params);
+
+    TextTable t;
+    t.header({"metric", "value"});
+    t.row({"PBS latency (ms)", TextTable::num(perf.latency_ms, 3)});
+    t.row({"PBS throughput (PBS/s)",
+           TextTable::num(perf.throughput_pbs_s, 0)});
+    t.row({"blind-rotation iterations",
+           std::to_string(timing.iterations())});
+    t.row({"iteration II (cycles)",
+           std::to_string(timing.iterationII())});
+    t.row({"core batch m", std::to_string(perf.core_batch)});
+    t.row({"epoch batch", std::to_string(perf.device_batch)});
+    t.row({"required bandwidth (GB/s)",
+           TextTable::num(perf.required_bw_gbps, 0)});
+    t.row({"bound", perf.memory_bound ? "memory" : "compute"});
+    t.row({"chip area (mm2)", TextTable::num(area.total.area_mm2, 1)});
+    t.row({"chip power (W)", TextTable::num(area.total.power_w, 1)});
+    t.row({"NoC multicast feasible",
+           noc.multicastPlan().feasible ? "yes" : "NO"});
+    t.row({"global scratchpad fits",
+           noc.scratchpadPlan().fits ? "yes" : "NO"});
+    t.print();
+
+    if (lwes > 0) {
+        BatchPerf bp = acc.runBatch(*params, lwes);
+        std::printf("\nBatch of %llu LWEs: %.3f ms over %llu epochs "
+                    "(%.0f PBS/s sustained)\n",
+                    static_cast<unsigned long long>(lwes),
+                    bp.seconds * 1e3,
+                    static_cast<unsigned long long>(bp.epochs),
+                    double(lwes) / bp.seconds);
+        if (trace) {
+            EpochScheduler sched(cfg);
+            auto epochs = sched.schedule(*params, lwes);
+            std::printf("\n%s",
+                        EpochScheduler::toTrace(epochs).render(96)
+                            .c_str());
+        }
+    }
+    return 0;
+}

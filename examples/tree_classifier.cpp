@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Privacy-preserving decision-tree classification (the tree-based ML
+ * use case the paper cites in Sec. II-C).
+ *
+ * A server owns a decision tree; a client owns a feature vector it
+ * must keep private. The client encrypts its features, the server
+ * evaluates the tree homomorphically (comparisons = PBS borrow
+ * chains, path selection = PBS multiplexers) and returns an encrypted
+ * class label only the client can open. The example then schedules a
+ * production-sized forest on the platform models.
+ */
+
+#include <cstdio>
+
+#include "baselines/cpu_model.h"
+#include "baselines/gpu_model.h"
+#include "common/table.h"
+#include "strix/accelerator.h"
+#include "workloads/decision_tree.h"
+
+using namespace strix;
+
+int
+main()
+{
+    std::printf("== Encrypted decision-tree inference ==\n\n");
+
+    // A small credit-scoring style tree over 3 features in [0, 16):
+    //   income, debt, history.
+    DecisionTree tree(2, 3);
+    tree.setNode(0, 0, 8);  // income >= 8 ?
+    tree.setNode(1, 1, 6);  // low income: debt >= 6 ?
+    tree.setNode(2, 2, 10); // high income: history >= 10 ?
+    tree.setLeaf(0, 1);     // low income, low debt   -> class 1
+    tree.setLeaf(1, 0);     // low income, high debt  -> class 0
+    tree.setLeaf(2, 2);     // high income, short hist-> class 2
+    tree.setLeaf(3, 3);     // high income, long hist -> class 3
+
+    TfheContext ctx(testParams(48, 512, 1, 3, 8, 0.0), 777);
+    IntegerOps ops(ctx);
+
+    struct Client
+    {
+        const char *name;
+        std::vector<uint64_t> features;
+    };
+    for (const Client &c :
+         {Client{"alice", {11, 2, 12}}, Client{"bob", {3, 9, 1}},
+          Client{"carol", {9, 0, 4}}}) {
+        std::vector<EncryptedUint> enc;
+        for (uint64_t f : c.features)
+            enc.push_back(ops.encrypt(f, 2));
+        auto label = tree.predictEncrypted(ops, enc);
+        uint64_t got = ctx.decryptInt(label, ops.space());
+        uint64_t want = tree.predictPlain(c.features);
+        std::printf("  %-6s -> class %llu (expected %llu) %s\n",
+                    c.name, static_cast<unsigned long long>(got),
+                    static_cast<unsigned long long>(want),
+                    got == want ? "ok" : "MISMATCH");
+    }
+
+    std::printf("\n== A depth-8 tree over 32 8-bit features on the "
+                "platform models (set I) ==\n\n");
+    DecisionTree big = randomTree(8, 32, 256, 2026);
+    WorkloadGraph g = big.toWorkloadGraph(/*digits=*/4);
+
+    StrixAccelerator strix;
+    CpuModel cpu;
+    GpuModel gpu(72, 1.0);
+    TextTable t;
+    t.header({"platform", "total PBS", "time ms"});
+    t.row({"CPU (Concrete model)", std::to_string(g.totalPbs()),
+           TextTable::num(cpu.runGraphSeconds(paramsSetI(), g) * 1e3,
+                          0)});
+    t.row({"GPU (NuFHE model)", std::to_string(g.totalPbs()),
+           TextTable::num(gpu.runGraphSeconds(paramsSetI(), g) * 1e3,
+                          0)});
+    t.row({"Strix (simulated)", std::to_string(g.totalPbs()),
+           TextTable::num(strix.runGraph(paramsSetI(), g).seconds * 1e3,
+                          2)});
+    t.print();
+    std::printf("\nThe comparison layer (255 nodes x 4 digits = 1020 "
+                "independent PBS) batches beautifully; the MUX "
+                "reduction tail is where fragmentation bites the "
+                "GPU.\n");
+    return 0;
+}

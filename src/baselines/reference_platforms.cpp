@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table V published constants.
+ */
+
+#include "baselines/reference_platforms.h"
+
+namespace strix {
+
+const std::vector<PlatformRow> &
+tableVReferenceRows()
+{
+    static const std::vector<PlatformRow> rows{
+        {"Concrete", "CPU", "I", 14.00, 70},
+        {"Concrete", "CPU", "II", 19.00, 52},
+        {"Concrete", "CPU", "III", 38.00, 26},
+        {"Concrete", "CPU", "IV", 969.00, 1},
+        {"NuFHE", "GPU", "I", 37.00, 2000},
+        {"NuFHE", "GPU", "II", 700.00, 500},
+        {"YKP", "FPGA", "I", 1.88, 2657},
+        {"YKP", "FPGA", "III", 4.78, 836},
+        {"XHEC", "FPGA", "I", std::nullopt, 2200},
+        {"XHEC", "FPGA", "II", std::nullopt, 1800},
+        {"Matcha", "ASIC", "I", 0.20, 10000},
+    };
+    return rows;
+}
+
+const std::vector<PlatformRow> &
+tableVStrixPaperRows()
+{
+    static const std::vector<PlatformRow> rows{
+        {"Strix", "ASIC", "I", 0.16, 74696},
+        {"Strix", "ASIC", "II", 0.23, 39600},
+        {"Strix", "ASIC", "III", 0.44, 21104},
+        {"Strix", "ASIC", "IV", 3.31, 2368},
+    };
+    return rows;
+}
+
+} // namespace strix

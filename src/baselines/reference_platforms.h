@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Published latency/throughput constants of the platforms the paper
+ * compares against in Table V. These are reference rows printed next
+ * to our model outputs; Strix rows are *computed* by the simulator.
+ */
+
+#ifndef STRIX_BASELINES_REFERENCE_PLATFORMS_H
+#define STRIX_BASELINES_REFERENCE_PLATFORMS_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace strix {
+
+/** One Table V row as published. */
+struct PlatformRow
+{
+    std::string platform;  //!< "Concrete", "NuFHE", ...
+    std::string hardware;  //!< "CPU", "GPU", "FPGA", "ASIC"
+    std::string param_set; //!< "I".."IV"
+    std::optional<double> latency_ms;
+    std::optional<double> throughput_pbs_s;
+};
+
+/** All non-Strix rows of Table V. */
+const std::vector<PlatformRow> &tableVReferenceRows();
+
+/** The paper's reported Strix rows (for delta reporting). */
+const std::vector<PlatformRow> &tableVStrixPaperRows();
+
+} // namespace strix
+
+#endif // STRIX_BASELINES_REFERENCE_PLATFORMS_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting helpers.
+ *
+ * fatal(): user-caused error (bad configuration), exits cleanly.
+ * panic(): internal invariant violation, aborts.
+ * warn()/inform(): non-fatal status messages on stderr.
+ */
+
+#ifndef STRIX_COMMON_LOGGING_H
+#define STRIX_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace strix {
+
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless @p cond holds. */
+inline void
+panicIfNot(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace strix
+
+#endif // STRIX_COMMON_LOGGING_H

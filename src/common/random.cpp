@@ -1,0 +1,96 @@
+/**
+ * @file
+ * xoshiro256** implementation and torus Gaussian sampling.
+ */
+
+#include "common/random.h"
+
+#include <cmath>
+
+namespace strix {
+
+namespace {
+
+/** splitmix64, used to expand the 64-bit seed into generator state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::uniformBelow(uint64_t bound)
+{
+    // Lemire's multiply-shift; bias is negligible for our purposes.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next64()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+}
+
+double
+Rng::uniformDouble()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::gaussianDouble()
+{
+    if (has_cached_gauss_) {
+        has_cached_gauss_ = false;
+        return cached_gauss_;
+    }
+    // Box-Muller; avoid log(0).
+    double u1 = uniformDouble();
+    while (u1 <= 1e-300)
+        u1 = uniformDouble();
+    double u2 = uniformDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_cached_gauss_ = true;
+    return r * std::cos(theta);
+}
+
+Torus32
+Rng::gaussianTorus32(double stddev)
+{
+    if (stddev == 0.0)
+        return 0;
+    return doubleToTorus32(gaussianDouble() * stddev);
+}
+
+} // namespace strix

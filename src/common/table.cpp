@@ -1,0 +1,131 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "common/table.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace strix {
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != ',' && c != 'x' && c != '%' &&
+            c != 'e' && c != 'E')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+TextTable::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+TextTable::row(std::vector<std::string> cols)
+{
+    rows_.push_back({std::move(cols), false});
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back({{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths.
+    std::vector<size_t> widths;
+    auto fit = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    fit(header_);
+    for (const auto &r : rows_)
+        if (!r.is_separator)
+            fit(r.cells);
+
+    std::ostringstream out;
+    auto emitSep = [&]() {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            out << '+' << std::string(widths[i] + 2, '-');
+        }
+        out << "+\n";
+    };
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            bool right = looksNumeric(cell);
+            out << "| ";
+            if (right)
+                out << std::string(widths[i] - cell.size(), ' ') << cell;
+            else
+                out << cell << std::string(widths[i] - cell.size(), ' ');
+            out << ' ';
+        }
+        out << "|\n";
+    };
+
+    emitSep();
+    if (!header_.empty()) {
+        emitRow(header_);
+        emitSep();
+    }
+    for (const auto &r : rows_) {
+        if (r.is_separator)
+            emitSep();
+        else
+            emitRow(r.cells);
+    }
+    emitSep();
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TextTable::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TextTable::numSep(uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+} // namespace strix

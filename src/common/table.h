@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to print the
+ * paper's tables/figures as aligned rows (paper value vs measured).
+ */
+
+#ifndef STRIX_COMMON_TABLE_H
+#define STRIX_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace strix {
+
+/**
+ * Collects rows of strings and prints them with per-column alignment.
+ * Numeric-looking cells are right-aligned; everything else is
+ * left-aligned.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cols);
+
+    /** Append a horizontal separator. */
+    void separator();
+
+    /** Render to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helper: fixed-point with @p digits decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format helper: integer with thousands separators. */
+    static std::string numSep(uint64_t v);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool is_separator = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace strix
+
+#endif // STRIX_COMMON_TABLE_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Implementation of torus conversion helpers.
+ */
+
+#include "common/types.h"
+
+#include <cmath>
+
+namespace strix {
+
+Torus32
+doubleToTorus32(double d)
+{
+    // Reduce to [0, 1) then scale to 2^32. Using 64-bit intermediate
+    // keeps the rounding exact for all doubles with |d| < 2^31.
+    double frac = d - std::floor(d);
+    double scaled = frac * 4294967296.0; // 2^32
+    // Round-to-nearest; 2^32 wraps to 0 on the torus.
+    auto v = static_cast<uint64_t>(std::llround(scaled));
+    return static_cast<Torus32>(v);
+}
+
+double
+torus32ToDouble(Torus32 t)
+{
+    // Interpret as signed to obtain the centered representative.
+    auto s = static_cast<int32_t>(t);
+    return static_cast<double>(s) / 4294967296.0;
+}
+
+Torus32
+encodeMessage(int64_t m, uint64_t msg_space)
+{
+    // m / msg_space on the torus; handles msg_space that does not
+    // divide 2^32 by rounding.
+    // Reduce m into [0, msg_space).
+    int64_t r = m % static_cast<int64_t>(msg_space);
+    if (r < 0)
+        r += static_cast<int64_t>(msg_space);
+    // (r * 2^32) / msg_space, rounded, using 128-bit arithmetic.
+    unsigned __int128 num =
+        (static_cast<unsigned __int128>(r) << 32) + msg_space / 2;
+    return static_cast<Torus32>(num / msg_space);
+}
+
+int64_t
+decodeMessage(Torus32 t, uint64_t msg_space)
+{
+    // round(t * msg_space / 2^32) mod msg_space
+    unsigned __int128 num =
+        static_cast<unsigned __int128>(t) * msg_space +
+        (static_cast<unsigned __int128>(1) << 31);
+    auto m = static_cast<uint64_t>(num >> 32);
+    return static_cast<int64_t>(m % msg_space);
+}
+
+Torus32
+roundToBits(Torus32 t, int bits)
+{
+    if (bits >= kTorus32Bits)
+        return t;
+    Torus32 half = Torus32{1} << (kTorus32Bits - bits - 1);
+    Torus32 mask = ~((Torus32{1} << (kTorus32Bits - bits)) - 1);
+    return (t + half) & mask;
+}
+
+int32_t
+torusDistance(Torus32 a, Torus32 b)
+{
+    return static_cast<int32_t>(a - b);
+}
+
+} // namespace strix

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Core scalar types for the TFHE scheme and the Strix simulator.
+ *
+ * TFHE works on the real torus T = R/Z. Following the standard
+ * discretization (and the paper's 32-bit datapath, Sec. VI-A), a torus
+ * element is represented as an unsigned 32-bit integer t, denoting the
+ * real value t / 2^32. Addition on the torus is plain wrap-around
+ * integer addition; multiplication by (signed) integers is plain
+ * integer multiplication. There is no torus-torus multiplication.
+ */
+
+#ifndef STRIX_COMMON_TYPES_H
+#define STRIX_COMMON_TYPES_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace strix {
+
+/** Discretized torus element: value / 2^32 in R/Z. */
+using Torus32 = uint32_t;
+/** 64-bit discretized torus element: value / 2^64 in R/Z. */
+using Torus64 = uint64_t;
+
+/** Cycle count in the hardware simulator. */
+using Cycle = uint64_t;
+
+/** Number of bits in the Torus32 representation. */
+inline constexpr int kTorus32Bits = 32;
+
+/**
+ * Convert a real number in [-0.5, 0.5) (or any real; it is reduced
+ * mod 1) to its closest Torus32 representation.
+ */
+Torus32 doubleToTorus32(double d);
+
+/** Convert a Torus32 to the representative real value in [-0.5, 0.5). */
+double torus32ToDouble(Torus32 t);
+
+/**
+ * Encode an integer message m modulo msg_space into the torus as
+ * m / msg_space (rounded to the torus grid).
+ *
+ * @param m message, reduced modulo msg_space
+ * @param msg_space size of the message space (need not divide 2^32)
+ */
+Torus32 encodeMessage(int64_t m, uint64_t msg_space);
+
+/**
+ * Decode a torus element back to an integer message in
+ * [0, msg_space), by rounding to the nearest multiple of
+ * 1/msg_space.
+ */
+int64_t decodeMessage(Torus32 t, uint64_t msg_space);
+
+/**
+ * Round a torus element to the nearest multiple of 2^(32 - bits),
+ * i.e. keep the top @p bits bits with round-half-up carry.
+ */
+Torus32 roundToBits(Torus32 t, int bits);
+
+/** Centered (signed) distance between two torus elements. */
+int32_t torusDistance(Torus32 a, Torus32 b);
+
+} // namespace strix
+
+#endif // STRIX_COMMON_TYPES_H

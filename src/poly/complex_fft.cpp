@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Radix-2 decimation-in-time FFT implementation.
+ */
+
+#include "poly/complex_fft.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace strix {
+
+FftPlan::FftPlan(size_t m) : m_(m)
+{
+    panicIfNot(m >= 2 && (m & (m - 1)) == 0, "FFT size must be 2^k >= 2");
+
+    bit_reverse_.resize(m);
+    size_t log_m = 0;
+    while ((size_t{1} << log_m) < m)
+        ++log_m;
+    for (size_t i = 0; i < m; ++i) {
+        size_t r = 0;
+        for (size_t b = 0; b < log_m; ++b)
+            if (i & (size_t{1} << b))
+                r |= size_t{1} << (log_m - 1 - b);
+        bit_reverse_[i] = r;
+    }
+
+    twiddles_.resize(m / 2);
+    for (size_t j = 0; j < m / 2; ++j) {
+        double ang = 2.0 * M_PI * static_cast<double>(j) /
+                     static_cast<double>(m);
+        twiddles_[j] = Cplx(std::cos(ang), std::sin(ang));
+    }
+}
+
+void
+FftPlan::transform(Cplx *data, bool positive_exponent) const
+{
+    // Bit-reversal permutation.
+    for (size_t i = 0; i < m_; ++i) {
+        size_t j = bit_reverse_[i];
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    // log2(M) butterfly stages, mirroring the hardware BFU stages.
+    for (size_t len = 2; len <= m_; len <<= 1) {
+        size_t half = len >> 1;
+        size_t stride = m_ / len;
+        for (size_t base = 0; base < m_; base += len) {
+            for (size_t j = 0; j < half; ++j) {
+                Cplx w = twiddles_[j * stride];
+                if (!positive_exponent)
+                    w = std::conj(w);
+                Cplx u = data[base + j];
+                Cplx v = data[base + j + half] * w;
+                data[base + j] = u + v;
+                data[base + j + half] = u - v;
+            }
+        }
+    }
+}
+
+void
+FftPlan::forward(Cplx *data) const
+{
+    transform(data, true);
+}
+
+void
+FftPlan::inverse(Cplx *data) const
+{
+    transform(data, false);
+    const double inv = 1.0 / static_cast<double>(m_);
+    for (size_t i = 0; i < m_; ++i)
+        data[i] *= inv;
+}
+
+const FftPlan &
+FftPlan::get(size_t m)
+{
+    static std::map<size_t, std::unique_ptr<FftPlan>> cache;
+    auto it = cache.find(m);
+    if (it == cache.end())
+        it = cache.emplace(m, std::make_unique<FftPlan>(m)).first;
+    return *it->second;
+}
+
+} // namespace strix

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Iterative radix-2 complex FFT with a precomputed plan.
+ *
+ * This mirrors the structure of the hardware pipelined-FFT in the
+ * paper (Fig. 5): log2(M) butterfly stages with twiddle ROMs; the
+ * software version applies the same dataflow sequentially. Plans are
+ * cached per size.
+ */
+
+#ifndef STRIX_POLY_COMPLEX_FFT_H
+#define STRIX_POLY_COMPLEX_FFT_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace strix {
+
+using Cplx = std::complex<double>;
+
+/**
+ * FFT plan for a fixed power-of-two size M: bit-reversal permutation
+ * and per-stage twiddle factors.
+ */
+class FftPlan
+{
+  public:
+    /** Build a plan for size @p m (power of two, >= 2). */
+    explicit FftPlan(size_t m);
+
+    size_t size() const { return m_; }
+
+    /**
+     * In-place forward transform with positive exponent convention:
+     * X_k = sum_j x_j * exp(+2*pi*i*j*k / M).
+     */
+    void forward(Cplx *data) const;
+
+    /**
+     * In-place inverse transform (negative exponent), scaled by 1/M:
+     * x_j = (1/M) sum_k X_k * exp(-2*pi*i*j*k / M).
+     */
+    void inverse(Cplx *data) const;
+
+    /** Obtain a cached plan for size @p m (thread-unsafe cache). */
+    static const FftPlan &get(size_t m);
+
+  private:
+    void transform(Cplx *data, bool positive_exponent) const;
+
+    size_t m_;
+    std::vector<size_t> bit_reverse_;
+    /** Twiddles w^j = exp(+2*pi*i*j/M) for j in [0, M/2). */
+    std::vector<Cplx> twiddles_;
+};
+
+} // namespace strix
+
+#endif // STRIX_POLY_COMPLEX_FFT_H

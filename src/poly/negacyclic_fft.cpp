@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Folded negacyclic FFT implementation.
+ */
+
+#include "poly/negacyclic_fft.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace strix {
+
+NegacyclicFft::NegacyclicFft(size_t n)
+    : n_(n), plan_(FftPlan::get(n / 2))
+{
+    panicIfNot(n >= 4 && (n & (n - 1)) == 0,
+               "negacyclic FFT ring dim must be 2^k >= 4");
+    twist_.resize(n / 2);
+    for (size_t j = 0; j < n / 2; ++j) {
+        double ang = M_PI * static_cast<double>(j) / static_cast<double>(n);
+        twist_[j] = Cplx(std::cos(ang), std::sin(ang));
+    }
+}
+
+template <typename CoeffToDouble, typename Poly>
+void
+NegacyclicFft::forwardImpl(FreqPolynomial &out, const Poly &poly,
+                           CoeffToDouble conv) const
+{
+    panicIfNot(poly.size() == n_, "forward: polynomial size mismatch");
+    const size_t m = n_ / 2;
+    out.resize(m);
+    // Fold: u_j = a_j + i * a_{j+N/2}, then twist by w^j.
+    for (size_t j = 0; j < m; ++j) {
+        Cplx u(conv(poly[j]), conv(poly[j + m]));
+        out[j] = u * twist_[j];
+    }
+    plan_.forward(out.data());
+}
+
+void
+NegacyclicFft::forward(FreqPolynomial &out, const IntPolynomial &poly) const
+{
+    forwardImpl(out, poly,
+                [](int32_t c) { return static_cast<double>(c); });
+}
+
+void
+NegacyclicFft::forward(FreqPolynomial &out, const TorusPolynomial &poly) const
+{
+    // Centered lift keeps magnitudes <= 2^31 and therefore the
+    // double-precision products exact enough for TFHE noise budgets.
+    forwardImpl(out, poly, [](Torus32 c) {
+        return static_cast<double>(static_cast<int32_t>(c));
+    });
+}
+
+void
+NegacyclicFft::inverse(TorusPolynomial &out, const FreqPolynomial &freq) const
+{
+    panicIfNot(out.size() == n_, "inverse: polynomial size mismatch");
+    panicIfNot(freq.size() == n_ / 2, "inverse: freq size mismatch");
+    const size_t m = n_ / 2;
+    FreqPolynomial work = freq;
+    plan_.inverse(work.data());
+    for (size_t j = 0; j < m; ++j) {
+        Cplx u = work[j] * std::conj(twist_[j]);
+        // Round to the integer grid and wrap mod 2^32. Coefficients
+        // may exceed int64 only for absurd parameter choices; TFHE
+        // gadget decomposition keeps them below ~2^52.
+        out[j] = static_cast<Torus32>(
+            static_cast<int64_t>(std::llround(u.real())));
+        out[j + m] = static_cast<Torus32>(
+            static_cast<int64_t>(std::llround(u.imag())));
+    }
+}
+
+void
+NegacyclicFft::mulAccumulate(FreqPolynomial &out, const FreqPolynomial &a,
+                             const FreqPolynomial &b)
+{
+    panicIfNot(a.size() == b.size(), "mulAccumulate size mismatch");
+    if (out.size() != a.size())
+        out.assign(a.size(), Cplx(0, 0));
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i] += a[i] * b[i];
+}
+
+const NegacyclicFft &
+NegacyclicFft::get(size_t n)
+{
+    static std::map<size_t, std::unique_ptr<NegacyclicFft>> cache;
+    auto it = cache.find(n);
+    if (it == cache.end())
+        it = cache.emplace(n, std::make_unique<NegacyclicFft>(n)).first;
+    return *it->second;
+}
+
+void
+negacyclicMulFft(TorusPolynomial &result, const IntPolynomial &a,
+                 const TorusPolynomial &b)
+{
+    const auto &eng = NegacyclicFft::get(a.size());
+    FreqPolynomial fa, fb, prod;
+    eng.forward(fa, a);
+    eng.forward(fb, b);
+    NegacyclicFft::mulAccumulate(prod, fa, fb);
+    eng.inverse(result, prod);
+}
+
+void
+negacyclicMulAddFft(TorusPolynomial &result, const IntPolynomial &a,
+                    const TorusPolynomial &b)
+{
+    TorusPolynomial tmp(result.size());
+    negacyclicMulFft(tmp, a, b);
+    result.addAssign(tmp);
+}
+
+} // namespace strix

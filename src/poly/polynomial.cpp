@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Negacyclic polynomial arithmetic implementations.
+ */
+
+#include "poly/polynomial.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace strix {
+
+void
+TorusPolynomial::clear()
+{
+    std::fill(coeffs_.begin(), coeffs_.end(), 0);
+}
+
+void
+TorusPolynomial::addAssign(const TorusPolynomial &other)
+{
+    panicIfNot(size() == other.size(), "poly size mismatch in addAssign");
+    for (size_t i = 0; i < coeffs_.size(); ++i)
+        coeffs_[i] += other.coeffs_[i];
+}
+
+void
+TorusPolynomial::subAssign(const TorusPolynomial &other)
+{
+    panicIfNot(size() == other.size(), "poly size mismatch in subAssign");
+    for (size_t i = 0; i < coeffs_.size(); ++i)
+        coeffs_[i] -= other.coeffs_[i];
+}
+
+void
+TorusPolynomial::negate()
+{
+    for (auto &c : coeffs_)
+        c = 0u - c;
+}
+
+void
+IntPolynomial::clear()
+{
+    std::fill(coeffs_.begin(), coeffs_.end(), 0);
+}
+
+void
+negacyclicRotate(TorusPolynomial &result, const TorusPolynomial &poly,
+                 uint32_t power)
+{
+    const size_t n = poly.size();
+    panicIfNot(result.size() == n, "rotate size mismatch");
+    panicIfNot(&result != &poly, "rotate must not alias");
+    power %= 2 * n;
+    // X^N == -1: rotation by a >= N equals rotation by a-N with sign flip.
+    bool flip = power >= n;
+    size_t a = flip ? power - n : power;
+    // result[i+a] = poly[i] for i+a < n; wrapped part picks up a minus.
+    for (size_t i = 0; i < n - a; ++i) {
+        Torus32 v = poly[i];
+        result[i + a] = flip ? 0u - v : v;
+    }
+    for (size_t i = n - a; i < n; ++i) {
+        Torus32 v = poly[i];
+        result[i + a - n] = flip ? v : 0u - v;
+    }
+}
+
+void
+negacyclicRotateMinusOne(TorusPolynomial &result, const TorusPolynomial &poly,
+                         uint32_t power)
+{
+    negacyclicRotate(result, poly, power);
+    result.subAssign(poly);
+}
+
+void
+negacyclicMulNaive(TorusPolynomial &result, const IntPolynomial &a,
+                   const TorusPolynomial &b)
+{
+    result.clear();
+    negacyclicMulAddNaive(result, a, b);
+}
+
+void
+negacyclicMulAddNaive(TorusPolynomial &result, const IntPolynomial &a,
+                      const TorusPolynomial &b)
+{
+    const size_t n = a.size();
+    panicIfNot(b.size() == n && result.size() == n,
+               "negacyclic mul size mismatch");
+    // Torus arithmetic is mod 2^32, so plain uint32 wraparound
+    // accumulation is exact.
+    for (size_t i = 0; i < n; ++i) {
+        const auto ai = static_cast<uint32_t>(a[i]);
+        if (ai == 0)
+            continue;
+        // a[i] * X^i * b: positive wrap for j < n-i, negated for wrap.
+        for (size_t j = 0; j < n - i; ++j)
+            result[i + j] += ai * b[j];
+        for (size_t j = n - i; j < n; ++j)
+            result[i + j - n] -= ai * b[j];
+    }
+}
+
+namespace {
+
+/**
+ * Karatsuba on int64 coefficient arrays (plain, non-modular product of
+ * length-2n from two length-n inputs). Threshold below which
+ * schoolbook is used.
+ */
+constexpr size_t kKaratsubaThreshold = 16;
+
+void
+plainMul(int64_t *out, const int64_t *a, const int64_t *b, size_t n,
+         int64_t *scratch)
+{
+    if (n <= kKaratsubaThreshold) {
+        std::memset(out, 0, sizeof(int64_t) * (2 * n));
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = 0; j < n; ++j)
+                out[i + j] += a[i] * b[j];
+        return;
+    }
+
+    const size_t h = n / 2;
+    // scratch layout: asum[h], bsum[h], mid[2h], recursion scratch...
+    int64_t *asum = scratch;
+    int64_t *bsum = scratch + h;
+    int64_t *mid = scratch + 2 * h;
+    int64_t *next = scratch + 4 * h;
+
+    for (size_t i = 0; i < h; ++i) {
+        asum[i] = a[i] + a[i + h];
+        bsum[i] = b[i] + b[i + h];
+    }
+
+    // out[0..2h) = a_lo*b_lo; out[2h..4h) = a_hi*b_hi
+    plainMul(out, a, b, h, next);
+    plainMul(out + 2 * h, a + h, b + h, h, next);
+    // mid = (a_lo+a_hi)*(b_lo+b_hi)
+    plainMul(mid, asum, bsum, h, next);
+    for (size_t i = 0; i < 2 * h; ++i)
+        mid[i] -= out[i] + out[2 * h + i];
+    for (size_t i = 0; i < 2 * h; ++i)
+        out[h + i] += mid[i];
+}
+
+} // namespace
+
+void
+negacyclicMulKaratsuba(TorusPolynomial &result, const IntPolynomial &a,
+                       const TorusPolynomial &b)
+{
+    const size_t n = a.size();
+    panicIfNot(b.size() == n && result.size() == n,
+               "karatsuba size mismatch");
+
+    std::vector<int64_t> av(n), bv(n), prod(2 * n);
+    // Karatsuba recursion scratch: 4h per level summed is < 4n.
+    std::vector<int64_t> scratch(8 * n);
+    for (size_t i = 0; i < n; ++i) {
+        av[i] = a[i];
+        // Torus value as unsigned; the final reduction is mod 2^32 so
+        // signed vs unsigned lift does not matter, but int64 products
+        // must not overflow: |a| small (decomposed), b < 2^32, product
+        // sums bounded by n * max|a| * 2^32 -- may exceed int64 for
+        // large n and base. Use the centered (signed) lift of b to
+        // halve the magnitude.
+        bv[i] = static_cast<int32_t>(b[i]);
+    }
+    plainMul(prod.data(), av.data(), bv.data(), n, scratch.data());
+    for (size_t i = 0; i < n; ++i) {
+        // reduce mod X^N + 1: coeff i gets prod[i] - prod[i+n]
+        result[i] = static_cast<Torus32>(
+            static_cast<uint64_t>(prod[i]) -
+            static_cast<uint64_t>(prod[i + n]));
+    }
+}
+
+} // namespace strix

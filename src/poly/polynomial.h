@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Polynomials over Z[X]/(X^N + 1) (negacyclic ring), the core algebra
+ * of TFHE. Two coefficient domains are used:
+ *
+ *   - TorusPolynomial: coefficients in the discretized torus (Torus32).
+ *   - IntPolynomial:   small signed integer coefficients (output of the
+ *                      gadget decomposition).
+ *
+ * The ring product IntPolynomial * TorusPolynomial -> TorusPolynomial
+ * is the only multiplication TFHE needs; three implementations are
+ * provided (schoolbook, Karatsuba, FFT) and cross-checked in tests.
+ */
+
+#ifndef STRIX_POLY_POLYNOMIAL_H
+#define STRIX_POLY_POLYNOMIAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace strix {
+
+/** Polynomial with Torus32 coefficients, degree < n. */
+class TorusPolynomial
+{
+  public:
+    TorusPolynomial() = default;
+    explicit TorusPolynomial(size_t n) : coeffs_(n, 0) {}
+
+    size_t size() const { return coeffs_.size(); }
+    Torus32 &operator[](size_t i) { return coeffs_[i]; }
+    const Torus32 &operator[](size_t i) const { return coeffs_[i]; }
+    Torus32 *data() { return coeffs_.data(); }
+    const Torus32 *data() const { return coeffs_.data(); }
+
+    /** Set all coefficients to zero. */
+    void clear();
+
+    /** this += other (coefficient-wise torus addition). */
+    void addAssign(const TorusPolynomial &other);
+
+    /** this -= other. */
+    void subAssign(const TorusPolynomial &other);
+
+    /** Negate all coefficients. */
+    void negate();
+
+    bool operator==(const TorusPolynomial &o) const
+    {
+        return coeffs_ == o.coeffs_;
+    }
+
+  private:
+    std::vector<Torus32> coeffs_;
+};
+
+/** Polynomial with small signed integer coefficients, degree < n. */
+class IntPolynomial
+{
+  public:
+    IntPolynomial() = default;
+    explicit IntPolynomial(size_t n) : coeffs_(n, 0) {}
+
+    size_t size() const { return coeffs_.size(); }
+    int32_t &operator[](size_t i) { return coeffs_[i]; }
+    const int32_t &operator[](size_t i) const { return coeffs_[i]; }
+    int32_t *data() { return coeffs_.data(); }
+    const int32_t *data() const { return coeffs_.data(); }
+
+    void clear();
+
+    bool operator==(const IntPolynomial &o) const
+    {
+        return coeffs_ == o.coeffs_;
+    }
+
+  private:
+    std::vector<int32_t> coeffs_;
+};
+
+/**
+ * result = poly * X^power in Z[X]/(X^N+1). power is taken modulo 2N;
+ * X^N == -1 so a rotation by N negates. This is the negacyclic
+ * rotation the paper's Rotator unit performs.
+ *
+ * @param power rotation exponent in [0, 2N)
+ */
+void negacyclicRotate(TorusPolynomial &result, const TorusPolynomial &poly,
+                      uint32_t power);
+
+/** result = poly * (X^power - 1); fused form used by blind rotation. */
+void negacyclicRotateMinusOne(TorusPolynomial &result,
+                              const TorusPolynomial &poly, uint32_t power);
+
+/** Schoolbook negacyclic product: result = a * b mod (X^N + 1). */
+void negacyclicMulNaive(TorusPolynomial &result, const IntPolynomial &a,
+                        const TorusPolynomial &b);
+
+/** result += a * b mod (X^N + 1), schoolbook. */
+void negacyclicMulAddNaive(TorusPolynomial &result, const IntPolynomial &a,
+                           const TorusPolynomial &b);
+
+/**
+ * Karatsuba negacyclic product (exact, integer arithmetic). Used as a
+ * second reference implementation; asymptotically faster than
+ * schoolbook and exact unlike the FFT path.
+ */
+void negacyclicMulKaratsuba(TorusPolynomial &result, const IntPolynomial &a,
+                            const TorusPolynomial &b);
+
+} // namespace strix
+
+#endif // STRIX_POLY_POLYNOMIAL_H

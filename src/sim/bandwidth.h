@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bandwidth stream accounting for the HBM model: a channel group with
+ * a fixed share of the total bandwidth, plus helpers converting bytes
+ * to cycles at a given clock.
+ */
+
+#ifndef STRIX_SIM_BANDWIDTH_H
+#define STRIX_SIM_BANDWIDTH_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace strix {
+
+/**
+ * A group of HBM channels dedicated to one traffic class (bsk, ksk,
+ * or ciphertexts, per Sec. VI-A: 8/4/4 channels of one HBM2e stack).
+ */
+class ChannelGroup
+{
+  public:
+    /**
+     * @param total_gbps   total stack bandwidth (e.g. 300 GB/s)
+     * @param channels     channels assigned to this group
+     * @param total_channels channels in the stack (e.g. 16)
+     */
+    ChannelGroup(double total_gbps, int channels, int total_channels)
+        : gbps_(total_gbps * channels / total_channels)
+    {
+    }
+
+    double gbps() const { return gbps_; }
+
+    /** Seconds to transfer @p bytes. */
+    double transferSeconds(uint64_t bytes) const
+    {
+        return static_cast<double>(bytes) / (gbps_ * 1e9);
+    }
+
+    /** Cycles to transfer @p bytes at @p clock_ghz. */
+    Cycle transferCycles(uint64_t bytes, double clock_ghz) const
+    {
+        return static_cast<Cycle>(transferSeconds(bytes) * clock_ghz *
+                                  1e9 + 0.5);
+    }
+
+    /** Sustained GB/s needed to move @p bytes every @p cycles. */
+    static double
+    requiredGbps(uint64_t bytes, Cycle cycles, double clock_ghz)
+    {
+        if (cycles == 0)
+            return 0.0;
+        return static_cast<double>(bytes) * clock_ghz /
+               static_cast<double>(cycles);
+    }
+
+  private:
+    double gbps_;
+};
+
+} // namespace strix
+
+#endif // STRIX_SIM_BANDWIDTH_H

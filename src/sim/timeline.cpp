@@ -1,0 +1,122 @@
+/**
+ * @file
+ * UnitTimeline / GanttTrace implementation.
+ */
+
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace strix {
+
+void
+UnitTimeline::record(Cycle start, Cycle end, std::string label)
+{
+    panicIfNot(end >= start, "timeline interval ends before it starts");
+    if (end == start)
+        return; // zero-length activity is not recorded
+    ivals_.push_back({start, end, std::move(label)});
+}
+
+Cycle
+UnitTimeline::busyCycles(Cycle from, Cycle to) const
+{
+    Cycle busy = 0;
+    for (const auto &iv : ivals_) {
+        Cycle s = std::max(iv.start, from);
+        Cycle e = std::min(iv.end, to);
+        if (e > s)
+            busy += e - s;
+    }
+    return busy;
+}
+
+double
+UnitTimeline::utilization(Cycle from, Cycle to) const
+{
+    if (to <= from)
+        return 0.0;
+    return static_cast<double>(busyCycles(from, to)) /
+           static_cast<double>(to - from);
+}
+
+bool
+UnitTimeline::hasOverlap() const
+{
+    auto sorted = ivals_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const BusyInterval &a, const BusyInterval &b) {
+                  return a.start < b.start;
+              });
+    for (size_t i = 1; i < sorted.size(); ++i)
+        if (sorted[i].start < sorted[i - 1].end)
+            return true;
+    return false;
+}
+
+Cycle
+UnitTimeline::endCycle() const
+{
+    Cycle end = 0;
+    for (const auto &iv : ivals_)
+        end = std::max(end, iv.end);
+    return end;
+}
+
+UnitTimeline &
+GanttTrace::row(const std::string &name)
+{
+    for (auto &r : rows_)
+        if (r.name() == name)
+            return r;
+    rows_.emplace_back(name);
+    return rows_.back();
+}
+
+Cycle
+GanttTrace::endCycle() const
+{
+    Cycle end = 0;
+    for (const auto &r : rows_)
+        end = std::max(end, r.endCycle());
+    return end;
+}
+
+std::string
+GanttTrace::render(size_t width) const
+{
+    const Cycle end = endCycle();
+    if (end == 0 || rows_.empty())
+        return "(empty trace)\n";
+
+    size_t name_w = 0;
+    for (const auto &r : rows_)
+        name_w = std::max(name_w, r.name().size());
+
+    std::ostringstream out;
+    const double cycles_per_col =
+        static_cast<double>(end) / static_cast<double>(width);
+    for (const auto &r : rows_) {
+        out << r.name() << std::string(name_w - r.name().size(), ' ')
+            << " |";
+        std::string line(width, ' ');
+        for (const auto &iv : r.intervals()) {
+            auto c0 = static_cast<size_t>(iv.start / cycles_per_col);
+            auto c1 = static_cast<size_t>(
+                std::max<double>(iv.end / cycles_per_col,
+                                 c0 + 1));
+            char mark = iv.label.empty() ? '#' : iv.label.back();
+            for (size_t c = c0; c < std::min(c1, width); ++c)
+                line[c] = mark;
+        }
+        out << line << "|\n";
+    }
+    out << std::string(name_w, ' ') << " 0" << std::string(width - 2, ' ')
+        << end << " cycles\n";
+    return out.str();
+}
+
+} // namespace strix

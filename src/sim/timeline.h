@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Busy-interval timelines for functional-unit activity, used to build
+ * the Fig. 8 Gantt trace and utilization statistics.
+ */
+
+#ifndef STRIX_SIM_TIMELINE_H
+#define STRIX_SIM_TIMELINE_H
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace strix {
+
+/** One busy interval of a unit: [start, end) cycles, with a label. */
+struct BusyInterval
+{
+    Cycle start;
+    Cycle end;
+    std::string label; //!< e.g. "LWE-1"
+
+    Cycle length() const { return end - start; }
+};
+
+/**
+ * Records the busy intervals of one hardware unit and answers
+ * utilization queries. Intervals may be recorded out of order; they
+ * are sorted on demand.
+ */
+class UnitTimeline
+{
+  public:
+    explicit UnitTimeline(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Record a busy interval. */
+    void record(Cycle start, Cycle end, std::string label = "");
+
+    const std::vector<BusyInterval> &intervals() const { return ivals_; }
+
+    /** Total busy cycles within [from, to), clipping intervals. */
+    Cycle busyCycles(Cycle from, Cycle to) const;
+
+    /** Utilization in [0,1] over the window [from, to). */
+    double utilization(Cycle from, Cycle to) const;
+
+    /** True if some pair of recorded intervals overlaps. */
+    bool hasOverlap() const;
+
+    /** Latest end cycle over all intervals (0 if empty). */
+    Cycle endCycle() const;
+
+  private:
+    std::string name_;
+    std::vector<BusyInterval> ivals_;
+};
+
+/**
+ * A group of unit timelines (one per functional unit of a core, plus
+ * memory/HBM rows) with an ASCII Gantt renderer approximating the
+ * paper's Fig. 8.
+ */
+class GanttTrace
+{
+  public:
+    /**
+     * Add (or fetch) a named row. References stay valid as more rows
+     * are added (deque storage).
+     */
+    UnitTimeline &row(const std::string &name);
+
+    const std::deque<UnitTimeline> &rows() const { return rows_; }
+
+    /** Latest end cycle over all rows. */
+    Cycle endCycle() const;
+
+    /**
+     * Render an ASCII Gantt chart: one line per row, @p width columns
+     * spanning [0, endCycle()). Busy cells print the first letter of
+     * the interval label ('#' if unlabeled).
+     */
+    std::string render(size_t width = 100) const;
+
+  private:
+    std::deque<UnitTimeline> rows_;
+};
+
+} // namespace strix
+
+#endif // STRIX_SIM_TIMELINE_H

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Strix epoch scheduler and performance model.
+ */
+
+#include "strix/accelerator.h"
+
+#include "strix/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace strix {
+
+PbsPerf
+StrixAccelerator::evaluatePbs(const TfheParams &p) const
+{
+    Hsc core(cfg_, p);
+    const UnitTiming &t = core.timing();
+    const MemorySystem &mem = core.memory();
+    const double hz = cfg_.clock_ghz * 1e9;
+
+    const uint32_t m = mem.coreBatch();
+    PbsPerf perf{};
+    perf.core_batch = m;
+    perf.device_batch = m * cfg_.tvlp;
+
+    // Latency: one LWE traverses n iterations (each possibly gated by
+    // the bsk fetch), drains the pipeline, then keyswitches with
+    // nothing to hide behind.
+    Cycle iter_lat =
+        std::max<Cycle>(t.iterationII(), mem.bskFetchCycles());
+    Cycle latency_cycles = t.iterations() * iter_lat +
+                           t.drainCycles() + t.keyswitchCycles();
+    perf.latency_ms = latency_cycles / hz * 1e3;
+
+    // Throughput: epochs of TvLP*m LWEs; each core pipelines m LWEs
+    // per blind-rotation iteration, sharing every bsk fetch via the
+    // multicast NoC; keyswitching hides behind the next epoch.
+    Cycle iter_tp = core.iterationCycles(m);
+    double epoch_s = double(t.iterations()) * double(iter_tp) / hz;
+    double tp_br = double(perf.device_batch) / epoch_s;
+    // Keyswitch cluster capacity: m LWEs per core per epoch.
+    double ks_s = double(m) * double(t.keyswitchCycles()) / hz;
+    double tp = ks_s > epoch_s
+                    ? double(perf.device_batch) / ks_s
+                    : tp_br;
+    perf.throughput_pbs_s = tp;
+    perf.memory_bound = core.memoryBound(m);
+
+    // Sustained external bandwidth demand while streaming (bsk per
+    // iteration, ksk once per epoch, ciphertexts/test vectors per
+    // epoch). Reported at core batch m = 1, the latency-critical
+    // streaming requirement the paper tabulates in Table VII.
+    Cycle iter_m1 = t.iterationII();
+    double bsk_bw = ChannelGroup::requiredGbps(
+        mem.bskBytesPerIteration(), iter_m1, cfg_.clock_ghz);
+    Cycle epoch_m1 = t.iterations() * iter_m1;
+    double ksk_bw = ChannelGroup::requiredGbps(mem.kskBytes(), epoch_m1,
+                                               cfg_.clock_ghz);
+    double ct_bw = ChannelGroup::requiredGbps(
+        mem.ctBytesPerLwe() * cfg_.tvlp, epoch_m1, cfg_.clock_ghz);
+    perf.required_bw_gbps = bsk_bw + ksk_bw + ct_bw;
+    return perf;
+}
+
+BatchPerf
+StrixAccelerator::runBatch(const TfheParams &p, uint64_t num_lwes) const
+{
+    // Materialize the epoch schedule (blind rotations back to back,
+    // keyswitching overlapped one epoch behind, Sec. IV-C) and read
+    // off the makespan.
+    BatchPerf perf{};
+    if (num_lwes == 0)
+        return perf;
+    EpochScheduler scheduler(cfg_);
+    std::vector<EpochRecord> epochs = scheduler.schedule(p, num_lwes);
+    perf.epochs = epochs.size();
+    perf.seconds = double(EpochScheduler::makespan(epochs)) /
+                   (cfg_.clock_ghz * 1e9);
+    return perf;
+}
+
+BatchPerf
+StrixAccelerator::runGraph(const TfheParams &p,
+                           const WorkloadGraph &g) const
+{
+    // Layers are dependency barriers: a layer's PBS can only start
+    // after the previous layer's results are keyswitched. Linear MACs
+    // are executed host/accumulator-side and are negligible next to
+    // PBS (Sec. IV-C); we cost them at one MAC per cycle per core.
+    BatchPerf total{};
+    const double hz = cfg_.clock_ghz * 1e9;
+    for (const auto &layer : g.layers()) {
+        BatchPerf lp = runBatch(p, layer.pbs_count);
+        total.seconds += lp.seconds;
+        total.epochs += lp.epochs;
+        total.seconds +=
+            double(layer.linear_macs) / double(cfg_.tvlp) / hz;
+    }
+    return total;
+}
+
+} // namespace strix

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Top-level Strix accelerator model: TvLP HSCs behind a multicast NoC
+ * and a shared global scratchpad, scheduled in epochs with two-level
+ * (device + core) ciphertext batching (Sec. IV).
+ */
+
+#ifndef STRIX_STRIX_ACCELERATOR_H
+#define STRIX_STRIX_ACCELERATOR_H
+
+#include "strix/graph.h"
+#include "strix/hsc.h"
+
+namespace strix {
+
+/** Microbenchmark result for one parameter set (Table V rows). */
+struct PbsPerf
+{
+    double latency_ms;       //!< single-PBS latency incl. keyswitch
+    double throughput_pbs_s; //!< sustained PBS throughput
+    double required_bw_gbps; //!< sustained external bandwidth demand
+    bool memory_bound;       //!< bsk stream limits the iteration rate
+    uint32_t core_batch;     //!< core-level batch size m
+    uint32_t device_batch;   //!< total epoch batch = TvLP * m
+};
+
+/** Execution-time result for a batch of LWEs or a workload graph. */
+struct BatchPerf
+{
+    double seconds;
+    uint64_t epochs; //!< blind-rotation fragments executed
+};
+
+/**
+ * Analytic/cycle-level model of the full chip. All cycle math comes
+ * from UnitTiming and MemorySystem; this class adds the epoch
+ * scheduler and fragmentation accounting.
+ */
+class StrixAccelerator
+{
+  public:
+    explicit StrixAccelerator(StrixConfig cfg = StrixConfig::paperDefault())
+        : cfg_(cfg)
+    {
+    }
+
+    const StrixConfig &config() const { return cfg_; }
+
+    /** Table V microbenchmark: latency and throughput of PBS. */
+    PbsPerf evaluatePbs(const TfheParams &p) const;
+
+    /**
+     * Execute @p num_lwes PBS(+KS) operations, accounting for
+     * blind-rotation fragmentation when the count exceeds the epoch
+     * batch (Eqs. (1)-(2) generalized to two-level batching).
+     */
+    BatchPerf runBatch(const TfheParams &p, uint64_t num_lwes) const;
+
+    /**
+     * Execute a layered workload graph; layers run sequentially,
+     * keyswitching of one epoch hides behind the next epoch's blind
+     * rotation, and the final keyswitch of each layer is exposed.
+     */
+    BatchPerf runGraph(const TfheParams &p, const WorkloadGraph &g) const;
+
+    /** Construct the per-core model for trace/utilization queries. */
+    Hsc makeCore(const TfheParams &p) const { return Hsc(cfg_, p); }
+
+  private:
+    StrixConfig cfg_;
+};
+
+} // namespace strix
+
+#endif // STRIX_STRIX_ACCELERATOR_H

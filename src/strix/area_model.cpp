@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Area/power model constants and scaling rules.
+ *
+ * Calibration anchors (paper Table III / Table VI, TSMC 28nm):
+ *   local scratchpad 0.625 MB     -> 0.92 mm^2, 0.47 W
+ *   rotator     (16 lanes total)  -> 0.02 mm^2, 0.01 W
+ *   decomposer  (16 lanes total)  -> 0.28 mm^2, 0.02 W
+ *   I/FFTU (4x 8192-pt, CLP=4)    -> 7.23 mm^2, 5.49 W  (1.81/unit)
+ *   VMA         (16 lanes total)  -> 0.63 mm^2, 0.10 W
+ *   accumulator (16 lanes total)  -> 0.32 mm^2, 0.13 W
+ *   16384-pt CLP=4 FFT unit       -> 3.13 mm^2 (Table VI, no fold)
+ *   global scratchpad 21 MB       -> 51.40 mm^2, 26.24 W
+ *   NoC (8 cores)                 -> 0.04 mm^2, 0.01 W
+ *   HBM2 PHY                      -> 14.90 mm^2, 1.23 W
+ */
+
+#include "strix/area_model.h"
+
+#include <cmath>
+
+namespace strix {
+
+namespace {
+
+// FFT instance: butterfly logic scales with lanes * stages, the
+// shuffle delay-line SRAM with point count. Constants fit the two
+// anchors (8192-pt: 1.81 mm^2, 16384-pt: 3.13 mm^2 at CLP = 4).
+constexpr double kFftLogicPerLaneStage = 0.00943; // mm^2
+constexpr double kFftSramPerPoint = 1.611e-4;     // mm^2
+constexpr double kFftPowerPerArea = 5.49 / 7.23;  // W per mm^2
+
+// Per-lane datapath constants (anchored at 16 lanes each).
+constexpr double kRotatorPerLane[2] = {0.02 / 16, 0.01 / 16};
+constexpr double kDecomposerPerLane[2] = {0.28 / 16, 0.02 / 16};
+constexpr double kVmaPerLane[2] = {0.63 / 16, 0.10 / 16};
+constexpr double kAccumPerLane[2] = {0.32 / 16, 0.13 / 16};
+
+// SRAM macros (different port/width organizations).
+constexpr double kLocalSpadPerMb[2] = {0.92 / 0.625, 0.47 / 0.625};
+constexpr double kGlobalSpadPerMb[2] = {51.40 / 21.0, 26.24 / 21.0};
+
+constexpr double kNocPerCore[2] = {0.04 / 8, 0.01 / 8};
+constexpr double kHbmPhy[2] = {14.90, 1.23};
+
+AreaPower
+perLane(const double c[2], double lanes)
+{
+    return {c[0] * lanes, c[1] * lanes};
+}
+
+} // namespace
+
+ChipBreakdown
+computeChipBreakdown(const StrixConfig &cfg, uint32_t max_n)
+{
+    ChipBreakdown b;
+
+    // (I)FFT instances: PLP forward + PLP inverse pipelines. With
+    // folding an N-point transform runs on an N/2-point engine.
+    const double points = cfg.folding ? max_n / 2.0 : max_n;
+    const double stages = std::log2(points);
+    b.fft_instance_mm2 = kFftLogicPerLaneStage * cfg.clp * stages +
+                         kFftSramPerPoint * points;
+    const double fft_units = 2.0 * cfg.plp; // FFT + IFFT
+    b.ifftu = {b.fft_instance_mm2 * fft_units,
+               b.fft_instance_mm2 * fft_units * kFftPowerPerArea};
+
+    // Non-FFT units: lane counts follow the folding choice
+    // (Sec. V-A: folding requires 2*CLP lanes elsewhere).
+    const double lanes = double(cfg.effLanes()) * cfg.colp;
+    b.rotator = perLane(kRotatorPerLane, lanes);
+    b.decomposer = perLane(kDecomposerPerLane, lanes);
+    b.vma = perLane(kVmaPerLane, double(cfg.effLanes()) * cfg.plp);
+    b.accumulator = perLane(kAccumPerLane, lanes);
+
+    const double local_mb = cfg.local_scratch_kb / 1024.0;
+    b.local_scratchpad = {kLocalSpadPerMb[0] * local_mb,
+                          kLocalSpadPerMb[1] * local_mb};
+
+    b.core = b.local_scratchpad + b.rotator + b.decomposer + b.ifftu +
+             b.vma + b.accumulator;
+    b.all_cores = b.core * double(cfg.tvlp);
+
+    b.noc = perLane(kNocPerCore, double(cfg.tvlp));
+    b.global_scratchpad = {kGlobalSpadPerMb[0] * cfg.global_scratch_mb,
+                           kGlobalSpadPerMb[1] * cfg.global_scratch_mb};
+    b.hbm_phy = {kHbmPhy[0], kHbmPhy[1]};
+
+    b.total = b.all_cores + b.noc + b.global_scratchpad + b.hbm_phy;
+    return b;
+}
+
+} // namespace strix

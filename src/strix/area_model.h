@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Parametric area/power model calibrated to the paper's TSMC-28nm
+ * synthesis results (Table III) at the shipped design point
+ * (TvLP=8, CLP=4, PLP=2, CoLP=2, folded 8192-point FFT, 1.2 GHz).
+ *
+ * The model scales each unit with its lane count and the FFT with its
+ * point count, so the Table VI folding ablation (FFT 1.73x, core
+ * 1.48x) is *derived* from the same constants rather than hard-coded.
+ */
+
+#ifndef STRIX_STRIX_AREA_MODEL_H
+#define STRIX_STRIX_AREA_MODEL_H
+
+#include "strix/config.h"
+
+namespace strix {
+
+/** Area (mm^2) and power (W) of one component. */
+struct AreaPower
+{
+    double area_mm2 = 0.0;
+    double power_w = 0.0;
+
+    AreaPower operator+(const AreaPower &o) const
+    {
+        return {area_mm2 + o.area_mm2, power_w + o.power_w};
+    }
+    AreaPower operator*(double s) const
+    {
+        return {area_mm2 * s, power_w * s};
+    }
+};
+
+/** Full chip breakdown in the layout of Table III. */
+struct ChipBreakdown
+{
+    AreaPower local_scratchpad;
+    AreaPower rotator;
+    AreaPower decomposer;
+    AreaPower ifftu; //!< all FFT+IFFT instances of one core
+    AreaPower vma;
+    AreaPower accumulator;
+    AreaPower core;      //!< one HSC
+    AreaPower all_cores; //!< TvLP HSCs
+    AreaPower noc;
+    AreaPower global_scratchpad;
+    AreaPower hbm_phy;
+    AreaPower total;
+
+    /** Area of a single (I)FFT instance (Table VI's "FFT Unit Area"). */
+    double fft_instance_mm2 = 0.0;
+};
+
+/**
+ * Compute the chip breakdown for a configuration.
+ *
+ * @param cfg   parallelism configuration (folding matters!)
+ * @param max_n largest supported polynomial degree (FFT sizing);
+ *              the paper sizes for N = 16384
+ */
+ChipBreakdown computeChipBreakdown(const StrixConfig &cfg,
+                                   uint32_t max_n = 16384);
+
+} // namespace strix
+
+#endif // STRIX_STRIX_AREA_MODEL_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Strix hardware configuration (Sec. IV-A design point and Sec. VI-A
+ * hardware modeling assumptions).
+ */
+
+#ifndef STRIX_STRIX_CONFIG_H
+#define STRIX_STRIX_CONFIG_H
+
+#include <cstdint>
+
+namespace strix {
+
+/** Parallelism knobs and platform constants of a Strix instance. */
+struct StrixConfig
+{
+    // Four parallelism levels (Sec. IV-A). The shipped design point is
+    // TvLP = 8, CLP = 4, PLP = 2, CoLP = 2.
+    uint32_t tvlp = 8; //!< test-vector level parallelism = # HSC cores
+    uint32_t clp = 4;  //!< coefficient level parallelism = FFT lanes
+    uint32_t plp = 2;  //!< polynomial level parallelism = FFT/VMA units
+    uint32_t colp = 2; //!< column level parallelism = output columns
+
+    /** Folding scheme on: N-point transform on an N/2-point FFT. */
+    bool folding = true;
+
+    /**
+     * 2x bootstrapping-key unrolling (Matcha's technique, Sec. VII):
+     * half the blind-rotation iterations, but 3 external products and
+     * 1.5x key traffic per bootstrap. Off in the Strix design.
+     */
+    bool key_unrolling = false;
+
+    double clock_ghz = 1.2; //!< synthesis clock (Sec. VI-A)
+
+    // HBM2e stack: 300 GB/s over 16 channels, split 8 bsk / 4 ksk /
+    // 4 ciphertext (Sec. VI-A).
+    double hbm_gbps = 300.0;
+    int hbm_channels = 16;
+    int bsk_channels = 8;
+    int ksk_channels = 4;
+    int ct_channels = 4;
+
+    // Scratchpads (Sec. VI-A / Table III).
+    double global_scratch_mb = 21.0;
+    double local_scratch_kb = 640.0; //!< 0.625 MB per HSC
+    /** Fraction of the local scratchpad assigned to the PBS cluster. */
+    double local_pbs_fraction = 0.8;
+
+    // Keyswitch cluster parallelism (Sec. IV-A): CLP = 8, CoLP = 8.
+    uint32_t ks_clp = 8;
+    uint32_t ks_colp = 8;
+
+    /** Effective lanes of non-FFT units (folding requires 2*CLP). */
+    uint32_t effLanes() const { return folding ? 2 * clp : clp; }
+
+    /** Local scratchpad bytes reserved for PBS test vectors. */
+    uint64_t
+    localPbsBytes() const
+    {
+        return static_cast<uint64_t>(local_scratch_kb * 1024.0 *
+                                     local_pbs_fraction);
+    }
+
+    /** The paper's shipped 8-core configuration. */
+    static StrixConfig paperDefault() { return StrixConfig{}; }
+
+    /** Non-folded ablation twin (Table VI). */
+    static StrixConfig
+    paperNoFolding()
+    {
+        StrixConfig c;
+        c.folding = false;
+        return c;
+    }
+};
+
+} // namespace strix
+
+#endif // STRIX_STRIX_CONFIG_H

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Cycle-cost models of the five HSC functional units (Sec. V).
+ *
+ * Each unit is fully pipelined with an initiation interval (II)
+ * determined by its lane count; the closed forms below give the cycles
+ * a unit is busy per LWE per blind-rotation iteration. The pipeline II
+ * of the whole PBS cluster is the max over units (Sec. IV-B's
+ * "six-stage fully-pipelined" cluster balances them to be equal for
+ * the paper design point, with the rotator at 50%).
+ */
+
+#ifndef STRIX_STRIX_FUNCTIONAL_UNITS_H
+#define STRIX_STRIX_FUNCTIONAL_UNITS_H
+
+#include <algorithm>
+
+#include "common/types.h"
+#include "strix/config.h"
+#include "tfhe/params.h"
+
+namespace strix {
+
+/** Per-unit, per-LWE busy cycles in one blind-rotation iteration. */
+class UnitTiming
+{
+  public:
+    UnitTiming(const StrixConfig &cfg, const TfheParams &p)
+        : cfg_(cfg), p_(p)
+    {
+    }
+
+    /**
+     * Blind-rotation iterations per PBS: n, or ceil(n/2) with 2x key
+     * unrolling.
+     */
+    Cycle iterations() const
+    {
+        return cfg_.key_unrolling ? (Cycle(p_.n) + 1) / 2 : p_.n;
+    }
+
+    /**
+     * External products evaluated per iteration: 1 normally, 3 with
+     * unrolling (s-, t-, and st-terms).
+     */
+    Cycle productsPerIteration() const
+    {
+        return cfg_.key_unrolling ? 3 : 1;
+    }
+
+    /**
+     * Rotator: negacyclic rotate+subtract of the (k+1) accumulator
+     * polynomials; CoLP instances of 2*CLP-lane datapaths.
+     */
+    Cycle rotatorCycles() const
+    {
+        return productsPerIteration() * Cycle(p_.k + 1) * p_.N /
+               (cfg_.effLanes() * cfg_.colp);
+    }
+
+    /**
+     * Decomposer: (k+1) polynomials in, (k+1)*lb polynomials out;
+     * occupies N/lanes * lb cycles per polynomial (Sec. V-B), CoLP
+     * instances.
+     */
+    Cycle decomposerCycles() const
+    {
+        return productsPerIteration() * Cycle(p_.k + 1) * p_.l_bsk *
+               p_.N / (cfg_.effLanes() * cfg_.colp);
+    }
+
+    /**
+     * FFT: (k+1)*lb decomposed polynomials across PLP pipelined-FFT
+     * instances. With folding each instance transforms an N-point
+     * polynomial in N/(2*CLP) cycles (N/2-point FFT, CLP lanes);
+     * without folding the instance is a full N-point FFT at CLP lanes
+     * taking N/CLP cycles (Sec. V-A).
+     */
+    Cycle fftCyclesPerPoly() const
+    {
+        return cfg_.folding ? Cycle(p_.N) / (2 * cfg_.clp)
+                            : Cycle(p_.N) / cfg_.clp;
+    }
+
+    Cycle fftCycles() const
+    {
+        Cycle polys =
+            productsPerIteration() * Cycle(p_.k + 1) * p_.l_bsk;
+        Cycle per_instance = (polys + cfg_.plp - 1) / cfg_.plp;
+        return per_instance * fftCyclesPerPoly();
+    }
+
+    /**
+     * VMA: (k+1)*lb x (k+1) frequency-domain multiply-accumulates of
+     * N/2 points; PLP instances whose lane count follows the folding
+     * choice (Sec. V-A: all non-FFT units move to 2*CLP lanes).
+     */
+    Cycle vmaCycles() const
+    {
+        Cycle cmults = productsPerIteration() * Cycle(p_.k + 1) *
+                       p_.l_bsk * (p_.k + 1) * (p_.N / 2);
+        return cmults / (cfg_.plp * cfg_.effLanes());
+    }
+
+    /**
+     * IFFT: the paper splits accumulation between frequency and time
+     * domains to reach a 1:1 FFT:IFFT ratio (Sec. IV-B), so the IFFT
+     * unit transforms as many polynomials as the FFT unit.
+     */
+    Cycle ifftCycles() const { return fftCycles(); }
+
+    /** Accumulator: time-domain accumulation of the IFFT outputs. */
+    Cycle accumulatorCycles() const
+    {
+        return productsPerIteration() * Cycle(p_.k + 1) * p_.l_bsk *
+               p_.N / (cfg_.effLanes() * cfg_.colp);
+    }
+
+    /**
+     * PBS-cluster initiation interval: cycles between successive LWEs
+     * entering one blind-rotation iteration (the bottleneck unit).
+     */
+    Cycle iterationII() const
+    {
+        Cycle ii = rotatorCycles();
+        ii = std::max(ii, decomposerCycles());
+        ii = std::max(ii, fftCycles());
+        ii = std::max(ii, vmaCycles());
+        ii = std::max(ii, ifftCycles());
+        ii = std::max(ii, accumulatorCycles());
+        return ii;
+    }
+
+    /**
+     * Extra drain latency for the last LWE of a blind rotation: the
+     * pipeline must flush through the (I)FFT before the final
+     * accumulator write-back (dominated by one FFT transform).
+     */
+    Cycle drainCycles() const { return fftCyclesPerPoly(); }
+
+    /**
+     * Keyswitch cluster: the k*N*lk x (n+1) vector-matrix product
+     * (Algorithm 2) on a CLP_ks x CoLP_ks MAC array.
+     */
+    Cycle keyswitchCycles() const
+    {
+        return Cycle(p_.k) * p_.N * p_.l_ksk * (p_.n + 1) /
+               (cfg_.ks_clp * cfg_.ks_colp);
+    }
+
+  private:
+    StrixConfig cfg_;
+    TfheParams p_;
+};
+
+} // namespace strix
+
+#endif // STRIX_STRIX_FUNCTIONAL_UNITS_H

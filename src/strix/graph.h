@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Workload computational graph (Sec. VI-B): the simulator "converts
+ * the input workload as a computational graph with nodes, where each
+ * node mainly represents either bootstrapping or keyswitching or a
+ * combination of both". We group nodes into dependency layers; all
+ * PBS inside a layer are independent (batchable), layers execute
+ * sequentially.
+ */
+
+#ifndef STRIX_STRIX_GRAPH_H
+#define STRIX_STRIX_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace strix {
+
+/** One dependency layer of a workload. */
+struct GraphLayer
+{
+    std::string name;     //!< e.g. "conv1-relu"
+    uint64_t pbs_count;   //!< independent PBS (+KS) nodes in the layer
+    uint64_t linear_macs; //!< plaintext-ciphertext MACs feeding them
+};
+
+/** Layered PBS/KS workload graph. */
+class WorkloadGraph
+{
+  public:
+    WorkloadGraph() = default;
+    explicit WorkloadGraph(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    void addLayer(GraphLayer layer) { layers_.push_back(std::move(layer)); }
+
+    const std::vector<GraphLayer> &layers() const { return layers_; }
+
+    /** Total PBS node count. */
+    uint64_t totalPbs() const
+    {
+        uint64_t total = 0;
+        for (const auto &l : layers_)
+            total += l.pbs_count;
+        return total;
+    }
+
+    /** Total linear MACs. */
+    uint64_t totalLinearMacs() const
+    {
+        uint64_t total = 0;
+        for (const auto &l : layers_)
+            total += l.linear_macs;
+        return total;
+    }
+
+  private:
+    std::string name_;
+    std::vector<GraphLayer> layers_;
+};
+
+} // namespace strix
+
+#endif // STRIX_STRIX_GRAPH_H

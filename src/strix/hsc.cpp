@@ -1,0 +1,91 @@
+/**
+ * @file
+ * HSC trace construction.
+ */
+
+#include "strix/hsc.h"
+
+namespace strix {
+
+GanttTrace
+Hsc::traceBlindRotation(uint32_t iterations, uint32_t batch) const
+{
+    GanttTrace trace;
+    auto &rot = trace.row("Rotator");
+    auto &dec = trace.row("Decomp.");
+    auto &fft = trace.row("FFT");
+    auto &vma = trace.row("VMA");
+    auto &ifft = trace.row("IFFT");
+    auto &acc = trace.row("Accum.");
+    auto &spad = trace.row("Loc.Scrtpd");
+    auto &hbm = trace.row("HBM");
+
+    const Cycle ii = timing_.iterationII();
+    const Cycle period = iterationCycles(batch);
+
+    // Stage skews: each stage starts once its producer has filled a
+    // small buffer; the (I)FFT contributes a full transform of
+    // latency before its first output (Sec. V-A).
+    const Cycle buf = 8;
+    const Cycle fft_lat = timing_.fftCyclesPerPoly();
+    const Cycle skew_dec = buf;
+    const Cycle skew_fft = skew_dec + buf;
+    const Cycle skew_vma = skew_fft + fft_lat;
+    const Cycle skew_ifft = skew_vma + buf;
+    const Cycle skew_acc = skew_ifft + fft_lat;
+
+    for (uint32_t it = 0; it < iterations; ++it) {
+        const Cycle t0 = Cycle(it) * period;
+        // Keys for the *next* iteration stream during this one: bsk
+        // plus the amortized ksk/ciphertext shares of the epoch.
+        hbm.record(t0, t0 + mem_.hbmBusyCyclesPerIteration(batch), "k");
+        for (uint32_t j = 0; j < batch; ++j) {
+            const Cycle s = t0 + Cycle(j) * ii;
+            const std::string lwe = std::to_string(j + 1);
+            rot.record(s, s + timing_.rotatorCycles(), lwe);
+            dec.record(s + skew_dec, s + skew_dec +
+                       timing_.decomposerCycles(), lwe);
+            fft.record(s + skew_fft, s + skew_fft + timing_.fftCycles(),
+                       lwe);
+            vma.record(s + skew_vma, s + skew_vma + timing_.vmaCycles(),
+                       lwe);
+            ifft.record(s + skew_ifft,
+                        s + skew_ifft + timing_.ifftCycles(), lwe);
+            acc.record(s + skew_acc,
+                       s + skew_acc + timing_.accumulatorCycles(), lwe);
+            // Scratchpad: rotator reads at the head, accumulator
+            // writes at the tail of each LWE slot.
+            spad.record(s, s + timing_.rotatorCycles(), lwe);
+            spad.record(s + skew_acc,
+                        s + skew_acc + timing_.accumulatorCycles(), lwe);
+        }
+    }
+    return trace;
+}
+
+HscUtilization
+Hsc::utilization(uint32_t batch) const
+{
+    const double period =
+        static_cast<double>(iterationCycles(batch));
+    const double b = batch;
+    auto util = [&](Cycle busy) {
+        return std::min(1.0, b * static_cast<double>(busy) / period);
+    };
+
+    HscUtilization u{};
+    u.rotator = util(timing_.rotatorCycles());
+    u.decomposer = util(timing_.decomposerCycles());
+    u.fft = util(timing_.fftCycles());
+    u.vma = util(timing_.vmaCycles());
+    u.ifft = util(timing_.ifftCycles());
+    u.accumulator = util(timing_.accumulatorCycles());
+    u.local_scratchpad =
+        util(timing_.rotatorCycles() + timing_.accumulatorCycles());
+    u.hbm = std::min(
+        1.0, static_cast<double>(mem_.hbmBusyCyclesPerIteration(batch)) /
+                 period);
+    return u;
+}
+
+} // namespace strix

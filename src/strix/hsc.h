@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Homomorphic Streaming Core (HSC) model: the six-stage PBS cluster
+ * pipeline plus the keyswitch cluster (Sec. IV-B), with a trace mode
+ * that reproduces the Fig. 8 functional-unit timing diagram.
+ */
+
+#ifndef STRIX_STRIX_HSC_H
+#define STRIX_STRIX_HSC_H
+
+#include "sim/timeline.h"
+#include "strix/functional_units.h"
+#include "strix/memory_system.h"
+
+namespace strix {
+
+/** Utilization summary of one HSC over a steady-state window. */
+struct HscUtilization
+{
+    double rotator;
+    double decomposer;
+    double fft;
+    double vma;
+    double ifft;
+    double accumulator;
+    double local_scratchpad;
+    double hbm;
+};
+
+/**
+ * One Strix core. All timing is derived from the UnitTiming closed
+ * forms; the trace mode lays the per-LWE busy intervals onto
+ * timelines to visualize pipelining and compute utilizations.
+ */
+class Hsc
+{
+  public:
+    Hsc(const StrixConfig &cfg, const TfheParams &p)
+        : cfg_(cfg), params_(p), timing_(cfg, p), mem_(cfg, p)
+    {
+    }
+
+    const UnitTiming &timing() const { return timing_; }
+    const MemorySystem &memory() const { return mem_; }
+
+    /**
+     * Cycles of one blind-rotation iteration when @p batch LWEs
+     * stream through the PBS cluster: compute time or the bsk fetch
+     * for the next iteration, whichever dominates (Fig. 8's "time gap
+     * to fetch the next keys").
+     */
+    Cycle iterationCycles(uint32_t batch) const
+    {
+        return std::max<Cycle>(Cycle(batch) * timing_.iterationII(),
+                               mem_.bskFetchCycles());
+    }
+
+    /** Full blind rotation (all iterations) for @p batch LWEs. */
+    Cycle blindRotationCycles(uint32_t batch) const
+    {
+        return timing_.iterations() * iterationCycles(batch) +
+               timing_.drainCycles();
+    }
+
+    /** Whether the core is memory-bound at this batch size. */
+    bool memoryBound(uint32_t batch) const
+    {
+        return mem_.bskFetchCycles() >
+               Cycle(batch) * timing_.iterationII();
+    }
+
+    /**
+     * Build the Fig. 8 trace: @p iterations blind-rotation iterations
+     * with @p batch LWEs per core. Rows: the five functional units
+     * (FFT and IFFT separately), local scratchpad, HBM.
+     */
+    GanttTrace traceBlindRotation(uint32_t iterations,
+                                  uint32_t batch) const;
+
+    /** Per-unit utilization over the traced steady-state window. */
+    HscUtilization utilization(uint32_t batch) const;
+
+  private:
+    StrixConfig cfg_;
+    TfheParams params_;
+    UnitTiming timing_;
+    MemorySystem mem_;
+};
+
+} // namespace strix
+
+#endif // STRIX_STRIX_HSC_H

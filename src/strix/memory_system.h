@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Strix memory system model: global/local scratchpads, multicast NoC,
+ * and the HBM channel split (Sec. IV-B and VI-A).
+ */
+
+#ifndef STRIX_STRIX_MEMORY_SYSTEM_H
+#define STRIX_STRIX_MEMORY_SYSTEM_H
+
+#include <algorithm>
+
+#include "sim/bandwidth.h"
+#include "strix/config.h"
+#include "tfhe/params.h"
+
+namespace strix {
+
+/**
+ * Sizes and transfer-time helpers for the data the accelerator moves
+ * every blind-rotation iteration / epoch.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const StrixConfig &cfg, const TfheParams &p)
+        : cfg_(cfg), p_(p),
+          bsk_group_(cfg.hbm_gbps, cfg.bsk_channels, cfg.hbm_channels),
+          ksk_group_(cfg.hbm_gbps, cfg.ksk_channels, cfg.hbm_channels),
+          ct_group_(cfg.hbm_gbps, cfg.ct_channels, cfg.hbm_channels)
+    {
+    }
+
+    /**
+     * Bootstrapping-key bytes fetched per blind-rotation iteration:
+     * one GGSW of (k+1)*lb x (k+1) polynomials, stored in the Fourier
+     * domain as N/2 complex points of 2x32-bit fixed point (the VMA
+     * datapath format), i.e. 8 bytes per point. Shared by all cores
+     * via the multicast NoC, so fetched once per iteration.
+     */
+    uint64_t bskBytesPerIteration() const
+    {
+        uint64_t ggsw_per_iter = cfg_.key_unrolling ? 3 : 1;
+        return ggsw_per_iter * uint64_t(p_.k + 1) * p_.l_bsk *
+               (p_.k + 1) * (p_.N / 2) * 8;
+    }
+
+    /** Keyswitching-key bytes streamed once per epoch (tiled). */
+    uint64_t kskBytes() const { return p_.kskBytes(); }
+
+    /** Ciphertext + test-vector bytes moved per LWE per epoch. */
+    uint64_t ctBytesPerLwe() const
+    {
+        // input LWE + initial test vector in, extracted LWE out.
+        return p_.lweBytes() + p_.glweBytes() +
+               (uint64_t(p_.k) * p_.N + 1) * sizeof(uint32_t);
+    }
+
+    /** Cycles to multicast one iteration's bsk at the bsk share. */
+    Cycle bskFetchCycles() const
+    {
+        return bsk_group_.transferCycles(bskBytesPerIteration(),
+                                         cfg_.clock_ghz);
+    }
+
+    /**
+     * Cycles to fetch one iteration's bsk when the whole stack serves
+     * the fetch (single-LWE latency mode: no other traffic competes).
+     */
+    Cycle bskFetchCyclesFullBw() const
+    {
+        ChannelGroup all(cfg_.hbm_gbps, cfg_.hbm_channels,
+                         cfg_.hbm_channels);
+        return all.transferCycles(bskBytesPerIteration(), cfg_.clock_ghz);
+    }
+
+    /**
+     * HBM occupancy per blind-rotation iteration: the channel groups
+     * run in parallel, so the stack is "occupied" while the slowest
+     * stream of the iteration is active (bsk per iteration, ksk
+     * amortized over the n iterations of an epoch, ciphertexts/test
+     * vectors likewise).
+     */
+    Cycle
+    hbmBusyCyclesPerIteration(uint32_t core_batch) const
+    {
+        const uint64_t iters =
+            cfg_.key_unrolling ? (uint64_t(p_.n) + 1) / 2 : p_.n;
+        Cycle bsk = bskFetchCycles();
+        Cycle ksk = ksk_group_.transferCycles(kskBytes() / iters,
+                                              cfg_.clock_ghz);
+        Cycle ct = ct_group_.transferCycles(
+            ctBytesPerLwe() * core_batch / iters, cfg_.clock_ghz);
+        return std::max(bsk, std::max(ksk, ct));
+    }
+
+    /**
+     * Core-level batch size: how many test vectors fit in the PBS
+     * section of the local scratchpad, double-buffered (Sec. IV-C:
+     * "the core-level batch size depends on the number of LWE
+     * test-vectors that can be stored in the local scratchpad").
+     */
+    uint32_t coreBatch() const
+    {
+        uint64_t tv_bytes = p_.glweBytes();
+        auto fit = static_cast<uint32_t>(cfg_.localPbsBytes() /
+                                         (2 * tv_bytes));
+        return std::max<uint32_t>(1, fit);
+    }
+
+    const ChannelGroup &bskGroup() const { return bsk_group_; }
+    const ChannelGroup &kskGroup() const { return ksk_group_; }
+    const ChannelGroup &ctGroup() const { return ct_group_; }
+
+  private:
+    StrixConfig cfg_;
+    TfheParams p_;
+    ChannelGroup bsk_group_;
+    ChannelGroup ksk_group_;
+    ChannelGroup ct_group_;
+};
+
+} // namespace strix
+
+#endif // STRIX_STRIX_MEMORY_SYSTEM_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * NoC / global scratchpad analysis.
+ *
+ * Modeling assumptions (documented because the paper gives only bus
+ * widths): the bsk multicast carries Fourier-domain points as 2x16-bit
+ * fixed point (consistent with the paper's 16-bit twiddle precision),
+ * expanded to the 64-bit VMA datapath at the cores, so the 512-bit bus
+ * exactly sustains the design point's consumption of 2*CLP*CoLP*TvLP-
+ * lane VMA traffic; the ksk bus streams HBM -> global scratchpad at
+ * the epoch-amortized rate.
+ */
+
+#include "strix/noc.h"
+
+namespace strix {
+
+GlobalScratchpadPlan
+NocModel::scratchpadPlan() const
+{
+    GlobalScratchpadPlan plan{};
+    // Double-buffered GGSW tile (current iteration + streaming next).
+    plan.bsk_tile_bytes = 2 * mem_.bskBytesPerIteration();
+    // Double-buffered 1024-row keyswitch tile (rows are (n+1) words).
+    const uint64_t ksk_row_bytes = (p_.n + 1) * sizeof(uint32_t);
+    const uint64_t ksk_rows =
+        std::min<uint64_t>(uint64_t(p_.k) * p_.N * p_.l_ksk, 1024);
+    plan.ksk_tile_bytes = 2 * ksk_rows * ksk_row_bytes;
+    // Private sections: input LWEs, initial test vectors, and output
+    // (extracted) LWEs for a full epoch batch.
+    const uint64_t epoch_lwes =
+        uint64_t(cfg_.tvlp) * mem_.coreBatch();
+    plan.ct_bytes = epoch_lwes * mem_.ctBytesPerLwe();
+
+    plan.total_bytes =
+        plan.bsk_tile_bytes + plan.ksk_tile_bytes + plan.ct_bytes;
+    plan.capacity_bytes =
+        static_cast<uint64_t>(cfg_.global_scratch_mb * 1024.0 * 1024.0);
+    plan.fits = plan.total_bytes <= plan.capacity_bytes;
+    return plan;
+}
+
+MulticastPlan
+NocModel::multicastPlan() const
+{
+    MulticastPlan plan{};
+    const double bytes_per_cycle_to_gbps = cfg_.clock_ghz; // B/cy -> GB/s
+
+    plan.bsk_bus_gbps = (kBskBusBits / 8.0) * bytes_per_cycle_to_gbps;
+    // Compressed 2x16-bit points: half the stored 8 B/point, consumed
+    // once per blind-rotation iteration at the pipeline II.
+    double bsk_bytes_per_cycle =
+        0.5 * double(mem_.bskBytesPerIteration()) /
+        double(timing_.iterationII());
+    plan.bsk_demand_gbps = bsk_bytes_per_cycle * bytes_per_cycle_to_gbps;
+
+    plan.ksk_bus_gbps = (kKskBusBits / 8.0) * bytes_per_cycle_to_gbps;
+    const double epoch_cycles = double(timing_.iterations()) *
+                                double(mem_.coreBatch()) *
+                                double(timing_.iterationII());
+    plan.ksk_demand_gbps = double(mem_.kskBytes()) / epoch_cycles *
+                           bytes_per_cycle_to_gbps;
+
+    plan.feasible = plan.bsk_demand_gbps <= plan.bsk_bus_gbps * 1.001 &&
+                    plan.ksk_demand_gbps <= plan.ksk_bus_gbps * 1.001;
+    return plan;
+}
+
+} // namespace strix

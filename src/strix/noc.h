@@ -1,0 +1,76 @@
+/**
+ * @file
+ * NoC and global-scratchpad model (Sec. IV-B "Memory system and NoC").
+ *
+ * Strix uses a fixed multicast network for the shared bsk/ksk streams
+ * (one-to-all, unidirectional) and point-to-point links between each
+ * core and its private section of the global scratchpad. The global
+ * scratchpad is double-buffered so the next iteration's keys stream
+ * from HBM while the current ones are multicast to the cores.
+ *
+ * This module answers the two questions the design depends on:
+ *   - does a working set (double-buffered bsk tile + ksk tile +
+ *     ciphertexts/test vectors for a full epoch batch) fit in the
+ *     21 MB global scratchpad for a given parameter set?
+ *   - can the multicast buses (512-bit bsk, 256-bit ksk, Sec. VI-A)
+ *     feed the cores at the rate the PBS clusters consume?
+ */
+
+#ifndef STRIX_STRIX_NOC_H
+#define STRIX_STRIX_NOC_H
+
+#include "strix/functional_units.h"
+#include "strix/memory_system.h"
+
+namespace strix {
+
+/** Capacity plan of the global scratchpad for one parameter set. */
+struct GlobalScratchpadPlan
+{
+    uint64_t bsk_tile_bytes;  //!< double-buffered GGSW iteration tile
+    uint64_t ksk_tile_bytes;  //!< double-buffered keyswitch tile
+    uint64_t ct_bytes;        //!< LWEs + test vectors for one epoch
+    uint64_t total_bytes;
+    uint64_t capacity_bytes;
+    bool fits;
+};
+
+/** Multicast bus feasibility for the shared key streams. */
+struct MulticastPlan
+{
+    double bsk_bus_gbps;      //!< 512-bit bus at core clock
+    double bsk_demand_gbps;   //!< what the PBS clusters consume
+    double ksk_bus_gbps;      //!< 256-bit bus at core clock
+    double ksk_demand_gbps;   //!< what the KS clusters consume
+    bool feasible;            //!< both demands within bus capacity
+};
+
+/** NoC/global-scratchpad analyzer. */
+class NocModel
+{
+  public:
+    NocModel(const StrixConfig &cfg, const TfheParams &p)
+        : cfg_(cfg), p_(p), mem_(cfg, p), timing_(cfg, p)
+    {
+    }
+
+    /** Bus widths from Sec. VI-A. */
+    static constexpr uint32_t kBskBusBits = 512;
+    static constexpr uint32_t kKskBusBits = 256;
+
+    /** Capacity plan for the epoch working set. */
+    GlobalScratchpadPlan scratchpadPlan() const;
+
+    /** Multicast feasibility at the steady-state iteration rate. */
+    MulticastPlan multicastPlan() const;
+
+  private:
+    StrixConfig cfg_;
+    TfheParams p_;
+    MemorySystem mem_;
+    UnitTiming timing_;
+};
+
+} // namespace strix
+
+#endif // STRIX_STRIX_NOC_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Epoch scheduler implementation.
+ */
+
+#include "strix/scheduler.h"
+
+namespace strix {
+
+std::vector<EpochRecord>
+EpochScheduler::schedule(const TfheParams &p, uint64_t num_lwes) const
+{
+    std::vector<EpochRecord> epochs;
+    if (num_lwes == 0)
+        return epochs;
+
+    Hsc core(cfg_, p);
+    const UnitTiming &t = core.timing();
+    const uint64_t epoch_batch =
+        uint64_t(core.memory().coreBatch()) * cfg_.tvlp;
+    const uint64_t count = (num_lwes + epoch_batch - 1) / epoch_batch;
+    epochs.reserve(count);
+
+    uint64_t remaining = num_lwes;
+    Cycle br_cursor = 0;     // PBS clusters busy until here
+    Cycle ks_free = 0;       // KS clusters busy until here
+    for (uint64_t e = 0; e < count; ++e) {
+        EpochRecord rec{};
+        rec.index = e;
+        rec.lwes = std::min<uint64_t>(remaining, epoch_batch);
+        rec.core_batch = static_cast<uint32_t>(
+            (rec.lwes + cfg_.tvlp - 1) / cfg_.tvlp);
+
+        // BR starts when the PBS cluster frees up (br_cursor already
+        // accounts for serialization on a slow KS cluster: the local
+        // scratchpad's KS section is double-buffered one epoch deep).
+        rec.br_start = br_cursor;
+        rec.br_end =
+            rec.br_start + core.blindRotationCycles(rec.core_batch);
+
+        // KS starts when both the BR results and the KS cluster are
+        // available.
+        rec.ks_start = std::max(rec.br_end, ks_free);
+        rec.ks_end = rec.ks_start +
+                     Cycle(rec.core_batch) * t.keyswitchCycles();
+        ks_free = rec.ks_end;
+
+        // The next BR may not outrun the KS cluster by more than one
+        // epoch (double-buffered outputs): it can start immediately,
+        // but if the previous KS is still running when it finishes,
+        // the chain serializes on KS.
+        br_cursor = std::max(rec.br_end, epochs.empty()
+                                             ? rec.br_end
+                                             : epochs.back().ks_end);
+        remaining -= rec.lwes;
+        epochs.push_back(rec);
+    }
+
+    // Mark exposures: KS that outlives the following epoch's BR.
+    for (size_t e = 0; e + 1 < epochs.size(); ++e)
+        epochs[e].ks_exposed = epochs[e].ks_end > epochs[e + 1].br_end;
+    if (!epochs.empty())
+        epochs.back().ks_exposed = true; // final KS is always exposed
+    return epochs;
+}
+
+Cycle
+EpochScheduler::makespan(const std::vector<EpochRecord> &epochs)
+{
+    Cycle end = 0;
+    for (const auto &e : epochs)
+        end = std::max(end, e.ks_end);
+    return end;
+}
+
+GanttTrace
+EpochScheduler::toTrace(const std::vector<EpochRecord> &epochs)
+{
+    GanttTrace trace;
+    auto &pbs = trace.row("PBS clusters");
+    auto &ks = trace.row("KS clusters");
+    for (const auto &e : epochs) {
+        std::string label = std::to_string(e.index % 10);
+        pbs.record(e.br_start, e.br_end, label);
+        ks.record(e.ks_start, e.ks_end, label);
+    }
+    return trace;
+}
+
+} // namespace strix

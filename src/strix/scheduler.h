@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Epoch scheduler (Sec. IV-C "Workload Scheduling").
+ *
+ * A batch of LWEs executes as a series of epochs of up to
+ * TvLP * core_batch ciphertexts. The PBS cluster blind-rotates epoch
+ * e+1 while the keyswitch cluster drains epoch e; the KS cluster
+ * becomes the critical path only when an epoch's keyswitching
+ * outlasts the next epoch's blind rotation. This module materializes
+ * that schedule as explicit intervals (used by the accelerator's
+ * runBatch and renderable as a chip-level Gantt trace).
+ */
+
+#ifndef STRIX_STRIX_SCHEDULER_H
+#define STRIX_STRIX_SCHEDULER_H
+
+#include <vector>
+
+#include "sim/timeline.h"
+#include "strix/hsc.h"
+
+namespace strix {
+
+/** One scheduled epoch. */
+struct EpochRecord
+{
+    uint64_t index;      //!< epoch number
+    uint64_t lwes;       //!< ciphertexts in this epoch
+    uint32_t core_batch; //!< LWEs per core
+    Cycle br_start;      //!< blind rotation interval [start, end)
+    Cycle br_end;
+    Cycle ks_start;      //!< keyswitch interval [start, end)
+    Cycle ks_end;
+
+    /** True if this epoch's KS extends past the next epoch's BR. */
+    bool ks_exposed = false;
+};
+
+/** Materialized schedule for a batch. */
+class EpochScheduler
+{
+  public:
+    explicit EpochScheduler(const StrixConfig &cfg) : cfg_(cfg) {}
+
+    /** Build the schedule for @p num_lwes PBS(+KS) operations. */
+    std::vector<EpochRecord> schedule(const TfheParams &p,
+                                      uint64_t num_lwes) const;
+
+    /** Total cycles from first BR start to last KS end. */
+    static Cycle makespan(const std::vector<EpochRecord> &epochs);
+
+    /**
+     * Chip-level Gantt trace: one row for the PBS clusters, one for
+     * the KS clusters, epochs labeled by index.
+     */
+    static GanttTrace toTrace(const std::vector<EpochRecord> &epochs);
+
+  private:
+    StrixConfig cfg_;
+};
+
+} // namespace strix
+
+#endif // STRIX_STRIX_SCHEDULER_H

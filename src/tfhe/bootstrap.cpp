@@ -1,0 +1,234 @@
+/**
+ * @file
+ * PBS implementation.
+ */
+
+#include "tfhe/bootstrap.h"
+
+#include "common/logging.h"
+
+namespace strix {
+
+BootstrappingKey
+BootstrappingKey::generate(const LweKey &lwe_key, const GlweKey &glwe_key,
+                           const TfheParams &params, Rng &rng)
+{
+    panicIfNot(lwe_key.dim() == params.n, "bsk: LWE key dim mismatch");
+    panicIfNot(glwe_key.k() == params.k &&
+                   glwe_key.ringDim() == params.N,
+               "bsk: GLWE key shape mismatch");
+
+    BootstrappingKey bsk;
+    bsk.params_ = params;
+    GadgetParams g{params.bg_bits, params.l_bsk};
+    bsk.ggsw_fft_.reserve(params.n);
+    for (uint32_t i = 0; i < params.n; ++i) {
+        GgswCiphertext ggsw =
+            ggswEncrypt(glwe_key, lwe_key.bit(i), g, params.glwe_noise, rng);
+        bsk.ggsw_fft_.emplace_back(ggsw);
+    }
+    return bsk;
+}
+
+UnrolledBootstrappingKey
+UnrolledBootstrappingKey::generate(const LweKey &lwe_key,
+                                   const GlweKey &glwe_key,
+                                   const TfheParams &params, Rng &rng)
+{
+    panicIfNot(lwe_key.dim() == params.n, "ubsk: LWE key dim mismatch");
+    UnrolledBootstrappingKey ubsk;
+    ubsk.params_ = params;
+    GadgetParams g{params.bg_bits, params.l_bsk};
+    const uint32_t pairs = (params.n + 1) / 2;
+    ubsk.triples_.reserve(pairs);
+    for (uint32_t i = 0; i < pairs; ++i) {
+        int32_t s = lwe_key.bit(2 * i);
+        // Odd n: the last pair is padded with an implicit zero bit.
+        int32_t t = 2 * i + 1 < params.n ? lwe_key.bit(2 * i + 1) : 0;
+        Triple tr{
+            GgswFft(ggswEncrypt(glwe_key, s, g, params.glwe_noise, rng)),
+            GgswFft(ggswEncrypt(glwe_key, t, g, params.glwe_noise, rng)),
+            GgswFft(
+                ggswEncrypt(glwe_key, s * t, g, params.glwe_noise, rng))};
+        ubsk.triples_.push_back(std::move(tr));
+    }
+    return ubsk;
+}
+
+uint64_t
+UnrolledBootstrappingKey::bytes() const
+{
+    // 3 GGSW per pair of key bits = 1.5x the regular bsk.
+    return uint64_t(pairs()) * 3 * (params_.k + 1) * params_.l_bsk *
+           (params_.k + 1) * params_.N * sizeof(uint32_t);
+}
+
+void
+blindRotateUnrolled(GlweCiphertext &acc, const LweCiphertext &ct,
+                    const UnrolledBootstrappingKey &ubsk)
+{
+    const TfheParams &p = ubsk.params();
+    panicIfNot(ct.dim() == p.n, "blindRotateUnrolled: dim mismatch");
+    const uint32_t two_n = 2 * p.N;
+
+    const uint32_t b_tilde = modulusSwitch(ct.b(), p.N);
+    if (b_tilde != 0) {
+        GlweCiphertext rotated(p.k, p.N);
+        for (uint32_t c = 0; c <= p.k; ++c)
+            negacyclicRotate(rotated.poly(c), acc.poly(c),
+                             two_n - b_tilde);
+        acc = std::move(rotated);
+    }
+
+    GlweCiphertext d(p.k, p.N), prod, sum(p.k, p.N);
+    for (uint32_t i = 0; i < ubsk.pairs(); ++i) {
+        const uint32_t a = modulusSwitch(ct.a(2 * i), p.N);
+        const uint32_t b = 2 * i + 1 < p.n
+                               ? modulusSwitch(ct.a(2 * i + 1), p.N)
+                               : 0;
+        if (a == 0 && b == 0)
+            continue;
+
+        sum.clear();
+        // s-term: GGSW(s) [*] (X^a - 1) acc
+        if (a != 0) {
+            for (uint32_t c = 0; c <= p.k; ++c)
+                negacyclicRotateMinusOne(d.poly(c), acc.poly(c), a);
+            ubsk.first(i).externalProduct(prod, d);
+            sum.addAssign(prod);
+        }
+        // t-term: GGSW(t) [*] (X^b - 1) acc
+        if (b != 0) {
+            for (uint32_t c = 0; c <= p.k; ++c)
+                negacyclicRotateMinusOne(d.poly(c), acc.poly(c), b);
+            ubsk.second(i).externalProduct(prod, d);
+            sum.addAssign(prod);
+        }
+        // st-term: GGSW(s*t) [*] (X^a - 1)(X^b - 1) acc
+        if (a != 0 && b != 0) {
+            TorusPolynomial tmp(p.N);
+            for (uint32_t c = 0; c <= p.k; ++c) {
+                // X^{a+b} acc - X^a acc - X^b acc + acc
+                negacyclicRotate(d.poly(c), acc.poly(c),
+                                 (a + b) % two_n);
+                negacyclicRotate(tmp, acc.poly(c), a);
+                d.poly(c).subAssign(tmp);
+                negacyclicRotate(tmp, acc.poly(c), b);
+                d.poly(c).subAssign(tmp);
+                d.poly(c).addAssign(acc.poly(c));
+            }
+            ubsk.product(i).externalProduct(prod, d);
+            sum.addAssign(prod);
+        }
+        acc.addAssign(sum);
+    }
+}
+
+LweCiphertext
+programmableBootstrapUnrolled(const LweCiphertext &ct,
+                              const TorusPolynomial &test_vector,
+                              const UnrolledBootstrappingKey &ubsk)
+{
+    const TfheParams &p = ubsk.params();
+    panicIfNot(test_vector.size() == p.N,
+               "unrolled PBS: test vector size mismatch");
+    GlweCiphertext acc = GlweCiphertext::trivial(p.k, test_vector);
+    blindRotateUnrolled(acc, ct, ubsk);
+    return sampleExtract(acc, 0);
+}
+
+uint32_t
+modulusSwitch(Torus32 a, uint32_t big_n)
+{
+    // Round a in [0, 2^32) to the grid of 2N points. log2(2N) <= 32.
+    uint32_t log_2n = 1;
+    while ((big_n << 1) >> log_2n != 1)
+        ++log_2n;
+    const uint32_t shift = kTorus32Bits - log_2n;
+    // Round-half-up; the result is taken mod 2N via the shift.
+    uint64_t rounded =
+        (static_cast<uint64_t>(a) + (uint64_t{1} << (shift - 1))) >> shift;
+    return static_cast<uint32_t>(rounded) & (2 * big_n - 1);
+}
+
+void
+blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
+            const BootstrappingKey &bsk)
+{
+    const TfheParams &p = bsk.params();
+    panicIfNot(ct.dim() == p.n, "blindRotate: ciphertext dim mismatch");
+    const uint32_t two_n = 2 * p.N;
+
+    // Initial rotation by -b~ (Algorithm 1, line 4).
+    const uint32_t b_tilde = modulusSwitch(ct.b(), p.N);
+    if (b_tilde != 0) {
+        GlweCiphertext rotated(p.k, p.N);
+        for (uint32_t c = 0; c <= p.k; ++c)
+            negacyclicRotate(rotated.poly(c), acc.poly(c),
+                             two_n - b_tilde);
+        acc = std::move(rotated);
+    }
+
+    // n CMux iterations (lines 5-12); each is one blind-rotation
+    // iteration of the Strix PBS cluster.
+    for (uint32_t i = 0; i < p.n; ++i) {
+        const uint32_t a_tilde = modulusSwitch(ct.a(i), p.N);
+        if (a_tilde == 0)
+            continue; // rotation by X^0 - 1 = 0 contributes nothing
+        bsk.bit(i).cmuxRotate(acc, a_tilde);
+    }
+}
+
+LweCiphertext
+programmableBootstrap(const LweCiphertext &ct,
+                      const TorusPolynomial &test_vector,
+                      const BootstrappingKey &bsk)
+{
+    const TfheParams &p = bsk.params();
+    panicIfNot(test_vector.size() == p.N, "PBS: test vector size mismatch");
+    GlweCiphertext acc = GlweCiphertext::trivial(p.k, test_vector);
+    blindRotate(acc, ct, bsk);
+    return sampleExtract(acc, 0);
+}
+
+Torus32
+encodeLut(int64_t m, uint64_t msg_space)
+{
+    // (2m+1) / (4p)
+    return encodeMessage(2 * m + 1, 4 * msg_space);
+}
+
+int64_t
+decodeLut(Torus32 phase, uint64_t msg_space)
+{
+    // floor(phase * 2p) over the positive half-torus.
+    unsigned __int128 num =
+        static_cast<unsigned __int128>(phase) * (2 * msg_space);
+    return static_cast<int64_t>(static_cast<uint64_t>(num >> 32) %
+                                msg_space);
+}
+
+TorusPolynomial
+makeTestVector(uint32_t big_n, uint64_t msg_space,
+               const std::function<Torus32(int64_t)> &f)
+{
+    panicIfNot(msg_space <= big_n, "LUT larger than polynomial degree");
+    TorusPolynomial tv(big_n);
+    for (uint32_t j = 0; j < big_n; ++j) {
+        auto m = static_cast<int64_t>(
+            (static_cast<uint64_t>(j) * msg_space) / big_n);
+        tv[j] = f(m);
+    }
+    return tv;
+}
+
+TorusPolynomial
+makeIntTestVector(uint32_t big_n, uint64_t msg_space,
+                  const std::function<int64_t(int64_t)> &f)
+{
+    return makeTestVector(big_n, msg_space, [&](int64_t m) {
+        return encodeLut(f(m), msg_space);
+    });
+}
+
+} // namespace strix

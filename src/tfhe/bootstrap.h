@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Programmable bootstrapping (Algorithm 1): modulus switching, blind
+ * rotation, sample extraction, and LUT (test-vector) construction.
+ */
+
+#ifndef STRIX_TFHE_BOOTSTRAP_H
+#define STRIX_TFHE_BOOTSTRAP_H
+
+#include <functional>
+#include <vector>
+
+#include "tfhe/ggsw.h"
+#include "tfhe/params.h"
+
+namespace strix {
+
+/**
+ * Bootstrapping key: one GGSW encryption (under the GLWE key) of each
+ * LWE key bit, stored in the frequency domain as Strix does in its
+ * global scratchpad.
+ */
+class BootstrappingKey
+{
+  public:
+    BootstrappingKey() = default;
+
+    uint32_t n() const { return static_cast<uint32_t>(ggsw_fft_.size()); }
+    const GgswFft &bit(size_t i) const { return ggsw_fft_[i]; }
+    const TfheParams &params() const { return params_; }
+
+    /** Generate from the input LWE key and output GLWE key. */
+    static BootstrappingKey generate(const LweKey &lwe_key,
+                                     const GlweKey &glwe_key,
+                                     const TfheParams &params, Rng &rng);
+
+  private:
+    std::vector<GgswFft> ggsw_fft_;
+    TfheParams params_;
+};
+
+/**
+ * Bootstrapping key with 2x unrolling (Bourse et al., as used by the
+ * Matcha accelerator the paper compares against): key bits are taken
+ * in pairs (s, t) and each pair stores GGSW(s), GGSW(t), GGSW(s*t),
+ * letting one blind-rotation iteration absorb two mask elements:
+ *
+ *   X^{a*s + b*t} = 1 + s(X^a - 1) + t(X^b - 1)
+ *                     + s*t (X^a - 1)(X^b - 1).
+ *
+ * Halves the iteration count at 1.5x key size and 3 external
+ * products per iteration.
+ */
+class UnrolledBootstrappingKey
+{
+  public:
+    UnrolledBootstrappingKey() = default;
+
+    /** Number of unrolled iterations: ceil(n / 2). */
+    uint32_t pairs() const
+    {
+        return static_cast<uint32_t>(triples_.size());
+    }
+    const TfheParams &params() const { return params_; }
+
+    /** GGSW triple (s, t, s*t) for pair @p i. */
+    const GgswFft &first(size_t i) const { return triples_[i].s; }
+    const GgswFft &second(size_t i) const { return triples_[i].t; }
+    const GgswFft &product(size_t i) const { return triples_[i].st; }
+
+    static UnrolledBootstrappingKey generate(const LweKey &lwe_key,
+                                             const GlweKey &glwe_key,
+                                             const TfheParams &params,
+                                             Rng &rng);
+
+    /** Key bytes relative to the regular bsk: 1.5x. */
+    uint64_t bytes() const;
+
+  private:
+    struct Triple
+    {
+        GgswFft s, t, st;
+    };
+    std::vector<Triple> triples_;
+    TfheParams params_;
+};
+
+/**
+ * Modulus switch one torus scalar to Z_{2N}: round(a * 2N / 2^32)
+ * (Algorithm 1, line 3).
+ */
+uint32_t modulusSwitch(Torus32 a, uint32_t big_n);
+
+/**
+ * Blind rotation (Algorithm 1, lines 4-12): rotate @p acc by -b~, then
+ * run n CMux iterations accumulating X^{a~_i * s_i}.
+ *
+ * @param acc in: trivial GLWE of the test vector; out: rotated GLWE
+ * @param ct  the LWE ciphertext being bootstrapped (dimension n)
+ * @param bsk bootstrapping key
+ */
+void blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
+                 const BootstrappingKey &bsk);
+
+/** Blind rotation with the 2x-unrolled key: ceil(n/2) iterations. */
+void blindRotateUnrolled(GlweCiphertext &acc, const LweCiphertext &ct,
+                         const UnrolledBootstrappingKey &ubsk);
+
+/** PBS using the unrolled key (functionally identical to PBS). */
+LweCiphertext programmableBootstrapUnrolled(
+    const LweCiphertext &ct, const TorusPolynomial &test_vector,
+    const UnrolledBootstrappingKey &ubsk);
+
+/**
+ * Full PBS: blind-rotate the test vector, then sample-extract
+ * coefficient 0. The result is an LWE ciphertext of dimension k*N
+ * encrypting tv[phase~] (keyswitching converts it back to dim n).
+ */
+LweCiphertext programmableBootstrap(const LweCiphertext &ct,
+                                    const TorusPolynomial &test_vector,
+                                    const BootstrappingKey &bsk);
+
+/**
+ * Encode integer message @p m in [0, msg_space) at the *center* of its
+ * phase window: mu = (2m+1) / (4*msg_space). Centered encoding keeps
+ * the phase of message 0 strictly positive under noise, avoiding the
+ * negacyclic sign flip.
+ */
+Torus32 encodeLut(int64_t m, uint64_t msg_space);
+
+/** Decode a centered-encoded message: floor(phase * 2*msg_space). */
+int64_t decodeLut(Torus32 phase, uint64_t msg_space);
+
+/**
+ * Build the test vector for evaluating f: [0,msg_space) -> Torus32
+ * during bootstrapping: coefficient j holds f(floor(j * msg_space/N)).
+ */
+TorusPolynomial makeTestVector(uint32_t big_n, uint64_t msg_space,
+                               const std::function<Torus32(int64_t)> &f);
+
+/**
+ * Convenience: test vector of an integer-to-integer function with
+ * centered output encoding in the same message space.
+ */
+TorusPolynomial makeIntTestVector(uint32_t big_n, uint64_t msg_space,
+                                  const std::function<int64_t(int64_t)> &f);
+
+} // namespace strix
+
+#endif // STRIX_TFHE_BOOTSTRAP_H

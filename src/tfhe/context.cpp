@@ -1,0 +1,64 @@
+/**
+ * @file
+ * TfheContext implementation.
+ */
+
+#include "tfhe/context.h"
+
+namespace strix {
+
+TfheContext::TfheContext(const TfheParams &params, uint64_t seed)
+    : params_(params),
+      rng_(seed),
+      lwe_key_(params.n, rng_),
+      glwe_key_(params.k, params.N, rng_),
+      extracted_key_(glwe_key_.extractedLweKey()),
+      bsk_(BootstrappingKey::generate(lwe_key_, glwe_key_, params, rng_)),
+      ksk_(KeySwitchKey::generate(extracted_key_, lwe_key_, params, rng_))
+{
+}
+
+LweCiphertext
+TfheContext::encryptBit(bool bit)
+{
+    Torus32 mu = encodeMessage(bit ? 1 : -1, 8); // +-1/8
+    return lweEncrypt(lwe_key_, mu, params_.lwe_noise, rng_);
+}
+
+bool
+TfheContext::decryptBit(const LweCiphertext &ct) const
+{
+    Torus32 phase = lwePhase(lwe_key_, ct);
+    return static_cast<int32_t>(phase) > 0;
+}
+
+LweCiphertext
+TfheContext::encryptInt(int64_t m, uint64_t msg_space)
+{
+    return lweEncrypt(lwe_key_, encodeLut(m, msg_space), params_.lwe_noise,
+                      rng_);
+}
+
+int64_t
+TfheContext::decryptInt(const LweCiphertext &ct, uint64_t msg_space) const
+{
+    return decodeLut(lwePhase(lwe_key_, ct), msg_space);
+}
+
+LweCiphertext
+TfheContext::bootstrap(const LweCiphertext &ct,
+                       const TorusPolynomial &test_vector) const
+{
+    LweCiphertext big = programmableBootstrap(ct, test_vector, bsk_);
+    return keySwitch(big, ksk_);
+}
+
+LweCiphertext
+TfheContext::applyLut(const LweCiphertext &ct, uint64_t msg_space,
+                      const std::function<int64_t(int64_t)> &f) const
+{
+    TorusPolynomial tv = makeIntTestVector(params_.N, msg_space, f);
+    return bootstrap(ct, tv);
+}
+
+} // namespace strix

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * TfheContext: full key material plus high-level encrypt/decrypt and
+ * bootstrap entry points. This is the main user-facing handle of the
+ * software TFHE library.
+ */
+
+#ifndef STRIX_TFHE_CONTEXT_H
+#define STRIX_TFHE_CONTEXT_H
+
+#include <memory>
+
+#include "tfhe/bootstrap.h"
+#include "tfhe/keyswitch.h"
+
+namespace strix {
+
+/**
+ * Key bundle for one TFHE instance: LWE key (dim n), GLWE key, the
+ * extracted LWE key (dim k*N), bootstrapping key, keyswitching key.
+ */
+class TfheContext
+{
+  public:
+    /** Generate all keys for @p params deterministically from @p seed. */
+    TfheContext(const TfheParams &params, uint64_t seed = 0xC0DEC0DEULL);
+
+    const TfheParams &params() const { return params_; }
+    const LweKey &lweKey() const { return lwe_key_; }
+    const GlweKey &glweKey() const { return glwe_key_; }
+    const LweKey &extractedKey() const { return extracted_key_; }
+    const BootstrappingKey &bsk() const { return bsk_; }
+    const KeySwitchKey &ksk() const { return ksk_; }
+    Rng &rng() { return rng_; }
+
+    /** Encrypt a boolean as mu = +-1/8 under the dim-n key. */
+    LweCiphertext encryptBit(bool bit);
+
+    /** Decrypt a boolean (sign of the phase). */
+    bool decryptBit(const LweCiphertext &ct) const;
+
+    /**
+     * Encrypt an integer in [0, msg_space) with centered LUT encoding
+     * (padding bit) under the dim-n key.
+     */
+    LweCiphertext encryptInt(int64_t m, uint64_t msg_space);
+
+    /** Decrypt an integer with centered LUT encoding. */
+    int64_t decryptInt(const LweCiphertext &ct, uint64_t msg_space) const;
+
+    /**
+     * Bootstrap @p ct against @p test_vector and keyswitch back to
+     * dimension n -- the PBS+KS node every workload graph is made of.
+     */
+    LweCiphertext bootstrap(const LweCiphertext &ct,
+                            const TorusPolynomial &test_vector) const;
+
+    /**
+     * Programmable bootstrapping of an integer function f over
+     * [0, msg_space): returns an encryption of f(m) (centered
+     * encoding), keyswitched to dimension n.
+     */
+    LweCiphertext applyLut(const LweCiphertext &ct, uint64_t msg_space,
+                           const std::function<int64_t(int64_t)> &f) const;
+
+  private:
+    TfheParams params_;
+    Rng rng_;
+    LweKey lwe_key_;
+    GlweKey glwe_key_;
+    LweKey extracted_key_;
+    BootstrappingKey bsk_;
+    KeySwitchKey ksk_;
+};
+
+} // namespace strix
+
+#endif // STRIX_TFHE_CONTEXT_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reference gadget decomposition via the offset trick.
+ */
+
+#include "tfhe/decompose.h"
+
+#include "common/logging.h"
+
+namespace strix {
+
+namespace {
+
+/**
+ * Offset adding B/2 at every level: after adding it, plain unsigned
+ * digit extraction yields digit+B/2, so subtracting B/2 recovers
+ * balanced digits with the carries handled implicitly by the addition.
+ */
+Torus32
+decompOffset(const GadgetParams &g)
+{
+    Torus32 off = 0;
+    for (uint32_t j = 1; j <= g.levels; ++j)
+        off += (g.base() / 2) * g.levelScale(j);
+    return off;
+}
+
+} // namespace
+
+void
+gadgetDecompose(int32_t *digits, Torus32 a, const GadgetParams &g)
+{
+    panicIfNot(g.base_bits * g.levels <= 32, "gadget exceeds torus width");
+    // Round to the nearest multiple of q/B^l.
+    Torus32 rounded = roundToBits(a, g.base_bits * g.levels);
+    Torus32 shifted = rounded + decompOffset(g);
+    const uint32_t mask = g.base() - 1;
+    const int32_t half = static_cast<int32_t>(g.base() / 2);
+    for (uint32_t j = 1; j <= g.levels; ++j) {
+        uint32_t shift = kTorus32Bits - j * g.base_bits;
+        digits[j - 1] =
+            static_cast<int32_t>((shifted >> shift) & mask) - half;
+    }
+}
+
+Torus32
+gadgetRecompose(const int32_t *digits, const GadgetParams &g)
+{
+    Torus32 acc = 0;
+    for (uint32_t j = 1; j <= g.levels; ++j)
+        acc += static_cast<uint32_t>(digits[j - 1]) * g.levelScale(j);
+    return acc;
+}
+
+void
+gadgetDecomposePoly(std::vector<IntPolynomial> &out,
+                    const TorusPolynomial &poly, const GadgetParams &g)
+{
+    const size_t n = poly.size();
+    if (out.size() != g.levels || out[0].size() != n)
+        out.assign(g.levels, IntPolynomial(n));
+
+    // Level-major loops with all constants hoisted: this is the hot
+    // path of every blind-rotation iteration.
+    const Torus32 offset = decompOffset(g);
+    const uint32_t keep = g.base_bits * g.levels;
+    const Torus32 half_ulp =
+        keep >= 32 ? 0 : (Torus32{1} << (kTorus32Bits - keep - 1));
+    const Torus32 round_mask =
+        keep >= 32 ? ~Torus32{0}
+                   : ~((Torus32{1} << (kTorus32Bits - keep)) - 1);
+    const uint32_t mask = g.base() - 1;
+    const auto half = static_cast<int32_t>(g.base() / 2);
+
+    for (uint32_t j = 1; j <= g.levels; ++j) {
+        const uint32_t shift = kTorus32Bits - j * g.base_bits;
+        int32_t *dst = out[j - 1].data();
+        const Torus32 *src = poly.data();
+        for (size_t i = 0; i < n; ++i) {
+            Torus32 shifted =
+                (((src[i] + half_ulp) & round_mask) + offset);
+            dst[i] = static_cast<int32_t>((shifted >> shift) & mask) -
+                     half;
+        }
+    }
+}
+
+} // namespace strix

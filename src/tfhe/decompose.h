@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Signed gadget decomposition (Algorithm 1 line 7 / Eq. (3)).
+ *
+ * Decompose(a, l, B): round a to the closest multiple of q/B^l, then
+ * write the result as sum_{j=1..l} d_j * q/B^j with balanced digits
+ * d_j in [-B/2, B/2). The approximation error satisfies
+ *     | a - sum d_j q/B^j |_inf <= q / (2 B^l),
+ * which is Eq. (3) of the paper.
+ */
+
+#ifndef STRIX_TFHE_DECOMPOSE_H
+#define STRIX_TFHE_DECOMPOSE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "poly/polynomial.h"
+
+namespace strix {
+
+/** Decomposition configuration. */
+struct GadgetParams
+{
+    uint32_t base_bits; //!< log2(B)
+    uint32_t levels;    //!< l
+
+    uint32_t base() const { return 1u << base_bits; }
+
+    /** q/B^j for level j in [1, levels]: shift amount 32 - j*base_bits. */
+    Torus32 levelScale(uint32_t j) const
+    {
+        return Torus32{1} << (kTorus32Bits - j * base_bits);
+    }
+};
+
+/**
+ * Decompose one torus scalar into @p g.levels balanced digits
+ * (digit j corresponds to weight q/B^{j+1}, i.e. most significant
+ * first, matching the bsk row layout).
+ */
+void gadgetDecompose(int32_t *digits, Torus32 a, const GadgetParams &g);
+
+/** Recompose digits back to the torus: sum_j d_j * q/B^{j+1}. */
+Torus32 gadgetRecompose(const int32_t *digits, const GadgetParams &g);
+
+/**
+ * Decompose every coefficient of @p poly; out[j] is the level-(j+1)
+ * IntPolynomial. out is resized to g.levels polynomials.
+ */
+void gadgetDecomposePoly(std::vector<IntPolynomial> &out,
+                         const TorusPolynomial &poly, const GadgetParams &g);
+
+} // namespace strix
+
+#endif // STRIX_TFHE_DECOMPOSE_H

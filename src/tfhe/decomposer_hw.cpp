@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Streaming decomposer implementation.
+ */
+
+#include "tfhe/decomposer_hw.h"
+
+#include "common/logging.h"
+
+namespace strix {
+
+StreamingDecomposer::StreamingDecomposer(const GadgetParams &g) : g_(g)
+{
+    panicIfNot(g.base_bits * g.levels <= 32,
+               "decomposer: gadget exceeds torus width");
+    const uint32_t keep = g.base_bits * g.levels;
+    // Rounding to the nearest multiple of 2^(32-keep): add half an ulp
+    // of the kept grid, then mask away the dropped bits. keep == 32
+    // means nothing is rounded away.
+    if (keep == 32) {
+        round_carry_ = 0;
+        round_mask_ = ~Torus32{0};
+    } else {
+        round_carry_ = Torus32{1} << (kTorus32Bits - keep - 1);
+        round_mask_ = ~((Torus32{1} << (kTorus32Bits - keep)) - 1);
+    }
+
+    level_mask_.resize(g.levels);
+    level_shift_.resize(g.levels);
+    for (uint32_t j = 1; j <= g.levels; ++j) {
+        level_shift_[j - 1] = kTorus32Bits - j * g.base_bits;
+        level_mask_[j - 1] = (g.base() - 1u) << level_shift_[j - 1];
+    }
+}
+
+Torus32
+StreamingDecomposer::roundStep(Torus32 coeff) const
+{
+    return (coeff + round_carry_) & round_mask_;
+}
+
+void
+StreamingDecomposer::decomposeOne(int32_t *digits, Torus32 coeff) const
+{
+    const Torus32 rounded = roundStep(coeff);
+    const auto base = g_.base();
+    const auto half = base >> 1;
+
+    // Extraction: walk levels from least significant (largest j)
+    // upward, propagating a carry whenever the unsigned digit falls in
+    // the upper half -- the paper's "add it to the carry (zero or one)
+    // from the previous extracted bit".
+    uint32_t carry = 0;
+    for (uint32_t j = g_.levels; j >= 1; --j) {
+        uint32_t u =
+            ((rounded & level_mask_[j - 1]) >> level_shift_[j - 1]) + carry;
+        if (u >= half) {
+            digits[j - 1] = static_cast<int32_t>(u) -
+                            static_cast<int32_t>(base);
+            carry = 1;
+        } else {
+            digits[j - 1] = static_cast<int32_t>(u);
+            carry = 0;
+        }
+    }
+    // A carry out of the most-significant level wraps mod 2^32 on the
+    // torus and is dropped, exactly as in the reference decomposition.
+}
+
+void
+StreamingDecomposer::push(Torus32 coeff)
+{
+    rounded_fifo_.push_back(roundStep(coeff));
+    // The extraction stage drains one buffered coefficient into
+    // `levels` digit outputs; model the fixed-rate drain by expanding
+    // immediately into the output FIFO (order: level 0 first, the
+    // bsk row order).
+    Torus32 rounded = rounded_fifo_.front();
+    rounded_fifo_.pop_front();
+    std::vector<int32_t> digits(g_.levels);
+    // Reuse the combinational lane on the already-rounded value; the
+    // rounding step is idempotent.
+    decomposeOne(digits.data(), rounded);
+    for (uint32_t j = 0; j < g_.levels; ++j)
+        out_fifo_.emplace_back(digits[j], j);
+}
+
+int32_t
+StreamingDecomposer::pop(uint32_t &level)
+{
+    panicIfNot(!out_fifo_.empty(), "decomposer pop on empty FIFO");
+    auto [digit, lvl] = out_fifo_.front();
+    out_fifo_.pop_front();
+    level = lvl;
+    return digit;
+}
+
+void
+streamingDecomposePoly(std::vector<IntPolynomial> &out,
+                       const TorusPolynomial &poly, const GadgetParams &g)
+{
+    StreamingDecomposer dec(g);
+    const size_t n = poly.size();
+    out.assign(g.levels, IntPolynomial(n));
+    size_t coeff_idx = 0;
+    for (size_t i = 0; i < n; ++i) {
+        dec.push(poly[i]);
+        while (dec.outputReady()) {
+            uint32_t level = 0;
+            int32_t d = dec.pop(level);
+            out[level][coeff_idx] = d;
+            if (level == g.levels - 1)
+                ++coeff_idx;
+        }
+    }
+    panicIfNot(coeff_idx == n, "streaming decomposer lost coefficients");
+}
+
+} // namespace strix

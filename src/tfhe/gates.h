@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bootstrapped boolean gates (the TFHE gate-bootstrapping API).
+ *
+ * Booleans are encoded as mu = +-1/8. Each binary gate computes a
+ * linear combination whose phase sign encodes the result, then runs a
+ * *sign bootstrap* (constant test vector 1/8) followed by keyswitching
+ * -- the PBS + KS pipeline the paper's Fig. 1 breaks down.
+ */
+
+#ifndef STRIX_TFHE_GATES_H
+#define STRIX_TFHE_GATES_H
+
+#include "tfhe/context.h"
+
+namespace strix {
+
+/** Bootstrapped NAND. */
+LweCiphertext gateNand(const TfheContext &ctx, const LweCiphertext &a,
+                       const LweCiphertext &b);
+/** Bootstrapped AND. */
+LweCiphertext gateAnd(const TfheContext &ctx, const LweCiphertext &a,
+                      const LweCiphertext &b);
+/** Bootstrapped OR. */
+LweCiphertext gateOr(const TfheContext &ctx, const LweCiphertext &a,
+                     const LweCiphertext &b);
+/** Bootstrapped NOR. */
+LweCiphertext gateNor(const TfheContext &ctx, const LweCiphertext &a,
+                      const LweCiphertext &b);
+/** Bootstrapped XOR. */
+LweCiphertext gateXor(const TfheContext &ctx, const LweCiphertext &a,
+                      const LweCiphertext &b);
+/** Bootstrapped XNOR. */
+LweCiphertext gateXnor(const TfheContext &ctx, const LweCiphertext &a,
+                       const LweCiphertext &b);
+/** Bootstrapped ANDNY: (not a) and b. */
+LweCiphertext gateAndNY(const TfheContext &ctx, const LweCiphertext &a,
+                        const LweCiphertext &b);
+/** Bootstrapped ANDYN: a and (not b). */
+LweCiphertext gateAndYN(const TfheContext &ctx, const LweCiphertext &a,
+                        const LweCiphertext &b);
+/** Bootstrapped ORNY: (not a) or b. */
+LweCiphertext gateOrNY(const TfheContext &ctx, const LweCiphertext &a,
+                       const LweCiphertext &b);
+/** Bootstrapped ORYN: a or (not b). */
+LweCiphertext gateOrYN(const TfheContext &ctx, const LweCiphertext &a,
+                       const LweCiphertext &b);
+/** NOT: free (negation), no bootstrap. */
+LweCiphertext gateNot(const LweCiphertext &a);
+/** MUX(a, b, c) = a ? b : c. Two bootstraps plus one keyswitch. */
+LweCiphertext gateMux(const TfheContext &ctx, const LweCiphertext &a,
+                      const LweCiphertext &b, const LweCiphertext &c);
+
+/**
+ * Instrumentation hooks: cumulative wall time spent in each gate
+ * phase, used by the Fig. 1 workload-breakdown bench. Reset with
+ * gateStatsReset().
+ */
+struct GateStats
+{
+    double rotate_s = 0.0;     //!< blind-rotation rotate/subtract
+    double decompose_s = 0.0;  //!< gadget decomposition
+    double fft_s = 0.0;        //!< forward FFT
+    double vecmult_s = 0.0;    //!< frequency-domain multiply-accumulate
+    double ifft_accum_s = 0.0; //!< inverse FFT + time-domain accumulate
+    double other_pbs_s = 0.0;  //!< modswitch, sample extract, misc
+    double keyswitch_s = 0.0;  //!< keyswitching
+    double linear_s = 0.0;     //!< gate linear combination
+
+    double pbsTotal() const
+    {
+        return rotate_s + decompose_s + fft_s + vecmult_s + ifft_accum_s +
+               other_pbs_s;
+    }
+    double total() const { return pbsTotal() + keyswitch_s + linear_s; }
+};
+
+/** Enable/disable timing instrumentation (off by default). */
+void gateStatsEnable(bool on);
+/** Reset the cumulative counters. */
+void gateStatsReset();
+/** Read the cumulative counters. */
+const GateStats &gateStats();
+
+/**
+ * Instrumented gate bootstrap used by the Fig. 1 bench: identical
+ * computation to blindRotate/keySwitch but with per-phase timers.
+ */
+LweCiphertext instrumentedGateBootstrap(const TfheContext &ctx,
+                                        const LweCiphertext &linear);
+
+} // namespace strix
+
+#endif // STRIX_TFHE_GATES_H

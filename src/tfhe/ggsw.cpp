@@ -1,0 +1,122 @@
+/**
+ * @file
+ * GGSW / external product implementation.
+ */
+
+#include "tfhe/ggsw.h"
+
+#include "common/logging.h"
+
+namespace strix {
+
+GgswCiphertext::GgswCiphertext(uint32_t k, uint32_t big_n,
+                               const GadgetParams &g)
+    : k_(k), big_n_(big_n), g_(g)
+{
+    rows_.resize(size_t(k + 1) * g.levels, GlweCiphertext(k, big_n));
+}
+
+GgswCiphertext
+ggswEncrypt(const GlweKey &key, int32_t m, const GadgetParams &g,
+            double stddev, Rng &rng)
+{
+    const uint32_t k = key.k();
+    const uint32_t n = key.ringDim();
+    GgswCiphertext out(k, n, g);
+    for (uint32_t block = 0; block <= k; ++block) {
+        for (uint32_t level = 0; level < g.levels; ++level) {
+            GlweCiphertext row = glweEncryptZero(key, stddev, rng);
+            // Add m * q/B^(level+1) on component `block` (constant
+            // coefficient). For block < k this lands on a mask
+            // polynomial; for block == k on the body.
+            Torus32 scale = g.levelScale(level + 1);
+            row.poly(block)[0] +=
+                static_cast<uint32_t>(m) * scale;
+            out.row(size_t(block) * g.levels + level) = std::move(row);
+        }
+    }
+    return out;
+}
+
+void
+externalProduct(GlweCiphertext &out, const GgswCiphertext &ggsw,
+                const GlweCiphertext &glwe)
+{
+    const uint32_t k = ggsw.k();
+    const uint32_t n = ggsw.ringDim();
+    const GadgetParams &g = ggsw.gadget();
+    panicIfNot(glwe.k() == k && glwe.ringDim() == n,
+               "externalProduct: shape mismatch");
+
+    out = GlweCiphertext(k, n);
+    std::vector<IntPolynomial> digits;
+    TorusPolynomial prod(n);
+    for (uint32_t comp = 0; comp <= k; ++comp) {
+        gadgetDecomposePoly(digits, glwe.poly(comp), g);
+        for (uint32_t level = 0; level < g.levels; ++level) {
+            const GlweCiphertext &row =
+                ggsw.row(size_t(comp) * g.levels + level);
+            for (uint32_t c = 0; c <= k; ++c) {
+                negacyclicMulKaratsuba(prod, digits[level], row.poly(c));
+                out.poly(c).addAssign(prod);
+            }
+        }
+    }
+}
+
+GgswFft::GgswFft(const GgswCiphertext &ggsw)
+    : k_(ggsw.k()), big_n_(ggsw.ringDim()), g_(ggsw.gadget())
+{
+    const auto &eng = NegacyclicFft::get(big_n_);
+    const uint32_t nrows = ggsw.rows();
+    rows_.resize(size_t(nrows) * (k_ + 1));
+    for (uint32_t r = 0; r < nrows; ++r)
+        for (uint32_t c = 0; c <= k_; ++c)
+            eng.forward(rows_[size_t(r) * (k_ + 1) + c],
+                        ggsw.row(r).poly(c));
+}
+
+void
+GgswFft::externalProduct(GlweCiphertext &out, const GlweCiphertext &glwe) const
+{
+    panicIfNot(glwe.k() == k_ && glwe.ringDim() == big_n_,
+               "externalProduct(fft): shape mismatch");
+    const auto &eng = NegacyclicFft::get(big_n_);
+
+    // Decompose every component (Decomposer unit), transform digits
+    // (FFT unit), multiply-accumulate against bsk rows (VMA unit),
+    // inverse-transform each output column (IFFT unit).
+    std::vector<IntPolynomial> digits;
+    std::vector<FreqPolynomial> acc(k_ + 1,
+                                    FreqPolynomial(big_n_ / 2, Cplx(0, 0)));
+    FreqPolynomial fdigit;
+    for (uint32_t comp = 0; comp <= k_; ++comp) {
+        gadgetDecomposePoly(digits, glwe.poly(comp), g_);
+        for (uint32_t level = 0; level < g_.levels; ++level) {
+            eng.forward(fdigit, digits[level]);
+            size_t r = size_t(comp) * g_.levels + level;
+            for (uint32_t c = 0; c <= k_; ++c)
+                NegacyclicFft::mulAccumulate(acc[c], fdigit, row(r, c));
+        }
+    }
+
+    out = GlweCiphertext(k_, big_n_);
+    for (uint32_t c = 0; c <= k_; ++c)
+        eng.inverse(out.poly(c), acc[c]);
+}
+
+void
+GgswFft::cmuxRotate(GlweCiphertext &acc, uint32_t power) const
+{
+    const uint32_t n = big_n_;
+    // diff = X^power * acc - acc (Rotator unit: rotate and subtract)
+    GlweCiphertext diff(k_, n);
+    for (uint32_t c = 0; c <= k_; ++c)
+        negacyclicRotateMinusOne(diff.poly(c), acc.poly(c), power);
+    // acc += ggsw [*] diff
+    GlweCiphertext prod;
+    externalProduct(prod, diff);
+    acc.addAssign(prod);
+}
+
+} // namespace strix

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * GGSW ciphertexts and the external product.
+ *
+ * A GGSW ciphertext of integer message m under GLWE key z is the
+ * (k+1)*lb x (k+1) matrix of polynomials (Sec. II-D): row (i, j) is a
+ * GLWE encryption of zero plus m * q/B^{j+1} placed on component i.
+ * The external product GGSW(m) [*] GLWE(M) = GLWE(m*M) decomposes each
+ * GLWE component and multiply-accumulates against the matrix rows
+ * (Algorithm 1, lines 7-10) -- the core of every blind-rotation
+ * iteration.
+ */
+
+#ifndef STRIX_TFHE_GGSW_H
+#define STRIX_TFHE_GGSW_H
+
+#include <vector>
+
+#include "tfhe/decompose.h"
+#include "tfhe/glwe.h"
+
+namespace strix {
+
+/** GGSW ciphertext: (k+1)*levels GLWE rows. */
+class GgswCiphertext
+{
+  public:
+    GgswCiphertext() = default;
+    GgswCiphertext(uint32_t k, uint32_t big_n, const GadgetParams &g);
+
+    uint32_t k() const { return k_; }
+    uint32_t ringDim() const { return big_n_; }
+    const GadgetParams &gadget() const { return g_; }
+    uint32_t rows() const { return static_cast<uint32_t>(rows_.size()); }
+
+    /** Row r = block * levels + level; block i targets component i. */
+    GlweCiphertext &row(size_t r) { return rows_[r]; }
+    const GlweCiphertext &row(size_t r) const { return rows_[r]; }
+
+  private:
+    uint32_t k_ = 0;
+    uint32_t big_n_ = 0;
+    GadgetParams g_{0, 0};
+    std::vector<GlweCiphertext> rows_;
+};
+
+/** Encrypt integer @p m (usually a key bit) as a GGSW ciphertext. */
+GgswCiphertext ggswEncrypt(const GlweKey &key, int32_t m,
+                           const GadgetParams &g, double stddev, Rng &rng);
+
+/**
+ * External product: out = ggsw [*] glwe, computed exactly (Karatsuba).
+ * Used as the reference against the FFT-domain path.
+ */
+void externalProduct(GlweCiphertext &out, const GgswCiphertext &ggsw,
+                     const GlweCiphertext &glwe);
+
+/**
+ * GGSW with rows pre-transformed to the frequency domain; this is the
+ * form in which Strix stores the bootstrapping key in the global
+ * scratchpad (bsk polynomials arrive at the VMA unit already in the
+ * Fourier domain).
+ */
+class GgswFft
+{
+  public:
+    GgswFft() = default;
+
+    /** Transform every polynomial of @p ggsw. */
+    GgswFft(const GgswCiphertext &ggsw);
+
+    uint32_t k() const { return k_; }
+    uint32_t ringDim() const { return big_n_; }
+    const GadgetParams &gadget() const { return g_; }
+
+    /** Frequency image of row r, column c. */
+    const FreqPolynomial &row(size_t r, size_t c) const
+    {
+        return rows_[r * (k_ + 1) + c];
+    }
+
+    /**
+     * External product with frequency-domain accumulation:
+     * decompose -> FFT -> multiply-accumulate -> IFFT, exactly the
+     * PBS-cluster dataflow (Rotator output -> Decomposer -> FFT ->
+     * VMA -> IFFT -> Accumulator).
+     */
+    void externalProduct(GlweCiphertext &out,
+                         const GlweCiphertext &glwe) const;
+
+    /**
+     * Fused CMux used by blind rotation:
+     *   acc <- acc + ggsw [*] (X^power * acc - acc),
+     * selecting between acc and its rotation with one external
+     * product (Algorithm 1, lines 6-11).
+     */
+    void cmuxRotate(GlweCiphertext &acc, uint32_t power) const;
+
+  private:
+    uint32_t k_ = 0;
+    uint32_t big_n_ = 0;
+    GadgetParams g_{0, 0};
+    std::vector<FreqPolynomial> rows_;
+};
+
+} // namespace strix
+
+#endif // STRIX_TFHE_GGSW_H

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Encrypted integer arithmetic implementation.
+ */
+
+#include "tfhe/integer.h"
+
+#include "common/logging.h"
+
+namespace strix {
+
+namespace {
+
+/** Trivial encryption of digit 0 in the centered encoding. */
+LweCiphertext
+trivialZero(uint32_t dim, uint64_t space)
+{
+    return LweCiphertext::trivial(dim, encodeLut(0, space));
+}
+
+} // namespace
+
+EncryptedUint
+IntegerOps::encrypt(uint64_t value, uint32_t num_digits)
+{
+    EncryptedUint out;
+    out.digit_bits = digit_bits_;
+    out.digits.reserve(num_digits);
+    for (uint32_t i = 0; i < num_digits; ++i) {
+        out.digits.push_back(
+            ctx_.encryptInt(int64_t(value % base()), space()));
+        value /= base();
+    }
+    return out;
+}
+
+uint64_t
+IntegerOps::decrypt(const EncryptedUint &x) const
+{
+    uint64_t value = 0;
+    for (uint32_t i = x.numDigits(); i-- > 0;) {
+        value = value * base() +
+                uint64_t(ctx_.decryptInt(x.digits[i], space()));
+    }
+    return value;
+}
+
+LweCiphertext
+IntegerOps::recenter(LweCiphertext sum, uint32_t terms) const
+{
+    // Each centered term contributes +1/(4p); keep exactly one.
+    int32_t extra = int32_t(terms) - 1;
+    if (extra != 0) {
+        Torus32 half = encodeMessage(1, 4 * space());
+        LweCiphertext fix = LweCiphertext::trivial(
+            sum.dim(), 0u - static_cast<uint32_t>(extra) * half);
+        sum.addAssign(fix);
+    }
+    return sum;
+}
+
+EncryptedUint
+IntegerOps::add(const EncryptedUint &a, const EncryptedUint &b) const
+{
+    panicIfNot(a.numDigits() == b.numDigits(),
+               "integer add: digit count mismatch");
+    const uint32_t n = a.numDigits();
+    const uint64_t p = space();
+    const int64_t b_val = base();
+
+    EncryptedUint out;
+    out.digit_bits = digit_bits_;
+    out.digits.reserve(n);
+    LweCiphertext carry = trivialZero(ctx_.params().n, p);
+    for (uint32_t i = 0; i < n; ++i) {
+        LweCiphertext s = a.digits[i];
+        s.addAssign(b.digits[i]);
+        s.addAssign(carry);
+        s = recenter(std::move(s), 3);
+        // s in [0, 2B-1]: split into digit and carry with two PBS.
+        out.digits.push_back(ctx_.applyLut(
+            s, p, [b_val](int64_t v) { return v % b_val; }));
+        if (i + 1 < n) {
+            carry = ctx_.applyLut(
+                s, p, [b_val](int64_t v) { return v / b_val; });
+        }
+    }
+    return out;
+}
+
+EncryptedUint
+IntegerOps::sub(const EncryptedUint &a, const EncryptedUint &b) const
+{
+    panicIfNot(a.numDigits() == b.numDigits(),
+               "integer sub: digit count mismatch");
+    const uint32_t n = a.numDigits();
+    const uint64_t p = space();
+    const int64_t b_val = base();
+
+    EncryptedUint out;
+    out.digit_bits = digit_bits_;
+    out.digits.reserve(n);
+    LweCiphertext borrow = trivialZero(ctx_.params().n, p);
+    for (uint32_t i = 0; i < n; ++i) {
+        // t = a - b - borrow + B, in [0, 2B-1].
+        LweCiphertext t = a.digits[i];
+        t.subAssign(b.digits[i]);
+        t.subAssign(borrow);
+        // offsets: +1 (a) - 1 (b) - 1 (borrow) = -1; recenter to +1.
+        t = recenter(std::move(t), static_cast<uint32_t>(-1));
+        LweCiphertext shift = LweCiphertext::trivial(
+            t.dim(), encodeMessage(2 * b_val, int64_t(4 * p)));
+        t.addAssign(shift);
+        out.digits.push_back(ctx_.applyLut(
+            t, p, [b_val](int64_t v) { return v % b_val; }));
+        if (i + 1 < n) {
+            borrow = ctx_.applyLut(
+                t, p, [b_val](int64_t v) { return v < b_val ? 1 : 0; });
+        }
+    }
+    return out;
+}
+
+EncryptedUint
+IntegerOps::addScalar(const EncryptedUint &a, uint64_t value) const
+{
+    EncryptedUint b;
+    b.digit_bits = digit_bits_;
+    const uint32_t dim = ctx_.params().n;
+    for (uint32_t i = 0; i < a.numDigits(); ++i) {
+        b.digits.push_back(LweCiphertext::trivial(
+            dim, encodeLut(int64_t(value % base()), space())));
+        value /= base();
+    }
+    return add(a, b);
+}
+
+LweCiphertext
+IntegerOps::equal(const EncryptedUint &a, const EncryptedUint &b) const
+{
+    panicIfNot(a.numDigits() == b.numDigits(),
+               "integer equal: digit count mismatch");
+    panicIfNot(a.numDigits() < space(),
+               "integer equal: too many digits for the match counter");
+    const uint64_t p = space();
+    const int64_t b_val = base();
+    const int64_t n = a.numDigits();
+
+    // Per digit: d = a - b + B in [1, 2B-1]; eq <=> d == B. Sum the
+    // per-digit indicators and compare against the digit count.
+    LweCiphertext acc = trivialZero(ctx_.params().n, p);
+    for (uint32_t i = 0; i < a.numDigits(); ++i) {
+        LweCiphertext d = a.digits[i];
+        d.subAssign(b.digits[i]);
+        d = recenter(std::move(d), 0);
+        LweCiphertext shift = LweCiphertext::trivial(
+            d.dim(), encodeMessage(2 * b_val, int64_t(4 * p)));
+        d.addAssign(shift);
+        LweCiphertext eq = ctx_.applyLut(
+            d, p, [b_val](int64_t v) { return v == b_val ? 1 : 0; });
+        acc.addAssign(eq);
+    }
+    acc = recenter(std::move(acc),
+                   static_cast<uint32_t>(a.numDigits() + 1));
+    return ctx_.applyLut(acc, p,
+                         [n](int64_t v) { return v == n ? 1 : 0; });
+}
+
+LweCiphertext
+IntegerOps::notBit(const LweCiphertext &b) const
+{
+    // 1 - b: e(1) - e(b) = e(1-b) - half; recenter by one half-step.
+    LweCiphertext out =
+        LweCiphertext::trivial(b.dim(), encodeLut(1, space()));
+    out.subAssign(b);
+    LweCiphertext fix = LweCiphertext::trivial(
+        out.dim(), encodeMessage(1, 4 * space()));
+    out.addAssign(fix);
+    return out;
+}
+
+LweCiphertext
+IntegerOps::trivialDigit(uint64_t value) const
+{
+    return LweCiphertext::trivial(ctx_.params().n,
+                                  encodeLut(int64_t(value % base()),
+                                            space()));
+}
+
+LweCiphertext
+IntegerOps::selectDigit(const LweCiphertext &sel, const LweCiphertext &hi,
+                        const LweCiphertext &lo) const
+{
+    const uint64_t p = space();
+    const int64_t b_val = base();
+
+    // pack = sel * base + x, uniquely encoding (sel, x) in [0, 2B).
+    auto pack = [&](const LweCiphertext &x) {
+        LweCiphertext s = sel;
+        s.scalarMulAssign(int32_t(b_val));
+        // Scaling the centered encoding by B leaves B half-offsets;
+        // together with x's we have B+1; keep exactly one.
+        s.addAssign(x);
+        LweCiphertext fix = LweCiphertext::trivial(
+            s.dim(),
+            0u - static_cast<uint32_t>(b_val) *
+                     encodeMessage(1, 4 * p));
+        s.addAssign(fix);
+        return s;
+    };
+
+    // hi-half: keep x when sel = 1; lo-half: keep x when sel = 0.
+    LweCiphertext keep_hi = ctx_.applyLut(
+        pack(hi), p,
+        [b_val](int64_t v) { return v >= b_val ? v - b_val : 0; });
+    LweCiphertext keep_lo = ctx_.applyLut(
+        pack(lo), p,
+        [b_val](int64_t v) { return v < b_val ? v : 0; });
+    keep_hi.addAssign(keep_lo);
+    return recenter(std::move(keep_hi), 2);
+}
+
+LweCiphertext
+IntegerOps::lessThan(const EncryptedUint &a, const EncryptedUint &b) const
+{
+    panicIfNot(a.numDigits() == b.numDigits(),
+               "integer lessThan: digit count mismatch");
+    const uint64_t p = space();
+    const int64_t b_val = base();
+
+    // Borrow chain of a - b: the final borrow is 1 iff a < b.
+    LweCiphertext borrow = trivialZero(ctx_.params().n, p);
+    for (uint32_t i = 0; i < a.numDigits(); ++i) {
+        LweCiphertext t = a.digits[i];
+        t.subAssign(b.digits[i]);
+        t.subAssign(borrow);
+        t = recenter(std::move(t), static_cast<uint32_t>(-1));
+        LweCiphertext shift = LweCiphertext::trivial(
+            t.dim(), encodeMessage(2 * b_val, int64_t(4 * p)));
+        t.addAssign(shift);
+        borrow = ctx_.applyLut(
+            t, p, [b_val](int64_t v) { return v < b_val ? 1 : 0; });
+    }
+    return borrow;
+}
+
+} // namespace strix

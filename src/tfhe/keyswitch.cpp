@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Keyswitching implementation.
+ */
+
+#include "tfhe/keyswitch.h"
+
+#include "common/logging.h"
+
+namespace strix {
+
+KeySwitchKey
+KeySwitchKey::generate(const LweKey &from, const LweKey &to,
+                       const TfheParams &params, Rng &rng)
+{
+    KeySwitchKey ksk;
+    ksk.in_dim_ = from.dim();
+    ksk.out_dim_ = to.dim();
+    ksk.g_ = GadgetParams{params.ks_base_bits, params.l_ksk};
+    ksk.rows_.reserve(size_t(from.dim()) * params.l_ksk);
+    for (uint32_t i = 0; i < from.dim(); ++i) {
+        for (uint32_t j = 1; j <= params.l_ksk; ++j) {
+            Torus32 msg = static_cast<uint32_t>(from.bit(i)) *
+                          ksk.g_.levelScale(j);
+            ksk.rows_.push_back(
+                lweEncrypt(to, msg, params.lwe_noise, rng));
+        }
+    }
+    return ksk;
+}
+
+KeySwitchKey
+KeySwitchKey::fromRows(uint32_t in_dim, uint32_t out_dim,
+                       const GadgetParams &g,
+                       std::vector<LweCiphertext> rows)
+{
+    panicIfNot(rows.size() == size_t(in_dim) * g.levels,
+               "ksk fromRows: row count mismatch");
+    KeySwitchKey ksk;
+    ksk.in_dim_ = in_dim;
+    ksk.out_dim_ = out_dim;
+    ksk.g_ = g;
+    ksk.rows_ = std::move(rows);
+    return ksk;
+}
+
+LweCiphertext
+keySwitch(const LweCiphertext &ct, const KeySwitchKey &ksk)
+{
+    panicIfNot(ct.dim() == ksk.inDim(), "keySwitch: dim mismatch");
+    const GadgetParams &g = ksk.gadget();
+
+    // o[m] = c[n] (Algorithm 2, line 2), then subtract the decomposed
+    // mask against the key rows.
+    LweCiphertext out = LweCiphertext::trivial(ksk.outDim(), ct.b());
+    std::vector<int32_t> digits(g.levels);
+    LweCiphertext scaled(ksk.outDim());
+    for (uint32_t i = 0; i < ksk.inDim(); ++i) {
+        gadgetDecompose(digits.data(), ct.a(i), g);
+        for (uint32_t j = 0; j < g.levels; ++j) {
+            if (digits[j] == 0)
+                continue;
+            scaled = ksk.row(i, j);
+            scaled.scalarMulAssign(digits[j]);
+            out.subAssign(scaled);
+        }
+    }
+    return out;
+}
+
+} // namespace strix

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * LWE-to-LWE keyswitching (Algorithm 2).
+ *
+ * After PBS the ciphertext is encrypted under the extracted key of
+ * dimension k*N. Keyswitching decomposes each mask scalar and
+ * subtracts the matching combination of keyswitching-key rows,
+ * yielding a ciphertext of dimension n under the original key
+ * (a k*N*lk x (n+1) vector-matrix multiplication, as the paper says).
+ */
+
+#ifndef STRIX_TFHE_KEYSWITCH_H
+#define STRIX_TFHE_KEYSWITCH_H
+
+#include <vector>
+
+#include "tfhe/decompose.h"
+#include "tfhe/lwe.h"
+#include "tfhe/params.h"
+
+namespace strix {
+
+/** Keyswitching key: rows ksk[i][j] = LWE_s(z_i * q / base^{j+1}). */
+class KeySwitchKey
+{
+  public:
+    KeySwitchKey() = default;
+
+    uint32_t inDim() const { return in_dim_; }
+    uint32_t outDim() const { return out_dim_; }
+    const GadgetParams &gadget() const { return g_; }
+
+    const LweCiphertext &row(size_t i, size_t level) const
+    {
+        return rows_[i * g_.levels + level];
+    }
+
+    /**
+     * Generate a keyswitching key from @p from (dimension k*N,
+     * typically GlweKey::extractedLweKey()) to @p to (dimension n).
+     */
+    static KeySwitchKey generate(const LweKey &from, const LweKey &to,
+                                 const TfheParams &params, Rng &rng);
+
+    /** Rebuild from raw rows (deserialization). */
+    static KeySwitchKey fromRows(uint32_t in_dim, uint32_t out_dim,
+                                 const GadgetParams &g,
+                                 std::vector<LweCiphertext> rows);
+
+  private:
+    uint32_t in_dim_ = 0;
+    uint32_t out_dim_ = 0;
+    GadgetParams g_{0, 0};
+    std::vector<LweCiphertext> rows_;
+};
+
+/** Switch @p ct (dimension ksk.inDim()) to dimension ksk.outDim(). */
+LweCiphertext keySwitch(const LweCiphertext &ct, const KeySwitchKey &ksk);
+
+} // namespace strix
+
+#endif // STRIX_TFHE_KEYSWITCH_H

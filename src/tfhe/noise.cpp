@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Noise model implementation.
+ */
+
+#include "tfhe/noise.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace strix {
+
+double
+NoiseModel::linearCombination(const std::vector<int32_t> &w,
+                              const std::vector<double> &v)
+{
+    panicIfNot(w.size() == v.size(), "noise: weight/variance mismatch");
+    double out = 0.0;
+    for (size_t i = 0; i < w.size(); ++i)
+        out += double(w[i]) * double(w[i]) * v[i];
+    return out;
+}
+
+double
+NoiseModel::externalProduct(double v_in) const
+{
+    const double big_n = p_.N;
+    const double k = p_.k;
+    const double l = p_.l_bsk;
+    const double base = p_.decompBase();
+    // Gadget rounding eps = 2^-(1 + base_bits*l) of the torus.
+    const double eps =
+        std::pow(2.0, -double(p_.bg_bits) * l - 1.0);
+    return v_in +
+           (k + 1) * l * big_n * (base * base / 4.0) * freshGlwe() +
+           (1.0 + k * big_n) * eps * eps;
+}
+
+double
+NoiseModel::blindRotation() const
+{
+    // n sequential CMuxes, each one external product on the
+    // accumulator (which starts noiseless: a trivial test vector).
+    double v = 0.0;
+    for (uint32_t i = 0; i < p_.n; ++i)
+        v = externalProduct(v);
+    return v;
+}
+
+double
+NoiseModel::modSwitch() const
+{
+    // Rounding each of n+1 coefficients to the 2N grid contributes a
+    // uniform error in [-1/(4N), 1/(4N)] against a binary key:
+    // variance ~ (n/2 + 1) * (1/(2N))^2 / 12.
+    const double step = 1.0 / (2.0 * p_.N);
+    return (p_.n / 2.0 + 1.0) * step * step / 12.0;
+}
+
+double
+NoiseModel::keySwitch(double v_in) const
+{
+    const double kn = double(p_.k) * p_.N;
+    const double l = p_.l_ksk;
+    const double base = double(1u << p_.ks_base_bits);
+    const double eps =
+        std::pow(2.0, -double(p_.ks_base_bits) * l - 1.0);
+    // Balanced digits: E[d^2] ~ base^2/12 for uniform digits.
+    return v_in + kn * l * (base * base / 12.0) * freshLwe() +
+           kn * eps * eps / 3.0;
+}
+
+double
+NoiseModel::pbsOutput() const
+{
+    // Modulus switching perturbs the selected window, not the output
+    // noise; the output LWE noise is blind rotation + keyswitch.
+    return keySwitch(blindRotation());
+}
+
+void
+NoiseStats::add(double err)
+{
+    mean += err;
+    variance += err * err;
+    worst = std::max(worst, std::abs(err));
+    ++samples;
+}
+
+void
+NoiseStats::finalize()
+{
+    if (samples == 0)
+        return;
+    mean /= double(samples);
+    variance = variance / double(samples) - mean * mean;
+}
+
+} // namespace strix

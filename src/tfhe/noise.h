@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Noise analysis for TFHE operations.
+ *
+ * TFHE correctness is a noise budget: every homomorphic operation
+ * adds variance, and decryption fails once the noise crosses half an
+ * encoding step. This module provides (a) the standard analytic
+ * variance formulas for each operation (fresh encryption, linear
+ * combinations, external product, blind rotation, modulus switching,
+ * keyswitching) and (b) empirical measurement helpers the tests use
+ * to validate the formulas against the real implementation.
+ *
+ * All variances are expressed on the torus (fraction of 1), i.e. a
+ * fresh encryption with stddev sigma has variance sigma^2.
+ */
+
+#ifndef STRIX_TFHE_NOISE_H
+#define STRIX_TFHE_NOISE_H
+
+#include <cmath>
+#include <vector>
+
+#include "tfhe/params.h"
+
+namespace strix {
+
+/** Analytic variance predictions for the TFHE operations. */
+class NoiseModel
+{
+  public:
+    explicit NoiseModel(const TfheParams &p) : p_(p) {}
+
+    /** Variance of a fresh LWE encryption. */
+    double freshLwe() const { return sq(p_.lwe_noise); }
+
+    /** Variance of a fresh GLWE encryption. */
+    double freshGlwe() const { return sq(p_.glwe_noise); }
+
+    /**
+     * Variance after an integer linear combination sum_i w_i * c_i of
+     * independent ciphertexts with variances v.
+     */
+    static double linearCombination(const std::vector<int32_t> &w,
+                                    const std::vector<double> &v);
+
+    /**
+     * Variance added by one external product GGSW(bit) [*] GLWE
+     * (the standard bound, e.g. Chillotti et al. 2020, Thm 4.2):
+     *
+     *   V_out <= V_in + (k+1) * l * N * (B/2)^2 * V_ggsw
+     *            + (1 + k*N) * eps^2
+     *
+     * where eps = q / (2 B^l) is the gadget rounding error (Eq. (3)).
+     */
+    double externalProduct(double v_in) const;
+
+    /** Variance after a full blind rotation (n CMux iterations). */
+    double blindRotation() const;
+
+    /**
+     * Variance added by switching the modulus from q to 2N: the
+     * rounding of n+1 coefficients adds ~ (n/12) * (1/(2N))^2 to the
+     * *phase* (in units of the 2N grid mapped back to the torus).
+     */
+    double modSwitch() const;
+
+    /**
+     * Variance after keyswitching a ciphertext of variance v_in:
+     *   V_out <= V_in + kN * l_ks * V_ksk * (base/2)^2-ish digit
+     *   factor + kN * eps_ks^2 rounding.
+     * We use balanced (signed) digits, so the digit variance factor
+     * is E[d^2] <= (base/2)^2 (worst case).
+     */
+    double keySwitch(double v_in) const;
+
+    /** Variance of the LWE produced by one full PBS (+ keyswitch). */
+    double pbsOutput() const;
+
+    /**
+     * Maximum tolerable phase stddev for decoding a msg_space-sized
+     * message with failure probability ~erfc(z/sqrt(2)): half a step
+     * divided by z standard deviations.
+     */
+    static double
+    decodableStddev(uint64_t msg_space, double z = 6.0)
+    {
+        // half an encoding step = 1/(2*msg_space), divided by z.
+        return 1.0 / (2.0 * double(msg_space) * z);
+    }
+
+    /** True if a PBS output decodes reliably in msg_space. */
+    bool pbsDecodes(uint64_t msg_space, double z = 6.0) const
+    {
+        return std::sqrt(pbsOutput()) < decodableStddev(msg_space, z);
+    }
+
+  private:
+    static double sq(double x) { return x * x; }
+
+    TfheParams p_;
+};
+
+/**
+ * Empirical phase-error statistics, collected by encrypting known
+ * messages, applying an operation, and measuring the centered
+ * distance between the resulting phase and the expected value.
+ */
+struct NoiseStats
+{
+    double mean = 0.0;     //!< mean signed error (torus units)
+    double variance = 0.0; //!< error variance (torus units^2)
+    double worst = 0.0;    //!< max |error|
+    size_t samples = 0;
+
+    /** Accumulate one signed torus error. */
+    void add(double err);
+    /** Finalize mean/variance (call once after all add()s). */
+    void finalize();
+};
+
+} // namespace strix
+
+#endif // STRIX_TFHE_NOISE_H

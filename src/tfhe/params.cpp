@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Parameter set definitions.
+ */
+
+#include "tfhe/params.h"
+
+#include "common/logging.h"
+
+namespace strix {
+
+uint64_t
+TfheParams::bskBytes() const
+{
+    // n GGSW ciphertexts; each is (k+1)*l_bsk GLWE rows of (k+1)
+    // polynomials of N Torus32 coefficients.
+    return uint64_t(n) * (k + 1) * l_bsk * (k + 1) * N * sizeof(uint32_t);
+}
+
+uint64_t
+TfheParams::kskBytes() const
+{
+    // k*N * l_ksk LWE ciphertexts of dimension n (+ body).
+    return uint64_t(k) * N * l_ksk * (n + 1) * sizeof(uint32_t);
+}
+
+const TfheParams &
+paramsSetI()
+{
+    // TFHE-lib default 110-bit gate-bootstrapping parameters:
+    // bk: Bg = 2^10, l = 2, stdev ~= 9.0e-9 (2^-26.7)
+    // ks: base 2^2, t = 8, stdev ~= 3.05e-5 (2^-15)
+    static const TfheParams p{
+        "I", 500, 1024, 1, 2, 10, 8, 2, 3.05e-5, 9.0e-9, 110};
+    return p;
+}
+
+const TfheParams &
+paramsSetII()
+{
+    // Concrete 128-bit: n = 630, Bg = 2^7, l = 3; keyswitch with
+    // 4 levels of base 2^4 (YKP's configuration).
+    static const TfheParams p{
+        "II", 630, 1024, 1, 3, 7, 4, 4, 3.05e-5, 9.0e-9, 128};
+    return p;
+}
+
+const TfheParams &
+paramsSetIII()
+{
+    static const TfheParams p{
+        "III", 592, 2048, 1, 3, 8, 4, 4, 2.0e-5, 4.0e-10, 128};
+    return p;
+}
+
+const TfheParams &
+paramsSetIV()
+{
+    // High-precision set: deep PBS gadget, shallow wide keyswitch.
+    // N = 16384 implies a 64-bit torus implementation (the paper's
+    // FFTU datapath is 64-bit); the noise levels below are the
+    // 64-bit-torus values and are used by the noise model and the
+    // simulator only -- the 32-bit software path never runs set IV.
+    static const TfheParams p{
+        "IV", 991, 16384, 1, 2, 12, 2, 8, 1.0e-8, 2.0e-14, 128};
+    return p;
+}
+
+const std::vector<TfheParams> &
+paperParamSets()
+{
+    static const std::vector<TfheParams> sets{
+        paramsSetI(), paramsSetII(), paramsSetIII(), paramsSetIV()};
+    return sets;
+}
+
+TfheParams
+testParams(uint32_t n, uint32_t big_n, uint32_t k, uint32_t l,
+           uint32_t bg_bits, double noise)
+{
+    panicIfNot((big_n & (big_n - 1)) == 0, "test N must be a power of two");
+    TfheParams p;
+    p.name = "test";
+    p.n = n;
+    p.N = big_n;
+    p.k = k;
+    p.l_bsk = l;
+    p.bg_bits = bg_bits;
+    p.l_ksk = 8;
+    p.ks_base_bits = 2;
+    p.lwe_noise = noise;
+    p.glwe_noise = noise;
+    p.lambda = 0; // insecure, test-only
+    return p;
+}
+
+const TfheParams &
+deepNnParams(uint32_t big_n)
+{
+    // Zama Deep-NN (Chillotti et al., CSCML'21) uses three parameter
+    // groups keyed by polynomial degree; the LWE dimension and levels
+    // follow that reference.
+    static const TfheParams p1024{
+        "NN-1024", 750, 1024, 1, 2, 10, 7, 3, 2.4e-5, 7.2e-9, 128};
+    static const TfheParams p2048{
+        "NN-2048", 750, 2048, 1, 2, 10, 7, 3, 2.4e-5, 3.0e-10, 128};
+    static const TfheParams p4096{
+        "NN-4096", 750, 4096, 1, 2, 10, 7, 3, 2.4e-5, 1.0e-11, 128};
+    switch (big_n) {
+      case 1024: return p1024;
+      case 2048: return p2048;
+      case 4096: return p4096;
+      default: fatal("deepNnParams: N must be 1024/2048/4096");
+    }
+}
+
+} // namespace strix

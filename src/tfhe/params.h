@@ -1,0 +1,86 @@
+/**
+ * @file
+ * TFHE parameter sets.
+ *
+ * Sets I-IV follow Table IV of the paper (n, N, k, lb, lambda). The
+ * remaining knobs (decomposition base, keyswitch depth, noise) are not
+ * given in the paper; we use the standard values from the TFHE/Concrete
+ * libraries the paper benchmarks, which are the de-facto companions of
+ * those (n, N, lb) choices.
+ */
+
+#ifndef STRIX_TFHE_PARAMS_H
+#define STRIX_TFHE_PARAMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace strix {
+
+/** Full TFHE parameter set. */
+struct TfheParams
+{
+    std::string name;       //!< e.g. "I", "II", "test"
+    uint32_t n;             //!< LWE dimension (mask length)
+    uint32_t N;             //!< polynomial degree (power of two)
+    uint32_t k;             //!< GLWE mask length
+    uint32_t l_bsk;         //!< decomposition level count lb (PBS)
+    uint32_t bg_bits;       //!< log2 of the PBS decomposition base B
+    uint32_t l_ksk;         //!< decomposition level count (keyswitch)
+    uint32_t ks_base_bits;  //!< log2 of the keyswitch base
+    double lwe_noise;       //!< LWE fresh-noise stddev (torus fraction)
+    double glwe_noise;      //!< GLWE fresh-noise stddev (torus fraction)
+    int lambda;             //!< claimed security level (bits)
+
+    /** Extracted LWE dimension after sample extract: k * N. */
+    uint32_t extractedDim() const { return k * N; }
+
+    /** PBS decomposition base B. */
+    uint32_t decompBase() const { return 1u << bg_bits; }
+
+    /** Bootstrapping-key size in bytes (time-domain Torus32). */
+    uint64_t bskBytes() const;
+
+    /** Keyswitching-key size in bytes. */
+    uint64_t kskBytes() const;
+
+    /** Single LWE ciphertext size in bytes. */
+    uint64_t lweBytes() const { return (n + 1) * sizeof(uint32_t); }
+
+    /** GLWE ciphertext (test-vector) size in bytes. */
+    uint64_t glweBytes() const
+    {
+        return uint64_t(k + 1) * N * sizeof(uint32_t);
+    }
+};
+
+/** Paper Table IV set I (110-bit; TFHE-lib default). */
+const TfheParams &paramsSetI();
+/** Paper Table IV set II (128-bit; YKP's set). */
+const TfheParams &paramsSetII();
+/** Paper Table IV set III (128-bit; XHEC's set). */
+const TfheParams &paramsSetIII();
+/** Paper Table IV set IV (128-bit, N = 16384, high precision). */
+const TfheParams &paramsSetIV();
+
+/** All four paper sets in order. */
+const std::vector<TfheParams> &paperParamSets();
+
+/**
+ * Tiny parameter set for fast unit tests (insecure). Noise defaults
+ * to zero so algebraic identities hold exactly.
+ */
+TfheParams testParams(uint32_t n = 16, uint32_t big_n = 64, uint32_t k = 1,
+                      uint32_t l = 3, uint32_t bg_bits = 8,
+                      double noise = 0.0);
+
+/**
+ * Zama Deep-NN benchmark parameter sets (Fig. 7): same shape as the
+ * reference paper's, indexed by polynomial degree 1024/2048/4096.
+ */
+const TfheParams &deepNnParams(uint32_t big_n);
+
+} // namespace strix
+
+#endif // STRIX_TFHE_PARAMS_H

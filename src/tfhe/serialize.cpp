@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Binary serialization implementation.
+ */
+
+#include "tfhe/serialize.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace strix {
+
+namespace {
+
+void
+writeU32(std::ostream &os, uint32_t v)
+{
+    // Explicit little-endian byte order for portability.
+    char buf[4] = {char(v & 0xFF), char((v >> 8) & 0xFF),
+                   char((v >> 16) & 0xFF), char((v >> 24) & 0xFF)};
+    os.write(buf, 4);
+}
+
+uint32_t
+readU32(std::istream &is)
+{
+    unsigned char buf[4];
+    is.read(reinterpret_cast<char *>(buf), 4);
+    if (!is)
+        throw std::runtime_error("serialize: truncated stream");
+    return uint32_t(buf[0]) | uint32_t(buf[1]) << 8 |
+           uint32_t(buf[2]) << 16 | uint32_t(buf[3]) << 24;
+}
+
+void
+writeU64(std::ostream &os, uint64_t v)
+{
+    writeU32(os, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+    writeU32(os, static_cast<uint32_t>(v >> 32));
+}
+
+uint64_t
+readU64(std::istream &is)
+{
+    uint64_t lo = readU32(is);
+    uint64_t hi = readU32(is);
+    return lo | (hi << 32);
+}
+
+void
+writeDouble(std::ostream &os, double d)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    writeU64(os, bits);
+}
+
+double
+readDouble(std::istream &is)
+{
+    uint64_t bits = readU64(is);
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+void
+writeHeader(std::ostream &os, SerialTag tag)
+{
+    writeU32(os, static_cast<uint32_t>(tag));
+    writeU32(os, kSerializeVersion);
+}
+
+void
+expectHeader(std::istream &is, SerialTag tag, const char *what)
+{
+    uint32_t got_tag = readU32(is);
+    uint32_t version = readU32(is);
+    if (got_tag != static_cast<uint32_t>(tag))
+        throw std::runtime_error(std::string("serialize: expected ") +
+                                 what + " frame");
+    if (version != kSerializeVersion)
+        throw std::runtime_error("serialize: unsupported version");
+}
+
+void
+writeU32Vector(std::ostream &os, const std::vector<uint32_t> &v)
+{
+    writeU64(os, v.size());
+    for (uint32_t x : v)
+        writeU32(os, x);
+}
+
+std::vector<uint32_t>
+readU32Vector(std::istream &is)
+{
+    uint64_t n = readU64(is);
+    if (n > (1ull << 32))
+        throw std::runtime_error("serialize: implausible vector size");
+    std::vector<uint32_t> v(n);
+    for (auto &x : v)
+        x = readU32(is);
+    return v;
+}
+
+} // namespace
+
+void
+serialize(std::ostream &os, const TfheParams &p)
+{
+    writeHeader(os, SerialTag::Params);
+    writeU64(os, p.name.size());
+    os.write(p.name.data(),
+             static_cast<std::streamsize>(p.name.size()));
+    writeU32(os, p.n);
+    writeU32(os, p.N);
+    writeU32(os, p.k);
+    writeU32(os, p.l_bsk);
+    writeU32(os, p.bg_bits);
+    writeU32(os, p.l_ksk);
+    writeU32(os, p.ks_base_bits);
+    writeDouble(os, p.lwe_noise);
+    writeDouble(os, p.glwe_noise);
+    writeU32(os, static_cast<uint32_t>(p.lambda));
+}
+
+TfheParams
+deserializeParams(std::istream &is)
+{
+    expectHeader(is, SerialTag::Params, "params");
+    TfheParams p;
+    uint64_t len = readU64(is);
+    if (len > 4096)
+        throw std::runtime_error("serialize: implausible name length");
+    p.name.resize(len);
+    is.read(p.name.data(), static_cast<std::streamsize>(len));
+    p.n = readU32(is);
+    p.N = readU32(is);
+    p.k = readU32(is);
+    p.l_bsk = readU32(is);
+    p.bg_bits = readU32(is);
+    p.l_ksk = readU32(is);
+    p.ks_base_bits = readU32(is);
+    p.lwe_noise = readDouble(is);
+    p.glwe_noise = readDouble(is);
+    p.lambda = static_cast<int>(readU32(is));
+    return p;
+}
+
+void
+serialize(std::ostream &os, const LweKey &key)
+{
+    writeHeader(os, SerialTag::LweKey);
+    writeU64(os, key.dim());
+    for (uint32_t i = 0; i < key.dim(); ++i)
+        writeU32(os, static_cast<uint32_t>(key.bit(i)));
+}
+
+LweKey
+deserializeLweKey(std::istream &is)
+{
+    expectHeader(is, SerialTag::LweKey, "LWE key");
+    uint64_t n = readU64(is);
+    if (n > (1u << 24))
+        throw std::runtime_error("serialize: implausible key size");
+    std::vector<int32_t> bits(n);
+    for (auto &b : bits)
+        b = static_cast<int32_t>(readU32(is));
+    return LweKey(std::move(bits));
+}
+
+void
+serialize(std::ostream &os, const LweCiphertext &ct)
+{
+    writeHeader(os, SerialTag::LweCiphertext);
+    writeU32Vector(os, ct.raw());
+}
+
+LweCiphertext
+deserializeLweCiphertext(std::istream &is)
+{
+    expectHeader(is, SerialTag::LweCiphertext, "LWE ciphertext");
+    std::vector<uint32_t> raw = readU32Vector(is);
+    if (raw.empty())
+        throw std::runtime_error("serialize: empty ciphertext");
+    LweCiphertext ct(static_cast<uint32_t>(raw.size() - 1));
+    ct.raw() = std::move(raw);
+    return ct;
+}
+
+void
+serialize(std::ostream &os, const GlweKey &key)
+{
+    writeHeader(os, SerialTag::GlweKey);
+    writeU32(os, key.k());
+    writeU32(os, key.ringDim());
+    for (uint32_t i = 0; i < key.k(); ++i)
+        for (uint32_t j = 0; j < key.ringDim(); ++j)
+            writeU32(os, static_cast<uint32_t>(key.poly(i)[j]));
+}
+
+GlweKey
+deserializeGlweKey(std::istream &is)
+{
+    expectHeader(is, SerialTag::GlweKey, "GLWE key");
+    uint32_t k = readU32(is);
+    uint32_t big_n = readU32(is);
+    if (k > 16 || big_n > (1u << 20))
+        throw std::runtime_error("serialize: implausible GLWE key");
+    std::vector<IntPolynomial> polys(k, IntPolynomial(big_n));
+    for (uint32_t i = 0; i < k; ++i)
+        for (uint32_t j = 0; j < big_n; ++j)
+            polys[i][j] = static_cast<int32_t>(readU32(is));
+    return GlweKey(std::move(polys));
+}
+
+void
+serialize(std::ostream &os, const TorusPolynomial &poly)
+{
+    writeHeader(os, SerialTag::TorusPoly);
+    writeU64(os, poly.size());
+    for (size_t i = 0; i < poly.size(); ++i)
+        writeU32(os, poly[i]);
+}
+
+TorusPolynomial
+deserializeTorusPolynomial(std::istream &is)
+{
+    expectHeader(is, SerialTag::TorusPoly, "torus polynomial");
+    uint64_t n = readU64(is);
+    if (n > (1u << 24))
+        throw std::runtime_error("serialize: implausible poly size");
+    TorusPolynomial poly(n);
+    for (size_t i = 0; i < n; ++i)
+        poly[i] = readU32(is);
+    return poly;
+}
+
+void
+serialize(std::ostream &os, const KeySwitchKey &ksk)
+{
+    writeHeader(os, SerialTag::KeySwitchKey);
+    writeU32(os, ksk.inDim());
+    writeU32(os, ksk.outDim());
+    writeU32(os, ksk.gadget().base_bits);
+    writeU32(os, ksk.gadget().levels);
+    for (uint32_t i = 0; i < ksk.inDim(); ++i)
+        for (uint32_t j = 0; j < ksk.gadget().levels; ++j)
+            writeU32Vector(os, ksk.row(i, j).raw());
+}
+
+KeySwitchKey
+deserializeKeySwitchKey(std::istream &is)
+{
+    expectHeader(is, SerialTag::KeySwitchKey, "keyswitch key");
+    uint32_t in_dim = readU32(is);
+    uint32_t out_dim = readU32(is);
+    GadgetParams g{readU32(is), readU32(is)};
+    if (in_dim > (1u << 24) || g.levels > 64)
+        throw std::runtime_error("serialize: implausible ksk");
+    std::vector<LweCiphertext> rows;
+    rows.reserve(size_t(in_dim) * g.levels);
+    for (uint64_t r = 0; r < uint64_t(in_dim) * g.levels; ++r) {
+        std::vector<uint32_t> raw = readU32Vector(is);
+        if (raw.size() != size_t(out_dim) + 1)
+            throw std::runtime_error("serialize: ksk row dim mismatch");
+        LweCiphertext ct(out_dim);
+        ct.raw() = std::move(raw);
+        rows.push_back(std::move(ct));
+    }
+    return KeySwitchKey::fromRows(in_dim, out_dim, g, std::move(rows));
+}
+
+void
+serialize(std::ostream &os, const EncryptedUint &x)
+{
+    writeHeader(os, SerialTag::EncryptedUint);
+    writeU32(os, x.digit_bits);
+    writeU64(os, x.digits.size());
+    for (const auto &d : x.digits)
+        writeU32Vector(os, d.raw());
+}
+
+EncryptedUint
+deserializeEncryptedUint(std::istream &is)
+{
+    expectHeader(is, SerialTag::EncryptedUint, "encrypted uint");
+    EncryptedUint x;
+    x.digit_bits = readU32(is);
+    uint64_t n = readU64(is);
+    if (n > (1u << 16))
+        throw std::runtime_error("serialize: implausible digit count");
+    for (uint64_t i = 0; i < n; ++i) {
+        std::vector<uint32_t> raw = readU32Vector(is);
+        if (raw.empty())
+            throw std::runtime_error("serialize: empty digit");
+        LweCiphertext ct(static_cast<uint32_t>(raw.size() - 1));
+        ct.raw() = std::move(raw);
+        x.digits.push_back(std::move(ct));
+    }
+    return x;
+}
+
+} // namespace strix

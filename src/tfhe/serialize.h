@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Binary serialization for TFHE material.
+ *
+ * A TFHE deployment is client/server: the client keeps the secret
+ * keys and ships ciphertexts plus the (public) bootstrapping and
+ * keyswitching keys to the server. This module provides a compact,
+ * versioned, little-endian binary format for every transferable
+ * object. Each object is framed with a type tag so a stream can be
+ * validated on read.
+ */
+
+#ifndef STRIX_TFHE_SERIALIZE_H
+#define STRIX_TFHE_SERIALIZE_H
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "tfhe/integer.h"
+#include "tfhe/keyswitch.h"
+#include "tfhe/params.h"
+
+namespace strix {
+
+/** Format version written into every frame. */
+inline constexpr uint32_t kSerializeVersion = 1;
+
+/** Frame type tags. */
+enum class SerialTag : uint32_t
+{
+    Params = 0x50415230,        // "PAR0"
+    LweKey = 0x4C4B4559,        // "LKEY"
+    LweCiphertext = 0x4C435431, // "LCT1"
+    GlweKey = 0x474B4559,       // "GKEY"
+    TorusPoly = 0x54504C59,     // "TPLY"
+    KeySwitchKey = 0x4B534B31,  // "KSK1"
+    EncryptedUint = 0x45554931, // "EUI1"
+};
+
+// --- writers ---------------------------------------------------------
+void serialize(std::ostream &os, const TfheParams &p);
+void serialize(std::ostream &os, const LweKey &key);
+void serialize(std::ostream &os, const LweCiphertext &ct);
+void serialize(std::ostream &os, const GlweKey &key);
+void serialize(std::ostream &os, const TorusPolynomial &poly);
+void serialize(std::ostream &os, const KeySwitchKey &ksk);
+void serialize(std::ostream &os, const EncryptedUint &x);
+
+// --- readers (throw std::runtime_error on malformed input) -----------
+TfheParams deserializeParams(std::istream &is);
+LweKey deserializeLweKey(std::istream &is);
+LweCiphertext deserializeLweCiphertext(std::istream &is);
+GlweKey deserializeGlweKey(std::istream &is);
+TorusPolynomial deserializeTorusPolynomial(std::istream &is);
+KeySwitchKey deserializeKeySwitchKey(std::istream &is);
+EncryptedUint deserializeEncryptedUint(std::istream &is);
+
+} // namespace strix
+
+#endif // STRIX_TFHE_SERIALIZE_H

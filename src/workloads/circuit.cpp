@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Circuit netlist implementation and standard cells.
+ */
+
+#include "workloads/circuit.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace strix {
+
+Wire
+Circuit::input(const std::string &)
+{
+    nodes_.push_back({GateOp::Input});
+    inputs_.push_back(static_cast<Wire>(nodes_.size() - 1));
+    return inputs_.back();
+}
+
+Wire
+Circuit::constant(bool value)
+{
+    Node n{GateOp::Const};
+    n.const_value = value;
+    nodes_.push_back(n);
+    return static_cast<Wire>(nodes_.size() - 1);
+}
+
+Wire
+Circuit::gate(GateOp op, Wire a, Wire b)
+{
+    panicIfNot(op != GateOp::Input && op != GateOp::Const &&
+                   op != GateOp::Not && op != GateOp::Mux,
+               "gate(): use the dedicated builders");
+    panicIfNot(a < nodes_.size() && b < nodes_.size(),
+               "gate(): operand out of range");
+    nodes_.push_back({op, a, b});
+    return static_cast<Wire>(nodes_.size() - 1);
+}
+
+Wire
+Circuit::notGate(Wire a)
+{
+    panicIfNot(a < nodes_.size(), "notGate(): operand out of range");
+    nodes_.push_back({GateOp::Not, a});
+    return static_cast<Wire>(nodes_.size() - 1);
+}
+
+Wire
+Circuit::mux(Wire sel, Wire hi, Wire lo)
+{
+    panicIfNot(sel < nodes_.size() && hi < nodes_.size() &&
+                   lo < nodes_.size(),
+               "mux(): operand out of range");
+    nodes_.push_back({GateOp::Mux, sel, hi, lo});
+    return static_cast<Wire>(nodes_.size() - 1);
+}
+
+void
+Circuit::output(Wire w, const std::string &)
+{
+    panicIfNot(w < nodes_.size(), "output(): wire out of range");
+    outputs_.push_back(w);
+}
+
+uint64_t
+Circuit::pbsCount() const
+{
+    uint64_t count = 0;
+    for (const auto &n : nodes_) {
+        switch (n.op) {
+          case GateOp::Input:
+          case GateOp::Const:
+          case GateOp::Not:
+            break;
+          case GateOp::Mux:
+            count += 2;
+            break;
+          default:
+            count += 1;
+        }
+    }
+    return count;
+}
+
+std::vector<uint32_t>
+Circuit::levels() const
+{
+    std::vector<uint32_t> lvl(nodes_.size(), 0);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        switch (n.op) {
+          case GateOp::Input:
+          case GateOp::Const:
+            lvl[i] = 0;
+            break;
+          case GateOp::Not:
+            lvl[i] = lvl[n.a]; // free, stays on its operand's level
+            break;
+          case GateOp::Mux:
+            lvl[i] =
+                std::max(lvl[n.a], std::max(lvl[n.b], lvl[n.c])) + 1;
+            break;
+          default:
+            lvl[i] = std::max(lvl[n.a], lvl[n.b]) + 1;
+        }
+    }
+    return lvl;
+}
+
+uint32_t
+Circuit::depth() const
+{
+    auto lvl = levels();
+    uint32_t d = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        if (nodes_[i].op != GateOp::Input && nodes_[i].op != GateOp::Const)
+            d = std::max(d, lvl[i]);
+    return d;
+}
+
+std::vector<bool>
+Circuit::evalPlain(const std::vector<bool> &inputs) const
+{
+    panicIfNot(inputs.size() == inputs_.size(),
+               "evalPlain: wrong input count");
+    std::vector<bool> val(nodes_.size(), false);
+    size_t next_input = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        switch (n.op) {
+          case GateOp::Input: val[i] = inputs[next_input++]; break;
+          case GateOp::Const: val[i] = n.const_value; break;
+          case GateOp::And: val[i] = val[n.a] && val[n.b]; break;
+          case GateOp::Or: val[i] = val[n.a] || val[n.b]; break;
+          case GateOp::Xor: val[i] = val[n.a] != val[n.b]; break;
+          case GateOp::Nand: val[i] = !(val[n.a] && val[n.b]); break;
+          case GateOp::Nor: val[i] = !(val[n.a] || val[n.b]); break;
+          case GateOp::Xnor: val[i] = val[n.a] == val[n.b]; break;
+          case GateOp::AndNY: val[i] = !val[n.a] && val[n.b]; break;
+          case GateOp::AndYN: val[i] = val[n.a] && !val[n.b]; break;
+          case GateOp::Not: val[i] = !val[n.a]; break;
+          case GateOp::Mux:
+            val[i] = val[n.a] ? val[n.b] : val[n.c];
+            break;
+        }
+    }
+    std::vector<bool> out;
+    out.reserve(outputs_.size());
+    for (Wire w : outputs_)
+        out.push_back(val[w]);
+    return out;
+}
+
+std::vector<bool>
+Circuit::evalEncrypted(TfheContext &ctx,
+                       const std::vector<bool> &inputs) const
+{
+    panicIfNot(inputs.size() == inputs_.size(),
+               "evalEncrypted: wrong input count");
+    const Torus32 mu = encodeMessage(1, 8);
+    std::vector<LweCiphertext> val(nodes_.size());
+    size_t next_input = 0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        switch (n.op) {
+          case GateOp::Input:
+            val[i] = ctx.encryptBit(inputs[next_input++]);
+            break;
+          case GateOp::Const:
+            val[i] = LweCiphertext::trivial(
+                ctx.params().n, n.const_value ? mu : 0u - mu);
+            break;
+          case GateOp::And: val[i] = gateAnd(ctx, val[n.a], val[n.b]); break;
+          case GateOp::Or: val[i] = gateOr(ctx, val[n.a], val[n.b]); break;
+          case GateOp::Xor: val[i] = gateXor(ctx, val[n.a], val[n.b]); break;
+          case GateOp::Nand:
+            val[i] = gateNand(ctx, val[n.a], val[n.b]);
+            break;
+          case GateOp::Nor: val[i] = gateNor(ctx, val[n.a], val[n.b]); break;
+          case GateOp::Xnor:
+            val[i] = gateXnor(ctx, val[n.a], val[n.b]);
+            break;
+          case GateOp::AndNY:
+            val[i] = gateAndNY(ctx, val[n.a], val[n.b]);
+            break;
+          case GateOp::AndYN:
+            val[i] = gateAndYN(ctx, val[n.a], val[n.b]);
+            break;
+          case GateOp::Not: val[i] = gateNot(val[n.a]); break;
+          case GateOp::Mux:
+            val[i] = gateMux(ctx, val[n.a], val[n.b], val[n.c]);
+            break;
+        }
+    }
+    std::vector<bool> out;
+    out.reserve(outputs_.size());
+    for (Wire w : outputs_)
+        out.push_back(ctx.decryptBit(val[w]));
+    return out;
+}
+
+WorkloadGraph
+Circuit::toWorkloadGraph() const
+{
+    WorkloadGraph g(name_);
+    auto lvl = levels();
+    std::map<uint32_t, uint64_t> pbs_per_level;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        switch (nodes_[i].op) {
+          case GateOp::Input:
+          case GateOp::Const:
+          case GateOp::Not:
+            break;
+          case GateOp::Mux:
+            pbs_per_level[lvl[i]] += 2;
+            break;
+          default:
+            pbs_per_level[lvl[i]] += 1;
+        }
+    }
+    for (const auto &[level, pbs] : pbs_per_level) {
+        g.addLayer({"level-" + std::to_string(level), pbs,
+                    /*linear_macs=*/pbs * 2});
+    }
+    return g;
+}
+
+Circuit
+buildAdder(uint32_t bits)
+{
+    Circuit c("adder" + std::to_string(bits));
+    std::vector<Wire> a(bits), b(bits);
+    for (uint32_t i = 0; i < bits; ++i)
+        a[i] = c.input("a" + std::to_string(i));
+    for (uint32_t i = 0; i < bits; ++i)
+        b[i] = c.input("b" + std::to_string(i));
+
+    Wire carry = 0;
+    bool have_carry = false;
+    for (uint32_t i = 0; i < bits; ++i) {
+        Wire axb = c.gate(GateOp::Xor, a[i], b[i]);
+        Wire sum = have_carry ? c.gate(GateOp::Xor, axb, carry) : axb;
+        Wire gen = c.gate(GateOp::And, a[i], b[i]);
+        Wire prop =
+            have_carry ? c.gate(GateOp::And, axb, carry) : Wire{0};
+        carry = have_carry ? c.gate(GateOp::Or, gen, prop) : gen;
+        have_carry = true;
+        c.output(sum, "s" + std::to_string(i));
+    }
+    c.output(carry, "cout");
+    return c;
+}
+
+Circuit
+buildEqualityComparator(uint32_t bits)
+{
+    Circuit c("eq" + std::to_string(bits));
+    std::vector<Wire> a(bits), b(bits);
+    for (uint32_t i = 0; i < bits; ++i)
+        a[i] = c.input();
+    for (uint32_t i = 0; i < bits; ++i)
+        b[i] = c.input();
+    Wire acc = c.gate(GateOp::Xnor, a[0], b[0]);
+    for (uint32_t i = 1; i < bits; ++i) {
+        Wire eq = c.gate(GateOp::Xnor, a[i], b[i]);
+        acc = c.gate(GateOp::And, acc, eq);
+    }
+    c.output(acc, "eq");
+    return c;
+}
+
+Circuit
+buildLessThan(uint32_t bits)
+{
+    Circuit c("lt" + std::to_string(bits));
+    std::vector<Wire> a(bits), b(bits);
+    for (uint32_t i = 0; i < bits; ++i)
+        a[i] = c.input();
+    for (uint32_t i = 0; i < bits; ++i)
+        b[i] = c.input();
+    // From LSB upward: lt_i = (b_i & !a_i) | (eq_i & lt_{i-1}).
+    Wire lt = c.gate(GateOp::AndNY, a[0], b[0]);
+    for (uint32_t i = 1; i < bits; ++i) {
+        Wire bi_gt = c.gate(GateOp::AndNY, a[i], b[i]);
+        Wire eq = c.gate(GateOp::Xnor, a[i], b[i]);
+        Wire keep = c.gate(GateOp::And, eq, lt);
+        lt = c.gate(GateOp::Or, bi_gt, keep);
+    }
+    c.output(lt, "lt");
+    return c;
+}
+
+Circuit
+buildMultiplier(uint32_t bits)
+{
+    Circuit c("mul" + std::to_string(bits));
+    std::vector<Wire> a(bits), b(bits);
+    for (uint32_t i = 0; i < bits; ++i)
+        a[i] = c.input();
+    for (uint32_t i = 0; i < bits; ++i)
+        b[i] = c.input();
+
+    // Shift-add: acc (2*bits wires) accumulates a * b_j << j.
+    std::vector<Wire> acc(2 * bits, c.constant(false));
+    for (uint32_t j = 0; j < bits; ++j) {
+        // Partial product row.
+        std::vector<Wire> pp(2 * bits, c.constant(false));
+        for (uint32_t i = 0; i < bits; ++i)
+            pp[i + j] = c.gate(GateOp::And, a[i], b[j]);
+        // Ripple-add row into acc.
+        Wire carry = c.constant(false);
+        for (uint32_t k = j; k < 2 * bits; ++k) {
+            Wire axb = c.gate(GateOp::Xor, acc[k], pp[k]);
+            Wire sum = c.gate(GateOp::Xor, axb, carry);
+            Wire gen = c.gate(GateOp::And, acc[k], pp[k]);
+            Wire prop = c.gate(GateOp::And, axb, carry);
+            carry = c.gate(GateOp::Or, gen, prop);
+            acc[k] = sum;
+        }
+    }
+    for (uint32_t k = 0; k < 2 * bits; ++k)
+        c.output(acc[k], "p" + std::to_string(k));
+    return c;
+}
+
+} // namespace strix

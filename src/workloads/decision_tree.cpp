@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Decision-tree inference implementation.
+ */
+
+#include "workloads/decision_tree.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace strix {
+
+void
+DecisionTree::setNode(size_t i, uint32_t feature, uint64_t threshold)
+{
+    panicIfNot(i < nodes_.size(), "tree node index out of range");
+    panicIfNot(feature < num_features_, "tree feature out of range");
+    nodes_[i] = {feature, threshold};
+}
+
+uint64_t
+DecisionTree::predictPlain(const std::vector<uint64_t> &features) const
+{
+    panicIfNot(features.size() == num_features_,
+               "tree: wrong feature count");
+    size_t i = 0;
+    while (i < nodes_.size()) {
+        const Node &n = nodes_[i];
+        bool right = features[n.feature] >= n.threshold;
+        i = 2 * i + (right ? 2 : 1);
+    }
+    return leaves_[i - nodes_.size()];
+}
+
+LweCiphertext
+DecisionTree::predictEncrypted(
+    IntegerOps &ops, const std::vector<EncryptedUint> &features) const
+{
+    panicIfNot(features.size() == num_features_,
+               "tree: wrong encrypted feature count");
+    const uint32_t digits = features[0].numDigits();
+
+    // Phase 1: all comparisons (independent, one layer). Decision
+    // bit d_i = 1 means "go right" (feature >= threshold), computed
+    // as NOT (feature < threshold).
+    std::vector<LweCiphertext> decide(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        EncryptedUint thr;
+        thr.digit_bits = features[0].digit_bits;
+        uint64_t t = nodes_[i].threshold;
+        for (uint32_t d = 0; d < digits; ++d) {
+            thr.digits.push_back(ops.trivialDigit(t % ops.base()));
+            t /= ops.base();
+        }
+        decide[i] =
+            ops.notBit(ops.lessThan(features[nodes_[i].feature], thr));
+    }
+
+    // Phase 2: oblivious leaf selection, bottom-up MUX reduction.
+    std::vector<LweCiphertext> vals;
+    vals.reserve(leaves_.size());
+    for (uint64_t leaf : leaves_)
+        vals.push_back(ops.trivialDigit(leaf));
+
+    // Internal nodes of level l occupy indices [2^l - 1, 2^{l+1} - 1).
+    for (uint32_t level = depth_; level-- > 0;) {
+        const size_t first = (size_t{1} << level) - 1;
+        const size_t count = size_t{1} << level;
+        std::vector<LweCiphertext> next;
+        next.reserve(count);
+        for (size_t j = 0; j < count; ++j) {
+            next.push_back(ops.selectDigit(decide[first + j],
+                                           vals[2 * j + 1],
+                                           vals[2 * j]));
+        }
+        vals = std::move(next);
+    }
+    panicIfNot(vals.size() == 1, "tree reduction did not converge");
+    return vals[0];
+}
+
+WorkloadGraph
+DecisionTree::toWorkloadGraph(uint32_t digits) const
+{
+    WorkloadGraph g("tree-d" + std::to_string(depth_));
+    // One comparison layer: every internal node's borrow chain runs
+    // independently (digits PBS each).
+    g.addLayer({"compare", nodes_.size() * digits,
+                nodes_.size() * digits * 4});
+    // MUX reduction: one layer per level, 2 PBS per select.
+    for (uint32_t level = depth_; level-- > 0;) {
+        const uint64_t count = uint64_t{1} << level;
+        g.addLayer({"select-" + std::to_string(level), count * 2,
+                    count * 4});
+    }
+    return g;
+}
+
+DecisionTree
+randomTree(uint32_t depth, uint32_t num_features, uint64_t feature_space,
+           uint64_t seed)
+{
+    Rng rng(seed);
+    DecisionTree tree(depth, num_features);
+    for (size_t i = 0; i < tree.numNodes(); ++i) {
+        tree.setNode(i,
+                     static_cast<uint32_t>(rng.uniformBelow(num_features)),
+                     rng.uniformBelow(feature_space));
+    }
+    for (size_t i = 0; i < tree.numLeaves(); ++i)
+        tree.setLeaf(i, rng.uniformBelow(4)); // class labels 0..3
+    return tree;
+}
+
+} // namespace strix

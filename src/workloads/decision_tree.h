@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Privacy-preserving decision-tree inference over TFHE (the paper's
+ * Sec. II-C cites tree-based ML as a motivating PBS workload).
+ *
+ * Model: a complete binary decision tree over integer features.
+ * Every internal node compares one encrypted feature against a
+ * plaintext threshold (an encrypted less-than, i.e. a borrow chain of
+ * PBS); the leaf values are then aggregated with an oblivious
+ * selection network of encrypted multiplexers so the server learns
+ * neither the path nor the result.
+ *
+ * Provides functional evaluation on a TfheContext plus lowering to a
+ * WorkloadGraph for the accelerator models.
+ */
+
+#ifndef STRIX_WORKLOADS_DECISION_TREE_H
+#define STRIX_WORKLOADS_DECISION_TREE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "strix/graph.h"
+#include "tfhe/integer.h"
+
+namespace strix {
+
+/** A complete binary decision tree over integer features. */
+class DecisionTree
+{
+  public:
+    /** Internal node: feature index + threshold (go right if f >= t). */
+    struct Node
+    {
+        uint32_t feature;
+        uint64_t threshold;
+    };
+
+    /**
+     * @param depth        tree depth (2^depth leaves)
+     * @param num_features feature vector length
+     */
+    DecisionTree(uint32_t depth, uint32_t num_features)
+        : depth_(depth), num_features_(num_features),
+          nodes_((size_t{1} << depth) - 1),
+          leaves_(size_t{1} << depth, 0)
+    {
+    }
+
+    uint32_t depth() const { return depth_; }
+    uint32_t numFeatures() const { return num_features_; }
+    size_t numNodes() const { return nodes_.size(); }
+    size_t numLeaves() const { return leaves_.size(); }
+
+    /** Set internal node i (level-order, root = 0). */
+    void setNode(size_t i, uint32_t feature, uint64_t threshold);
+
+    /** Set leaf value (label). */
+    void setLeaf(size_t i, uint64_t value) { leaves_[i] = value; }
+
+    /** Cleartext inference. */
+    uint64_t predictPlain(const std::vector<uint64_t> &features) const;
+
+    /**
+     * Encrypted inference: features arrive as EncryptedUint; returns
+     * the encrypted leaf value (one digit, values must fit the digit
+     * space of @p ops). All 2^depth-1 comparisons and the selection
+     * network run homomorphically.
+     */
+    LweCiphertext
+    predictEncrypted(IntegerOps &ops,
+                     const std::vector<EncryptedUint> &features) const;
+
+    /**
+     * Lower to a layered workload graph: one comparison layer per
+     * tree level (all nodes of a level are independent), then a
+     * selection layer per level of the MUX reduction.
+     *
+     * @param digits digits per feature (drives PBS per comparison)
+     */
+    WorkloadGraph toWorkloadGraph(uint32_t digits) const;
+
+  private:
+    uint32_t depth_;
+    uint32_t num_features_;
+    std::vector<Node> nodes_;
+    std::vector<uint64_t> leaves_;
+};
+
+/** Deterministically generate a random tree for benchmarks/tests. */
+DecisionTree randomTree(uint32_t depth, uint32_t num_features,
+                        uint64_t feature_space, uint64_t seed);
+
+} // namespace strix
+
+#endif // STRIX_WORKLOADS_DECISION_TREE_H

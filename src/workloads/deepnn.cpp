@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deep-NN graph construction.
+ */
+
+#include "workloads/deepnn.h"
+
+#include "common/logging.h"
+
+namespace strix {
+
+WorkloadGraph
+buildDeepNn(uint32_t depth)
+{
+    panicIfNot(depth >= 3, "Deep-NN depth must be >= 3");
+    WorkloadGraph g("NN-" + std::to_string(depth));
+
+    // Layer 1: 10x11 convolution over the 784 encrypted pixels,
+    // producing 840 values, each passed through a PBS ReLU.
+    g.addLayer({"conv-relu", DeepNnShape::kConvOutputs,
+                uint64_t(DeepNnShape::kConvOutputs) *
+                    DeepNnShape::kConvKernel});
+
+    // Hidden dense layers with 92 neurons + ReLU. The first consumes
+    // the 840 conv outputs; the rest are 92 -> 92.
+    uint64_t fan_in = DeepNnShape::kConvOutputs;
+    for (uint32_t l = 0; l + 2 < depth; ++l) {
+        g.addLayer({"dense" + std::to_string(l + 2) + "-relu",
+                    DeepNnShape::kDenseWidth,
+                    fan_in * DeepNnShape::kDenseWidth});
+        fan_in = DeepNnShape::kDenseWidth;
+    }
+
+    // Linear classifier head: no activation, hence no PBS.
+    g.addLayer({"classifier", 0, fan_in * DeepNnShape::kClasses});
+    return g;
+}
+
+uint64_t
+deepNnPbsCount(uint32_t depth)
+{
+    return buildDeepNn(depth).totalPbs();
+}
+
+} // namespace strix

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Zama Deep-NN workload generator (Sec. VI-C / Fig. 7).
+ *
+ * The benchmark network (Chillotti et al., "Programmable
+ * bootstrapping enables efficient homomorphic inference of deep
+ * neural networks"): 28x28 encrypted input, a 10x11 convolution with
+ * ReLU producing [1, 2, 21, 20], then dense layers of 92 neurons with
+ * ReLU, and a 10-way linear classifier head. Every ReLU is one PBS.
+ */
+
+#ifndef STRIX_WORKLOADS_DEEPNN_H
+#define STRIX_WORKLOADS_DEEPNN_H
+
+#include "strix/graph.h"
+
+namespace strix {
+
+/** Shape constants of the Zama Deep-NN family. */
+struct DeepNnShape
+{
+    static constexpr uint32_t kInputPixels = 28 * 28;       // 784
+    static constexpr uint32_t kConvKernel = 10 * 11;        // 110
+    static constexpr uint32_t kConvOutputs = 1 * 2 * 21 * 20; // 840
+    static constexpr uint32_t kDenseWidth = 92;
+    static constexpr uint32_t kClasses = 10;
+};
+
+/**
+ * Build the layered PBS/KS graph of NN-@p depth (20, 50, or 100; any
+ * depth >= 3 is accepted). Layer count includes the conv layer and
+ * the linear classifier head.
+ */
+WorkloadGraph buildDeepNn(uint32_t depth);
+
+/** Total PBS count of NN-depth (convenience for tests/benches). */
+uint64_t deepNnPbsCount(uint32_t depth);
+
+} // namespace strix
+
+#endif // STRIX_WORKLOADS_DEEPNN_H

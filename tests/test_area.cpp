@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Area/power model tests against the paper's Table III and Table VI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "strix/area_model.h"
+
+namespace strix {
+namespace {
+
+::testing::AssertionResult
+within(double got, double want, double tol)
+{
+    double rel = std::abs(got / want - 1.0);
+    if (rel <= tol)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "got " << got << ", want " << want << " (rel " << rel
+           << ")";
+}
+
+TEST(AreaModel, TableIIIComponentAreas)
+{
+    ChipBreakdown b = computeChipBreakdown(StrixConfig::paperDefault());
+    EXPECT_TRUE(within(b.local_scratchpad.area_mm2, 0.92, 0.02));
+    EXPECT_TRUE(within(b.rotator.area_mm2, 0.02, 0.02));
+    EXPECT_TRUE(within(b.decomposer.area_mm2, 0.28, 0.02));
+    EXPECT_TRUE(within(b.ifftu.area_mm2, 7.23, 0.03));
+    EXPECT_TRUE(within(b.vma.area_mm2, 0.63, 0.02));
+    EXPECT_TRUE(within(b.accumulator.area_mm2, 0.32, 0.02));
+    EXPECT_TRUE(within(b.core.area_mm2, 9.38, 0.03));
+    EXPECT_TRUE(within(b.all_cores.area_mm2, 75.03, 0.03));
+    EXPECT_TRUE(within(b.global_scratchpad.area_mm2, 51.40, 0.01));
+    EXPECT_TRUE(within(b.hbm_phy.area_mm2, 14.90, 0.01));
+    EXPECT_TRUE(within(b.total.area_mm2, 141.37, 0.03));
+}
+
+TEST(AreaModel, TableIIIPower)
+{
+    ChipBreakdown b = computeChipBreakdown(StrixConfig::paperDefault());
+    EXPECT_TRUE(within(b.core.power_w, 6.21, 0.05));
+    EXPECT_TRUE(within(b.total.power_w, 77.14, 0.05));
+}
+
+TEST(AreaModel, TableVIFoldingAblation)
+{
+    ChipBreakdown fold = computeChipBreakdown(StrixConfig::paperDefault());
+    ChipBreakdown nofold =
+        computeChipBreakdown(StrixConfig::paperNoFolding());
+
+    // Paper: FFT unit 3.13 vs 1.81 mm^2 (1.73x), core 13.87 vs 9.38
+    // (1.48x). The model derives these from the same constants.
+    EXPECT_TRUE(within(fold.fft_instance_mm2, 1.81, 0.03));
+    EXPECT_TRUE(within(nofold.fft_instance_mm2, 3.13, 0.03));
+    EXPECT_TRUE(
+        within(nofold.fft_instance_mm2 / fold.fft_instance_mm2, 1.73,
+               0.05));
+    EXPECT_TRUE(within(nofold.core.area_mm2, 13.87, 0.05));
+    EXPECT_TRUE(
+        within(nofold.core.area_mm2 / fold.core.area_mm2, 1.48, 0.05));
+}
+
+TEST(AreaModel, FftAreaScalesWithLanesAndPoints)
+{
+    StrixConfig wide = StrixConfig::paperDefault();
+    wide.clp = 8;
+    ChipBreakdown base = computeChipBreakdown(StrixConfig::paperDefault());
+    ChipBreakdown w = computeChipBreakdown(wide);
+    EXPECT_GT(w.fft_instance_mm2, base.fft_instance_mm2);
+
+    // Smaller max ring dimension shrinks the delay-line SRAM.
+    ChipBreakdown small =
+        computeChipBreakdown(StrixConfig::paperDefault(), 2048);
+    EXPECT_LT(small.fft_instance_mm2, base.fft_instance_mm2);
+}
+
+TEST(AreaModel, CoreCountScalesCoresOnly)
+{
+    StrixConfig half = StrixConfig::paperDefault();
+    half.tvlp = 4;
+    ChipBreakdown b8 = computeChipBreakdown(StrixConfig::paperDefault());
+    ChipBreakdown b4 = computeChipBreakdown(half);
+    EXPECT_NEAR(b4.all_cores.area_mm2, b8.all_cores.area_mm2 / 2, 1e-9);
+    EXPECT_DOUBLE_EQ(b4.global_scratchpad.area_mm2,
+                     b8.global_scratchpad.area_mm2);
+    EXPECT_DOUBLE_EQ(b4.hbm_phy.area_mm2, b8.hbm_phy.area_mm2);
+}
+
+TEST(AreaModel, OnChipMemoryBudget)
+{
+    // The paper highlights ~26 MB total on-chip SRAM (21 global +
+    // 8 x 0.625 local) vs hundreds of MB for CKKS accelerators.
+    StrixConfig cfg = StrixConfig::paperDefault();
+    double total_mb =
+        cfg.global_scratch_mb + cfg.tvlp * cfg.local_scratch_kb / 1024.0;
+    EXPECT_NEAR(total_mb, 26.0, 0.1);
+}
+
+} // namespace
+} // namespace strix

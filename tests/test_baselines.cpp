@@ -1,0 +1,120 @@
+/**
+ * @file
+ * CPU/GPU baseline model tests against the published Table V rows and
+ * the Fig. 2 fragmentation behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_model.h"
+#include "baselines/gpu_model.h"
+#include "baselines/reference_platforms.h"
+
+namespace strix {
+namespace {
+
+::testing::AssertionResult
+within(double got, double want, double tol)
+{
+    double rel = std::abs(got / want - 1.0);
+    if (rel <= tol)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "got " << got << ", want " << want << " (rel " << rel
+           << ")";
+}
+
+TEST(CpuModel, AnchorsToConcreteSetI)
+{
+    CpuModel cpu;
+    EXPECT_DOUBLE_EQ(cpu.pbsLatencyMs(paramsSetI()), 14.0);
+    EXPECT_NEAR(cpu.throughputPbsPerSec(paramsSetI()), 70.0, 2.0);
+}
+
+TEST(CpuModel, TracksPublishedConcreteRows)
+{
+    CpuModel cpu;
+    EXPECT_TRUE(within(cpu.pbsLatencyMs(paramsSetII()), 19.0, 0.15));
+    EXPECT_TRUE(within(cpu.pbsLatencyMs(paramsSetIII()), 38.0, 0.15));
+    EXPECT_TRUE(within(cpu.pbsLatencyMs(paramsSetIV()), 969.0, 0.15));
+}
+
+TEST(CpuModel, BatchRoundsByThreads)
+{
+    CpuModel cpu(8);
+    const TfheParams &p = paramsSetI();
+    double one = cpu.runBatchSeconds(p, 1);
+    double eight = cpu.runBatchSeconds(p, 8);
+    double nine = cpu.runBatchSeconds(p, 9);
+    EXPECT_DOUBLE_EQ(one, eight);  // underfilled round
+    EXPECT_NEAR(nine, 2 * one, 1e-12);
+}
+
+TEST(GpuModel, AnchorsToNuFheSetI)
+{
+    GpuModel gpu;
+    EXPECT_TRUE(within(gpu.pbsLatencyMs(paramsSetI()), 37.0, 0.05));
+    EXPECT_TRUE(within(gpu.throughputPbsPerSec(paramsSetI()), 2000.0,
+                       0.05));
+}
+
+TEST(GpuModel, SetIIFallsOffTheFusedKernel)
+{
+    // NuFHE set II: 700 ms / 500 PBS/s (sequential FFT path).
+    GpuModel gpu;
+    EXPECT_TRUE(within(gpu.throughputPbsPerSec(paramsSetII()), 500.0,
+                       0.10));
+}
+
+TEST(GpuModel, FragmentationFormulaEq2)
+{
+    GpuModel gpu(72);
+    EXPECT_EQ(gpu.fragmentations(0), 0u);
+    EXPECT_EQ(gpu.fragmentations(1), 0u);
+    EXPECT_EQ(gpu.fragmentations(72), 0u);
+    EXPECT_EQ(gpu.fragmentations(73), 1u);
+    EXPECT_EQ(gpu.fragmentations(144), 1u);
+    EXPECT_EQ(gpu.fragmentations(145), 2u);
+    EXPECT_EQ(gpu.fragmentations(288), 3u);
+}
+
+TEST(GpuModel, Fig2StaircaseTotalTime)
+{
+    // Total time = (#fragmentations + 1) * BR time (Eq. (1)): flat up
+    // to 72 LWEs, 2x at 73, 3x at 145...
+    GpuModel gpu(72);
+    const TfheParams &p = paramsSetI();
+    double t1 = gpu.runBatchSeconds(p, 1);
+    EXPECT_DOUBLE_EQ(gpu.runBatchSeconds(p, 72), t1);
+    EXPECT_DOUBLE_EQ(gpu.runBatchSeconds(p, 73), 2 * t1);
+    EXPECT_DOUBLE_EQ(gpu.runBatchSeconds(p, 288), 4 * t1);
+}
+
+TEST(GpuModel, CoreLevelBatchingDoesNotHelpGpus)
+{
+    // Fig. 2 right: assigning c LWEs per SM stretches the iteration
+    // linearly -- no net win. This is the motivation for Strix.
+    GpuModel gpu(72);
+    const TfheParams &p = paramsSetI();
+    double c1 = gpu.coreLevelBatchSeconds(p, 1);
+    EXPECT_DOUBLE_EQ(gpu.coreLevelBatchSeconds(p, 2), 2 * c1);
+    EXPECT_DOUBLE_EQ(gpu.coreLevelBatchSeconds(p, 3), 3 * c1);
+}
+
+TEST(ReferencePlatforms, TableVRowsPresent)
+{
+    const auto &rows = tableVReferenceRows();
+    ASSERT_EQ(rows.size(), 11u);
+    // Spot checks.
+    EXPECT_EQ(rows[0].platform, "Concrete");
+    EXPECT_EQ(rows[10].platform, "Matcha");
+    EXPECT_TRUE(rows[10].latency_ms.has_value());
+    EXPECT_DOUBLE_EQ(*rows[10].latency_ms, 0.20);
+    EXPECT_FALSE(rows[8].latency_ms.has_value()); // XHEC has no latency
+    const auto &strix_rows = tableVStrixPaperRows();
+    ASSERT_EQ(strix_rows.size(), 4u);
+    EXPECT_DOUBLE_EQ(*strix_rows[0].throughput_pbs_s, 74696);
+}
+
+} // namespace
+} // namespace strix

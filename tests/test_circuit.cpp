@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Circuit netlist tests: plain evaluation, encrypted evaluation
+ * (exhaustive for small circuits on the fast exact context), and
+ * workload-graph lowering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/circuit.h"
+
+namespace strix {
+namespace {
+
+/** Fast zero-noise context for encrypted circuit evaluation. */
+TfheContext &
+exactCtx()
+{
+    static TfheContext ctx(testParams(48, 512, 1, 3, 8, 0.0), 4321);
+    return ctx;
+}
+
+std::vector<bool>
+toBits(uint64_t v, uint32_t n)
+{
+    std::vector<bool> bits(n);
+    for (uint32_t i = 0; i < n; ++i)
+        bits[i] = (v >> i) & 1;
+    return bits;
+}
+
+uint64_t
+fromBits(const std::vector<bool> &bits)
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < bits.size(); ++i)
+        v |= uint64_t(bits[i]) << i;
+    return v;
+}
+
+std::vector<bool>
+concat(std::vector<bool> a, const std::vector<bool> &b)
+{
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+}
+
+TEST(Circuit, AdderPlainExhaustive)
+{
+    for (uint32_t bits : {1u, 2u, 3u, 4u}) {
+        Circuit c = buildAdder(bits);
+        for (uint64_t a = 0; a < (1u << bits); ++a)
+            for (uint64_t b = 0; b < (1u << bits); ++b) {
+                auto out = c.evalPlain(
+                    concat(toBits(a, bits), toBits(b, bits)));
+                EXPECT_EQ(fromBits(out), a + b)
+                    << bits << "b " << a << "+" << b;
+            }
+    }
+}
+
+TEST(Circuit, LessThanPlainExhaustive)
+{
+    const uint32_t bits = 3;
+    Circuit c = buildLessThan(bits);
+    for (uint64_t a = 0; a < 8; ++a)
+        for (uint64_t b = 0; b < 8; ++b) {
+            auto out =
+                c.evalPlain(concat(toBits(a, bits), toBits(b, bits)));
+            EXPECT_EQ(out[0], a < b) << a << "<" << b;
+        }
+}
+
+TEST(Circuit, EqualityPlainExhaustive)
+{
+    const uint32_t bits = 3;
+    Circuit c = buildEqualityComparator(bits);
+    for (uint64_t a = 0; a < 8; ++a)
+        for (uint64_t b = 0; b < 8; ++b) {
+            auto out =
+                c.evalPlain(concat(toBits(a, bits), toBits(b, bits)));
+            EXPECT_EQ(out[0], a == b) << a << "==" << b;
+        }
+}
+
+TEST(Circuit, MultiplierPlainExhaustive)
+{
+    const uint32_t bits = 3;
+    Circuit c = buildMultiplier(bits);
+    for (uint64_t a = 0; a < 8; ++a)
+        for (uint64_t b = 0; b < 8; ++b) {
+            auto out =
+                c.evalPlain(concat(toBits(a, bits), toBits(b, bits)));
+            EXPECT_EQ(fromBits(out), a * b) << a << "*" << b;
+        }
+}
+
+TEST(Circuit, AdderEncryptedMatchesPlain)
+{
+    const uint32_t bits = 2;
+    Circuit c = buildAdder(bits);
+    auto &ctx = exactCtx();
+    for (uint64_t a = 0; a < 4; ++a)
+        for (uint64_t b = 0; b < 4; ++b) {
+            auto in = concat(toBits(a, bits), toBits(b, bits));
+            EXPECT_EQ(fromBits(c.evalEncrypted(ctx, in)), a + b)
+                << a << "+" << b;
+        }
+}
+
+TEST(Circuit, LessThanEncrypted)
+{
+    const uint32_t bits = 2;
+    Circuit c = buildLessThan(bits);
+    auto &ctx = exactCtx();
+    for (uint64_t a = 0; a < 4; ++a)
+        for (uint64_t b = 0; b < 4; ++b) {
+            auto in = concat(toBits(a, bits), toBits(b, bits));
+            EXPECT_EQ(c.evalEncrypted(ctx, in)[0], a < b)
+                << a << "<" << b;
+        }
+}
+
+TEST(Circuit, MuxAndConstEncrypted)
+{
+    Circuit c("muxconst");
+    Wire s = c.input();
+    Wire t = c.constant(true);
+    Wire f = c.constant(false);
+    c.output(c.mux(s, t, f)); // == s
+    c.output(c.mux(s, f, t)); // == !s
+    auto &ctx = exactCtx();
+    for (bool s_val : {false, true}) {
+        auto out = c.evalEncrypted(ctx, {s_val});
+        EXPECT_EQ(out[0], s_val);
+        EXPECT_EQ(out[1], !s_val);
+    }
+}
+
+TEST(Circuit, PbsCountAndDepth)
+{
+    Circuit c("counts");
+    Wire a = c.input();
+    Wire b = c.input();
+    Wire x = c.gate(GateOp::Xor, a, b); // level 1
+    Wire n = c.notGate(x);              // free, level 1
+    Wire y = c.gate(GateOp::And, n, a); // level 2
+    Wire m = c.mux(y, a, b);            // level 3, 2 PBS
+    c.output(m);
+    EXPECT_EQ(c.pbsCount(), 1u + 1u + 2u);
+    EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, WorkloadGraphLayersFollowLevels)
+{
+    const uint32_t bits = 4;
+    Circuit c = buildAdder(bits);
+    WorkloadGraph g = c.toWorkloadGraph();
+    EXPECT_EQ(g.totalPbs(), c.pbsCount());
+    EXPECT_EQ(g.layers().size(), c.depth());
+    // Level-1 gates: per bit XOR+AND = 2 gates, all independent.
+    EXPECT_EQ(g.layers().front().pbs_count, uint64_t(2 * bits));
+}
+
+TEST(Circuit, AdderGateCountScalesLinearly)
+{
+    EXPECT_EQ(buildAdder(1).pbsCount(), 2u);  // xor + and
+    // Each further bit: xor,xor,and,and,or = 5 gates.
+    EXPECT_EQ(buildAdder(4).pbsCount(), 2u + 3 * 5);
+}
+
+TEST(Circuit, RejectsForwardReferences)
+{
+    Circuit c("bad");
+    Wire a = c.input();
+    EXPECT_DEATH(c.gate(GateOp::And, a, 99), "out of range");
+}
+
+} // namespace
+} // namespace strix

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Decision-tree inference tests: plain evaluation, encrypted
+ * evaluation vs plain (including randomized property sweeps), and
+ * workload lowering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/decision_tree.h"
+
+namespace strix {
+namespace {
+
+TfheContext &
+exactCtx()
+{
+    static TfheContext ctx(testParams(48, 512, 1, 3, 8, 0.0), 1357);
+    return ctx;
+}
+
+/** Hand-built depth-2 tree over two features in [0,16). */
+DecisionTree
+smallTree()
+{
+    DecisionTree t(2, 2);
+    t.setNode(0, 0, 8);  // root: f0 >= 8 ?
+    t.setNode(1, 1, 4);  // left subtree: f1 >= 4 ?
+    t.setNode(2, 1, 12); // right subtree: f1 >= 12 ?
+    t.setLeaf(0, 0);
+    t.setLeaf(1, 1);
+    t.setLeaf(2, 2);
+    t.setLeaf(3, 3);
+    return t;
+}
+
+TEST(DecisionTree, PlainPredictionPaths)
+{
+    DecisionTree t = smallTree();
+    EXPECT_EQ(t.predictPlain({0, 0}), 0u);   // left, left
+    EXPECT_EQ(t.predictPlain({0, 5}), 1u);   // left, right
+    EXPECT_EQ(t.predictPlain({9, 0}), 2u);   // right, left
+    EXPECT_EQ(t.predictPlain({9, 13}), 3u);  // right, right
+    // Boundary: f0 = 8 satisfies >= 8 (right), f1 = 4 < 12 (left).
+    EXPECT_EQ(t.predictPlain({8, 4}), 2u);
+}
+
+TEST(DecisionTree, EncryptedMatchesPlainSmallTree)
+{
+    DecisionTree t = smallTree();
+    IntegerOps ops(exactCtx());
+    for (auto f : {std::vector<uint64_t>{0, 0}, {0, 5}, {9, 0}, {9, 13},
+                   {8, 4}, {7, 11}, {15, 15}}) {
+        std::vector<EncryptedUint> enc;
+        for (uint64_t v : f)
+            enc.push_back(ops.encrypt(v, 2)); // 2 base-4 digits
+        auto out = t.predictEncrypted(ops, enc);
+        EXPECT_EQ(uint64_t(exactCtx().decryptInt(out, ops.space())),
+                  t.predictPlain(f))
+            << "f=(" << f[0] << "," << f[1] << ")";
+    }
+}
+
+TEST(DecisionTree, EncryptedMatchesPlainRandomized)
+{
+    // Property sweep: random depth-3 trees, random feature vectors.
+    IntegerOps ops(exactCtx());
+    Rng rng(24680);
+    for (int trial = 0; trial < 3; ++trial) {
+        DecisionTree t = randomTree(3, 4, 16, 1000 + trial);
+        std::vector<uint64_t> f(4);
+        for (auto &v : f)
+            v = rng.uniformBelow(16);
+        std::vector<EncryptedUint> enc;
+        for (uint64_t v : f)
+            enc.push_back(ops.encrypt(v, 2));
+        auto out = t.predictEncrypted(ops, enc);
+        EXPECT_EQ(uint64_t(exactCtx().decryptInt(out, ops.space())),
+                  t.predictPlain(f))
+            << "trial " << trial;
+    }
+}
+
+TEST(DecisionTree, WorkloadGraphShape)
+{
+    DecisionTree t = randomTree(4, 8, 256, 7);
+    const uint32_t digits = 4;
+    WorkloadGraph g = t.toWorkloadGraph(digits);
+    // compare layer + 4 select layers.
+    ASSERT_EQ(g.layers().size(), 5u);
+    EXPECT_EQ(g.layers()[0].pbs_count, 15u * digits);
+    // Select layers shrink 8 -> 4 -> 2 -> 1 muxes (2 PBS each).
+    EXPECT_EQ(g.layers()[1].pbs_count, 16u);
+    EXPECT_EQ(g.layers()[4].pbs_count, 2u);
+    EXPECT_EQ(g.totalPbs(), 15u * digits + 2 * 15u);
+}
+
+TEST(DecisionTree, RandomTreeIsWithinBounds)
+{
+    DecisionTree t = randomTree(5, 10, 1000, 42);
+    EXPECT_EQ(t.numNodes(), 31u);
+    EXPECT_EQ(t.numLeaves(), 32u);
+    EXPECT_EQ(t.predictPlain(std::vector<uint64_t>(10, 0)),
+              t.predictPlain(std::vector<uint64_t>(10, 0)));
+}
+
+TEST(DecisionTree, SelectDigitHelper)
+{
+    IntegerOps ops(exactCtx());
+    auto hi = ops.trivialDigit(3);
+    auto lo = ops.trivialDigit(1);
+    auto one = ops.trivialDigit(1);
+    auto zero = ops.trivialDigit(0);
+    EXPECT_EQ(exactCtx().decryptInt(ops.selectDigit(one, hi, lo),
+                                    ops.space()),
+              3);
+    EXPECT_EQ(exactCtx().decryptInt(ops.selectDigit(zero, hi, lo),
+                                    ops.space()),
+              1);
+}
+
+TEST(DecisionTree, NotBitHelper)
+{
+    IntegerOps ops(exactCtx());
+    EXPECT_FALSE(ops.decryptBit(ops.notBit(ops.trivialDigit(1))));
+    EXPECT_TRUE(ops.decryptBit(ops.notBit(ops.trivialDigit(0))));
+}
+
+} // namespace
+} // namespace strix

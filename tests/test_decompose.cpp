@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the gadget decomposition (reference and hardware-style
+ * streaming variants) and the paper's Eq. (3) error bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tfhe/decompose.h"
+#include "tfhe/decomposer_hw.h"
+
+namespace strix {
+namespace {
+
+struct GadgetCase
+{
+    uint32_t base_bits;
+    uint32_t levels;
+};
+
+class GadgetSweep : public ::testing::TestWithParam<GadgetCase>
+{
+};
+
+TEST_P(GadgetSweep, DigitsAreBalanced)
+{
+    const GadgetParams g{GetParam().base_bits, GetParam().levels};
+    const int32_t half = static_cast<int32_t>(g.base() / 2);
+    Rng rng(1);
+    std::vector<int32_t> digits(g.levels);
+    for (int trial = 0; trial < 2000; ++trial) {
+        gadgetDecompose(digits.data(), rng.uniformTorus32(), g);
+        for (auto d : digits) {
+            EXPECT_GE(d, -half);
+            EXPECT_LT(d, half);
+        }
+    }
+}
+
+TEST_P(GadgetSweep, RecomposeEqualsRounded)
+{
+    const GadgetParams g{GetParam().base_bits, GetParam().levels};
+    Rng rng(2);
+    std::vector<int32_t> digits(g.levels);
+    for (int trial = 0; trial < 2000; ++trial) {
+        Torus32 a = rng.uniformTorus32();
+        gadgetDecompose(digits.data(), a, g);
+        Torus32 back = gadgetRecompose(digits.data(), g);
+        Torus32 rounded = roundToBits(a, g.base_bits * g.levels);
+        EXPECT_EQ(back, rounded) << "a=" << a;
+    }
+}
+
+TEST_P(GadgetSweep, ErrorBoundEq3Holds)
+{
+    // | a - sum d_j q/B^j | <= q / (2 B^l)  -- paper Eq. (3).
+    const GadgetParams g{GetParam().base_bits, GetParam().levels};
+    Rng rng(3);
+    std::vector<int32_t> digits(g.levels);
+    const uint64_t bound =
+        uint64_t{1} << (kTorus32Bits - g.base_bits * g.levels - 1);
+    for (int trial = 0; trial < 2000; ++trial) {
+        Torus32 a = rng.uniformTorus32();
+        gadgetDecompose(digits.data(), a, g);
+        Torus32 back = gadgetRecompose(digits.data(), g);
+        auto err = static_cast<uint64_t>(
+            std::abs(static_cast<int64_t>(torusDistance(a, back))));
+        EXPECT_LE(err, bound);
+    }
+}
+
+TEST_P(GadgetSweep, StreamingDecomposerBitIdentical)
+{
+    // The multiplier-free two-step hardware datapath (Fig. 6) must
+    // agree with the reference offset-trick decomposition everywhere.
+    const GadgetParams g{GetParam().base_bits, GetParam().levels};
+    StreamingDecomposer hw(g);
+    Rng rng(4);
+    std::vector<int32_t> ref(g.levels), got(g.levels);
+    for (int trial = 0; trial < 5000; ++trial) {
+        Torus32 a = rng.uniformTorus32();
+        gadgetDecompose(ref.data(), a, g);
+        hw.decomposeOne(got.data(), a);
+        EXPECT_EQ(ref, got) << "a=" << a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bases, GadgetSweep,
+    ::testing::Values(GadgetCase{10, 2}, GadgetCase{7, 3}, GadgetCase{8, 3},
+                      GadgetCase{12, 2}, GadgetCase{4, 8},
+                      GadgetCase{2, 16}, GadgetCase{16, 2},
+                      GadgetCase{8, 4}));
+
+TEST(Gadget, BoundaryValues)
+{
+    const GadgetParams g{10, 2};
+    StreamingDecomposer hw(g);
+    std::vector<int32_t> ref(g.levels), got(g.levels);
+    for (Torus32 a : {0u, 1u, 0x7FFFFFFFu, 0x80000000u, 0x80000001u,
+                      0xFFFFFFFFu, 0x001FFFFFu, 0x00200000u}) {
+        gadgetDecompose(ref.data(), a, g);
+        hw.decomposeOne(got.data(), a);
+        EXPECT_EQ(ref, got) << "a=" << a;
+        EXPECT_EQ(gadgetRecompose(ref.data(), g),
+                  roundToBits(a, g.base_bits * g.levels));
+    }
+}
+
+TEST(Gadget, FullWidthGadgetIsExact)
+{
+    // base_bits * levels == 32: rounding is the identity and the
+    // decomposition is lossless.
+    const GadgetParams g{8, 4};
+    Rng rng(5);
+    std::vector<int32_t> digits(g.levels);
+    for (int trial = 0; trial < 1000; ++trial) {
+        Torus32 a = rng.uniformTorus32();
+        gadgetDecompose(digits.data(), a, g);
+        EXPECT_EQ(gadgetRecompose(digits.data(), g), a);
+    }
+}
+
+TEST(Gadget, PolyDecomposeMatchesScalar)
+{
+    const GadgetParams g{7, 3};
+    Rng rng(6);
+    const size_t n = 64;
+    TorusPolynomial p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = rng.uniformTorus32();
+    std::vector<IntPolynomial> out;
+    gadgetDecomposePoly(out, p, g);
+    ASSERT_EQ(out.size(), g.levels);
+    std::vector<int32_t> digits(g.levels);
+    for (size_t i = 0; i < n; ++i) {
+        gadgetDecompose(digits.data(), p[i], g);
+        for (uint32_t j = 0; j < g.levels; ++j)
+            EXPECT_EQ(out[j][i], digits[j]);
+    }
+}
+
+TEST(Gadget, StreamingPolyMatchesReferencePoly)
+{
+    const GadgetParams g{10, 2};
+    Rng rng(7);
+    const size_t n = 256;
+    TorusPolynomial p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = rng.uniformTorus32();
+    std::vector<IntPolynomial> ref, hw;
+    gadgetDecomposePoly(ref, p, g);
+    streamingDecomposePoly(hw, p, g);
+    ASSERT_EQ(ref.size(), hw.size());
+    for (size_t j = 0; j < ref.size(); ++j)
+        EXPECT_EQ(ref[j], hw[j]) << "level " << j;
+}
+
+TEST(Gadget, StreamingThroughputModel)
+{
+    // N/CLP * lb cycles per polynomial (Sec. V-B).
+    EXPECT_EQ(StreamingDecomposer::cyclesPerPoly(1024, 4, 2), 512u);
+    EXPECT_EQ(StreamingDecomposer::cyclesPerPoly(2048, 8, 3), 768u);
+    EXPECT_EQ(StreamingDecomposer::cyclesPerPoly(16384, 8, 2), 4096u);
+}
+
+TEST(Gadget, StreamOrderIsLevelMajorPerCoefficient)
+{
+    const GadgetParams g{10, 2};
+    StreamingDecomposer hw(g);
+    hw.push(0x12345678u);
+    ASSERT_TRUE(hw.outputReady());
+    uint32_t level = 99;
+    hw.pop(level);
+    EXPECT_EQ(level, 0u);
+    hw.pop(level);
+    EXPECT_EQ(level, 1u);
+    EXPECT_FALSE(hw.outputReady());
+}
+
+} // namespace
+} // namespace strix

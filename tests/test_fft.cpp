@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the complex FFT and the folded negacyclic FFT.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "poly/complex_fft.h"
+#include "poly/negacyclic_fft.h"
+
+namespace strix {
+namespace {
+
+TEST(ComplexFft, ForwardInverseRoundTrip)
+{
+    for (size_t m : {2u, 8u, 64u, 512u}) {
+        Rng rng(m);
+        std::vector<Cplx> data(m), orig(m);
+        for (auto &c : data)
+            c = Cplx(rng.uniformDouble() - 0.5, rng.uniformDouble() - 0.5);
+        orig = data;
+        const FftPlan &plan = FftPlan::get(m);
+        plan.forward(data.data());
+        plan.inverse(data.data());
+        for (size_t i = 0; i < m; ++i) {
+            EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-12);
+            EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-12);
+        }
+    }
+}
+
+TEST(ComplexFft, MatchesDirectDft)
+{
+    const size_t m = 16;
+    Rng rng(3);
+    std::vector<Cplx> data(m);
+    for (auto &c : data)
+        c = Cplx(rng.uniformDouble() - 0.5, rng.uniformDouble() - 0.5);
+
+    // Direct O(M^2) DFT with the same positive-exponent convention.
+    std::vector<Cplx> expected(m, Cplx(0, 0));
+    for (size_t k = 0; k < m; ++k)
+        for (size_t j = 0; j < m; ++j) {
+            double ang = 2.0 * M_PI * j * k / m;
+            expected[k] += data[j] * Cplx(std::cos(ang), std::sin(ang));
+        }
+
+    FftPlan::get(m).forward(data.data());
+    for (size_t k = 0; k < m; ++k) {
+        EXPECT_NEAR(data[k].real(), expected[k].real(), 1e-10);
+        EXPECT_NEAR(data[k].imag(), expected[k].imag(), 1e-10);
+    }
+}
+
+TEST(ComplexFft, LinearityOfTransform)
+{
+    const size_t m = 64;
+    Rng rng(4);
+    std::vector<Cplx> a(m), b(m), sum(m);
+    for (size_t i = 0; i < m; ++i) {
+        a[i] = Cplx(rng.uniformDouble(), rng.uniformDouble());
+        b[i] = Cplx(rng.uniformDouble(), rng.uniformDouble());
+        sum[i] = a[i] + b[i];
+    }
+    const FftPlan &plan = FftPlan::get(m);
+    plan.forward(a.data());
+    plan.forward(b.data());
+    plan.forward(sum.data());
+    for (size_t i = 0; i < m; ++i) {
+        EXPECT_NEAR(sum[i].real(), a[i].real() + b[i].real(), 1e-9);
+        EXPECT_NEAR(sum[i].imag(), a[i].imag() + b[i].imag(), 1e-9);
+    }
+}
+
+TEST(ComplexFft, PlanCacheReturnsSameInstance)
+{
+    EXPECT_EQ(&FftPlan::get(256), &FftPlan::get(256));
+    EXPECT_NE(&FftPlan::get(256), &FftPlan::get(512));
+}
+
+/** The folded transform must invert exactly (up to rounding). */
+class NegacyclicRoundTrip : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(NegacyclicRoundTrip, TorusPolySurvives)
+{
+    const size_t n = GetParam();
+    Rng rng(n);
+    TorusPolynomial p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = rng.uniformTorus32();
+    const auto &eng = NegacyclicFft::get(n);
+    FreqPolynomial f;
+    eng.forward(f, p);
+    TorusPolynomial back(n);
+    eng.inverse(back, f);
+    for (size_t i = 0; i < n; ++i) {
+        // Allow one ulp of rounding.
+        EXPECT_LE(std::abs(torusDistance(back[i], p[i])), 1) << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NegacyclicRoundTrip,
+                         ::testing::Values(4, 16, 64, 256, 1024, 4096,
+                                           16384));
+
+TEST(NegacyclicFft, FrequencySizeIsHalfRingDim)
+{
+    // The folding scheme: an N-point negacyclic transform produces
+    // N/2 complex points (Sec. V-A).
+    const auto &eng = NegacyclicFft::get(1024);
+    TorusPolynomial p(1024);
+    FreqPolynomial f;
+    eng.forward(f, p);
+    EXPECT_EQ(f.size(), 512u);
+}
+
+TEST(NegacyclicFft, MonomialProductViaFftIsExactRotation)
+{
+    const size_t n = 128;
+    Rng rng(5);
+    TorusPolynomial p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = rng.uniformTorus32();
+
+    IntPolynomial mono(n);
+    mono[3] = 1;
+    TorusPolynomial viaFft(n), viaRotate(n);
+    negacyclicMulFft(viaFft, mono, p);
+    negacyclicRotate(viaRotate, p, 3);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_LE(std::abs(torusDistance(viaFft[i], viaRotate[i])), 1);
+}
+
+TEST(NegacyclicFft, MulAccumulateAddsInFrequencyDomain)
+{
+    const size_t n = 64;
+    Rng rng(6);
+    IntPolynomial a(n), b(n);
+    TorusPolynomial x(n), y(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<int32_t>(rng.uniformBelow(17)) - 8;
+        b[i] = static_cast<int32_t>(rng.uniformBelow(17)) - 8;
+        x[i] = rng.uniformTorus32();
+        y[i] = rng.uniformTorus32();
+    }
+
+    // freq(a)*freq(x) + freq(b)*freq(y) inverted == a*x + b*y.
+    const auto &eng = NegacyclicFft::get(n);
+    FreqPolynomial fa, fb, fx, fy, acc;
+    eng.forward(fa, a);
+    eng.forward(fb, b);
+    eng.forward(fx, x);
+    eng.forward(fy, y);
+    NegacyclicFft::mulAccumulate(acc, fa, fx);
+    NegacyclicFft::mulAccumulate(acc, fb, fy);
+    TorusPolynomial got(n);
+    eng.inverse(got, acc);
+
+    TorusPolynomial expected(n);
+    negacyclicMulNaive(expected, a, x);
+    negacyclicMulAddNaive(expected, b, y);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_LE(std::abs(torusDistance(got[i], expected[i])), 2);
+}
+
+} // namespace
+} // namespace strix

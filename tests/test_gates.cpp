@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Bootstrapped gate tests: full truth tables for every gate with
+ * exact (zero-noise) parameters, a noisy run at paper set I, and a
+ * small homomorphic adder circuit as an integration test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tfhe/gates.h"
+
+namespace strix {
+namespace {
+
+/** Fast zero-noise context shared by the truth-table tests. */
+TfheContext &
+exactCtx()
+{
+    static TfheContext ctx(testParams(48, 512, 1, 3, 8, 0.0), 1234);
+    return ctx;
+}
+
+using GateFn = LweCiphertext (*)(const TfheContext &,
+                                 const LweCiphertext &,
+                                 const LweCiphertext &);
+
+struct GateCase
+{
+    const char *name;
+    GateFn fn;
+    bool truth[4]; // f(00), f(01), f(10), f(11)
+};
+
+class GateTruthTable : public ::testing::TestWithParam<GateCase>
+{
+};
+
+TEST_P(GateTruthTable, MatchesTruthTable)
+{
+    auto &ctx = exactCtx();
+    const GateCase &gc = GetParam();
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            auto ca = ctx.encryptBit(a);
+            auto cb = ctx.encryptBit(b);
+            auto out = gc.fn(ctx, ca, cb);
+            EXPECT_EQ(ctx.decryptBit(out), gc.truth[a * 2 + b])
+                << gc.name << "(" << a << "," << b << ")";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, GateTruthTable,
+    ::testing::Values(
+        GateCase{"NAND", gateNand, {true, true, true, false}},
+        GateCase{"AND", gateAnd, {false, false, false, true}},
+        GateCase{"OR", gateOr, {false, true, true, true}},
+        GateCase{"NOR", gateNor, {true, false, false, false}},
+        GateCase{"XOR", gateXor, {false, true, true, false}},
+        GateCase{"XNOR", gateXnor, {true, false, false, true}},
+        GateCase{"ANDNY", gateAndNY, {false, true, false, false}},
+        GateCase{"ANDYN", gateAndYN, {false, false, true, false}},
+        GateCase{"ORNY", gateOrNY, {true, true, false, true}},
+        GateCase{"ORYN", gateOrYN, {true, false, true, true}}),
+    [](const ::testing::TestParamInfo<GateCase> &info) {
+        return info.param.name;
+    });
+
+TEST(Gates, NotIsFreeAndCorrect)
+{
+    auto &ctx = exactCtx();
+    for (int a = 0; a < 2; ++a) {
+        auto ca = ctx.encryptBit(a);
+        EXPECT_EQ(ctx.decryptBit(gateNot(ca)), !a);
+    }
+}
+
+TEST(Gates, MuxSelects)
+{
+    auto &ctx = exactCtx();
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b)
+            for (int c = 0; c < 2; ++c) {
+                auto out = gateMux(ctx, ctx.encryptBit(a),
+                                   ctx.encryptBit(b), ctx.encryptBit(c));
+                EXPECT_EQ(ctx.decryptBit(out), a ? b : c)
+                    << a << b << c;
+            }
+}
+
+TEST(Gates, DoubleNandIsAnd)
+{
+    auto &ctx = exactCtx();
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b) {
+            auto nand = gateNand(ctx, ctx.encryptBit(a),
+                                 ctx.encryptBit(b));
+            auto and2 = gateNand(ctx, nand, nand);
+            EXPECT_EQ(ctx.decryptBit(and2), a && b);
+        }
+}
+
+/** 2-bit ripple-carry adder built from bootstrapped gates. */
+TEST(Gates, TwoBitRippleAdder)
+{
+    auto &ctx = exactCtx();
+    auto add2 = [&](int x, int y) {
+        LweCiphertext x0 = ctx.encryptBit(x & 1);
+        LweCiphertext x1 = ctx.encryptBit((x >> 1) & 1);
+        LweCiphertext y0 = ctx.encryptBit(y & 1);
+        LweCiphertext y1 = ctx.encryptBit((y >> 1) & 1);
+
+        // bit 0
+        auto s0 = gateXor(ctx, x0, y0);
+        auto c0 = gateAnd(ctx, x0, y0);
+        // bit 1
+        auto t = gateXor(ctx, x1, y1);
+        auto s1 = gateXor(ctx, t, c0);
+        auto carry1 = gateAnd(ctx, x1, y1);
+        auto carry2 = gateAnd(ctx, t, c0);
+        auto c1 = gateOr(ctx, carry1, carry2);
+
+        int result = ctx.decryptBit(s0) | (ctx.decryptBit(s1) << 1) |
+                     (ctx.decryptBit(c1) << 2);
+        return result;
+    };
+
+    for (int x = 0; x < 4; ++x)
+        for (int y = 0; y < 4; ++y)
+            EXPECT_EQ(add2(x, y), x + y) << x << "+" << y;
+}
+
+TEST(Gates, NoisyNandAtParameterSetI)
+{
+    // End-to-end with the paper's 110-bit parameters and real noise.
+    TfheContext ctx(paramsSetI(), 321);
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b) {
+            auto out =
+                gateNand(ctx, ctx.encryptBit(a), ctx.encryptBit(b));
+            EXPECT_EQ(ctx.decryptBit(out), !(a && b)) << a << b;
+        }
+}
+
+TEST(Gates, StatsInstrumentationAccumulates)
+{
+    auto &ctx = exactCtx();
+    gateStatsReset();
+    gateStatsEnable(true);
+    auto out = gateNand(ctx, ctx.encryptBit(true), ctx.encryptBit(false));
+    gateStatsEnable(false);
+    EXPECT_TRUE(ctx.decryptBit(out));
+    const GateStats &s = gateStats();
+    EXPECT_GT(s.total(), 0.0);
+    EXPECT_GT(s.fft_s, 0.0);
+    EXPECT_GT(s.keyswitch_s, 0.0);
+    // Blind rotation should dominate PBS time (paper: ~98%).
+    EXPECT_GT(s.pbsTotal(), s.keyswitch_s * 0.5);
+}
+
+} // namespace
+} // namespace strix

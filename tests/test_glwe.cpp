@@ -1,0 +1,122 @@
+/**
+ * @file
+ * GLWE encryption and sample-extraction tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tfhe/glwe.h"
+
+namespace strix {
+namespace {
+
+TorusPolynomial
+randomMessage(uint32_t n, Rng &rng)
+{
+    TorusPolynomial mu(n);
+    for (uint32_t i = 0; i < n; ++i)
+        mu[i] = encodeMessage(static_cast<int64_t>(rng.uniformBelow(16)),
+                              16);
+    return mu;
+}
+
+TEST(Glwe, ZeroNoisePhaseRecoversMessage)
+{
+    Rng rng(1);
+    for (uint32_t k : {1u, 2u, 3u}) {
+        GlweKey key(k, 64, rng);
+        TorusPolynomial mu = randomMessage(64, rng);
+        auto ct = glweEncrypt(key, mu, 0.0, rng);
+        EXPECT_EQ(glwePhase(key, ct), mu) << "k=" << k;
+    }
+}
+
+TEST(Glwe, TrivialCiphertextPhaseIsBody)
+{
+    Rng rng(2);
+    GlweKey key(2, 32, rng);
+    TorusPolynomial mu = randomMessage(32, rng);
+    auto ct = GlweCiphertext::trivial(2, mu);
+    EXPECT_EQ(glwePhase(key, ct), mu);
+}
+
+TEST(Glwe, HomomorphicAddition)
+{
+    Rng rng(3);
+    GlweKey key(1, 64, rng);
+    TorusPolynomial m1 = randomMessage(64, rng);
+    TorusPolynomial m2 = randomMessage(64, rng);
+    auto c1 = glweEncrypt(key, m1, 0.0, rng);
+    auto c2 = glweEncrypt(key, m2, 0.0, rng);
+    c1.addAssign(c2);
+    TorusPolynomial expected = m1;
+    expected.addAssign(m2);
+    EXPECT_EQ(glwePhase(key, c1), expected);
+}
+
+TEST(Glwe, NoisyDecryptionWithinBudget)
+{
+    Rng rng(4);
+    GlweKey key(1, 1024, rng);
+    TorusPolynomial mu = randomMessage(1024, rng);
+    auto ct = glweEncrypt(key, mu, 9.0e-9, rng); // set I GLWE noise
+    TorusPolynomial phase = glwePhase(key, ct);
+    for (size_t i = 0; i < phase.size(); ++i) {
+        EXPECT_EQ(decodeMessage(phase[i], 16), decodeMessage(mu[i], 16));
+    }
+}
+
+TEST(Glwe, ExtractedKeyFlattensCoefficients)
+{
+    Rng rng(5);
+    GlweKey key(2, 16, rng);
+    LweKey lwe = key.extractedLweKey();
+    ASSERT_EQ(lwe.dim(), 32u);
+    for (uint32_t i = 0; i < 2; ++i)
+        for (uint32_t j = 0; j < 16; ++j)
+            EXPECT_EQ(lwe.bit(i * 16 + j), key.poly(i)[j]);
+}
+
+class SampleExtractIndex : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(SampleExtractIndex, ExtractsCoefficient)
+{
+    const size_t index = GetParam();
+    Rng rng(100 + index);
+    const uint32_t n = 64;
+    for (uint32_t k : {1u, 2u}) {
+        GlweKey key(k, n, rng);
+        TorusPolynomial mu = randomMessage(n, rng);
+        auto ct = glweEncrypt(key, mu, 0.0, rng);
+        LweCiphertext lwe = sampleExtract(ct, index);
+        ASSERT_EQ(lwe.dim(), k * n);
+        LweKey extracted = key.extractedLweKey();
+        EXPECT_EQ(lwePhase(extracted, lwe), mu[index])
+            << "k=" << k << " index=" << index;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Indices, SampleExtractIndex,
+                         ::testing::Values(0, 1, 31, 62, 63));
+
+TEST(Glwe, SampleExtractOfSumIsSumOfExtracts)
+{
+    Rng rng(6);
+    GlweKey key(1, 32, rng);
+    auto c1 = glweEncrypt(key, randomMessage(32, rng), 0.0, rng);
+    auto c2 = glweEncrypt(key, randomMessage(32, rng), 0.0, rng);
+    auto sum = c1;
+    sum.addAssign(c2);
+
+    auto e1 = sampleExtract(c1, 5);
+    auto e2 = sampleExtract(c2, 5);
+    e1.addAssign(e2);
+    auto es = sampleExtract(sum, 5);
+    LweKey extracted = key.extractedLweKey();
+    EXPECT_EQ(lwePhase(extracted, e1), lwePhase(extracted, es));
+}
+
+} // namespace
+} // namespace strix

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * LWE encryption tests: exact algebra with zero noise, decoding with
+ * real noise, and homomorphic linear operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tfhe/lwe.h"
+
+namespace strix {
+namespace {
+
+TEST(Lwe, ZeroNoiseEncryptDecryptExact)
+{
+    Rng rng(1);
+    LweKey key(128, rng);
+    for (uint64_t p : {2ull, 8ull, 16ull, 256ull}) {
+        for (int64_t m = 0;
+             m < static_cast<int64_t>(std::min<uint64_t>(p, 16)); ++m) {
+            auto ct = lweEncrypt(key, encodeMessage(m, p), 0.0, rng);
+            EXPECT_EQ(lweDecrypt(key, ct, p), m);
+            EXPECT_EQ(lwePhase(key, ct), encodeMessage(m, p));
+        }
+    }
+}
+
+TEST(Lwe, NoisyEncryptDecrypt)
+{
+    Rng rng(2);
+    LweKey key(500, rng);
+    const uint64_t p = 8;
+    const double stddev = 3.05e-5; // paper set I LWE noise
+    for (int trial = 0; trial < 50; ++trial) {
+        int64_t m = static_cast<int64_t>(rng.uniformBelow(p));
+        auto ct = lweEncrypt(key, encodeMessage(m, p), stddev, rng);
+        EXPECT_EQ(lweDecrypt(key, ct, p), m);
+    }
+}
+
+TEST(Lwe, HomomorphicAddition)
+{
+    Rng rng(3);
+    LweKey key(64, rng);
+    const uint64_t p = 16;
+    auto c1 = lweEncrypt(key, encodeMessage(3, p), 0.0, rng);
+    auto c2 = lweEncrypt(key, encodeMessage(5, p), 0.0, rng);
+    c1.addAssign(c2);
+    EXPECT_EQ(lweDecrypt(key, c1, p), 8);
+}
+
+TEST(Lwe, HomomorphicSubtractionWraps)
+{
+    Rng rng(4);
+    LweKey key(64, rng);
+    const uint64_t p = 16;
+    auto c1 = lweEncrypt(key, encodeMessage(3, p), 0.0, rng);
+    auto c2 = lweEncrypt(key, encodeMessage(5, p), 0.0, rng);
+    c1.subAssign(c2);
+    EXPECT_EQ(lweDecrypt(key, c1, p), 14); // 3 - 5 mod 16
+}
+
+TEST(Lwe, ScalarMultiplication)
+{
+    Rng rng(5);
+    LweKey key(64, rng);
+    const uint64_t p = 16;
+    auto ct = lweEncrypt(key, encodeMessage(3, p), 0.0, rng);
+    ct.scalarMulAssign(4);
+    EXPECT_EQ(lweDecrypt(key, ct, p), 12);
+}
+
+TEST(Lwe, NegationIsScalarMinusOne)
+{
+    Rng rng(6);
+    LweKey key(64, rng);
+    const uint64_t p = 16;
+    auto ct = lweEncrypt(key, encodeMessage(5, p), 0.0, rng);
+    ct.negate();
+    EXPECT_EQ(lweDecrypt(key, ct, p), 11); // -5 mod 16
+}
+
+TEST(Lwe, TrivialCiphertextDecryptsUnderAnyKey)
+{
+    Rng rng(7);
+    LweKey key(64, rng);
+    auto ct = LweCiphertext::trivial(64, encodeMessage(9, 16));
+    EXPECT_EQ(lweDecrypt(key, ct, 16), 9);
+}
+
+TEST(Lwe, RawLayoutBodyIsLast)
+{
+    // Matches the paper's [a_1..a_n, b] layout (Sec. II-D).
+    LweCiphertext ct(10);
+    ct.b() = 0xAABBCCDDu;
+    EXPECT_EQ(ct.raw().size(), 11u);
+    EXPECT_EQ(ct.raw()[10], 0xAABBCCDDu);
+}
+
+TEST(Lwe, PhaseIsLinearInCiphertext)
+{
+    Rng rng(8);
+    LweKey key(96, rng);
+    auto c1 = lweEncrypt(key, 0x10000000u, 0.0, rng);
+    auto c2 = lweEncrypt(key, 0x20000000u, 0.0, rng);
+    auto sum = c1;
+    sum.addAssign(c2);
+    EXPECT_EQ(lwePhase(key, sum),
+              lwePhase(key, c1) + lwePhase(key, c2));
+}
+
+TEST(Lwe, KeyDimMismatchDies)
+{
+    Rng rng(9);
+    LweKey key(32, rng);
+    LweCiphertext ct(64);
+    EXPECT_DEATH(lwePhase(key, ct), "dim mismatch");
+}
+
+} // namespace
+} // namespace strix

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * NoC / global scratchpad model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "strix/noc.h"
+
+namespace strix {
+namespace {
+
+TEST(Noc, WorkingSetFitsForAllPaperSets)
+{
+    // The 21 MB global scratchpad must hold the double-buffered key
+    // tiles plus a full epoch of ciphertexts for every parameter set
+    // the paper evaluates -- otherwise the design would not work.
+    for (const auto &p : paperParamSets()) {
+        NocModel noc(StrixConfig::paperDefault(), p);
+        GlobalScratchpadPlan plan = noc.scratchpadPlan();
+        EXPECT_TRUE(plan.fits)
+            << "set " << p.name << ": " << plan.total_bytes << " > "
+            << plan.capacity_bytes;
+        EXPECT_GT(plan.total_bytes, 0u);
+    }
+}
+
+TEST(Noc, BskTileIsDoubleBuffered)
+{
+    NocModel noc(StrixConfig::paperDefault(), paramsSetI());
+    MemorySystem mem(StrixConfig::paperDefault(), paramsSetI());
+    EXPECT_EQ(noc.scratchpadPlan().bsk_tile_bytes,
+              2 * mem.bskBytesPerIteration());
+}
+
+TEST(Noc, MulticastFeasibleAtDesignPoint)
+{
+    // The 512-bit bsk bus exactly sustains the TvLP=8/CLP=4 design
+    // point; the 256-bit ksk bus has ample headroom.
+    for (const auto &p : paperParamSets()) {
+        NocModel noc(StrixConfig::paperDefault(), p);
+        MulticastPlan plan = noc.multicastPlan();
+        EXPECT_TRUE(plan.feasible) << "set " << p.name;
+        EXPECT_LE(plan.bsk_demand_gbps, plan.bsk_bus_gbps * 1.001);
+    }
+}
+
+TEST(Noc, BskBusSaturatesExactlyAtDesignPoint)
+{
+    // Sec. VI-A sizes the bsk bus at 512 bits: at set I the demand
+    // equals the capacity (the bus is cut to fit, a classic sizing).
+    NocModel noc(StrixConfig::paperDefault(), paramsSetI());
+    MulticastPlan plan = noc.multicastPlan();
+    EXPECT_NEAR(plan.bsk_demand_gbps / plan.bsk_bus_gbps, 1.0, 0.01);
+}
+
+TEST(Noc, DoublingClpOverrunsTheBskBus)
+{
+    // CLP = 8 doubles the consumption rate; the fixed 512-bit bus can
+    // no longer feed it -- the NoC-side counterpart of Table VII's
+    // memory-bound transition.
+    StrixConfig cfg = StrixConfig::paperDefault();
+    cfg.clp = 8;
+    NocModel noc(cfg, paramsSetI());
+    MulticastPlan plan = noc.multicastPlan();
+    EXPECT_GT(plan.bsk_demand_gbps, plan.bsk_bus_gbps);
+    EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Noc, BusWidthConstants)
+{
+    EXPECT_EQ(NocModel::kBskBusBits, 512u);
+    EXPECT_EQ(NocModel::kKskBusBits, 256u);
+    // 512 bits at 1.2 GHz = 76.8 GB/s.
+    NocModel noc(StrixConfig::paperDefault(), paramsSetI());
+    EXPECT_NEAR(noc.multicastPlan().bsk_bus_gbps, 76.8, 0.1);
+}
+
+} // namespace
+} // namespace strix

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Noise-model tests: analytic formulas vs empirical measurements on
+ * the real implementation, and budget checks for the paper parameter
+ * sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tfhe/context.h"
+#include "tfhe/noise.h"
+
+namespace strix {
+namespace {
+
+/** Empirical variance of fresh LWE encryptions. */
+NoiseStats
+measureFreshLwe(const TfheParams &p, int trials, uint64_t seed)
+{
+    Rng rng(seed);
+    LweKey key(p.n, rng);
+    NoiseStats stats;
+    for (int i = 0; i < trials; ++i) {
+        Torus32 mu = encodeMessage(1, 8);
+        auto ct = lweEncrypt(key, mu, p.lwe_noise, rng);
+        stats.add(torus32ToDouble(lwePhase(key, ct) - mu));
+    }
+    stats.finalize();
+    return stats;
+}
+
+TEST(Noise, FreshLweMatchesAnalytic)
+{
+    const TfheParams &p = paramsSetI();
+    NoiseModel model(p);
+    NoiseStats stats = measureFreshLwe(p, 4000, 11);
+    EXPECT_NEAR(stats.mean, 0.0, 3 * p.lwe_noise / std::sqrt(4000.0));
+    // Variance within 15% of sigma^2.
+    EXPECT_NEAR(stats.variance / model.freshLwe(), 1.0, 0.15);
+}
+
+TEST(Noise, LinearCombinationVariance)
+{
+    double v = NoiseModel::linearCombination({1, -2, 3}, {1.0, 1.0, 1.0});
+    EXPECT_DOUBLE_EQ(v, 1.0 + 4.0 + 9.0);
+}
+
+TEST(Noise, LinearCombinationEmpirical)
+{
+    // phase(c1 + 2*c2) error variance ~ (1 + 4) * sigma^2.
+    const TfheParams &p = paramsSetI();
+    Rng rng(13);
+    LweKey key(p.n, rng);
+    NoiseStats stats;
+    for (int i = 0; i < 3000; ++i) {
+        auto c1 = lweEncrypt(key, 0, p.lwe_noise, rng);
+        auto c2 = lweEncrypt(key, 0, p.lwe_noise, rng);
+        c2.scalarMulAssign(2);
+        c1.addAssign(c2);
+        stats.add(torus32ToDouble(lwePhase(key, c1)));
+    }
+    stats.finalize();
+    double expect =
+        NoiseModel::linearCombination({1, 2}, {NoiseModel(p).freshLwe(),
+                                               NoiseModel(p).freshLwe()});
+    EXPECT_NEAR(stats.variance / expect, 1.0, 0.15);
+}
+
+TEST(Noise, ExternalProductBoundHoldsEmpirically)
+{
+    // Measured external-product noise must stay below the analytic
+    // bound (the bound is a worst case, so <=, with real noise).
+    TfheParams p = testParams(16, 1024, 1, 2, 10, 0.0);
+    p.glwe_noise = 9.0e-9; // set-I GLWE noise
+    NoiseModel model(p);
+
+    Rng rng(17);
+    GlweKey key(p.k, p.N, rng);
+    GadgetParams g{p.bg_bits, p.l_bsk};
+    GgswCiphertext ggsw = ggswEncrypt(key, 1, g, p.glwe_noise, rng);
+    GgswFft fft(ggsw);
+
+    TorusPolynomial mu(p.N); // zero message isolates the noise
+    // Real encryption (random mask): the decomposition must chew on
+    // full-entropy coefficients for the noise terms to appear.
+    GlweCiphertext ct = glweEncrypt(key, mu, 0.0, rng);
+
+    GlweCiphertext out;
+    fft.externalProduct(out, ct);
+    TorusPolynomial phase = glwePhase(key, out);
+    NoiseStats stats;
+    for (size_t i = 0; i < p.N; ++i)
+        stats.add(torus32ToDouble(phase[i]));
+    stats.finalize();
+
+    double bound = model.externalProduct(0.0);
+    // Measured variance below the bound, but not absurdly so (the
+    // bound should be within ~100x of reality, catching formula
+    // regressions in either direction).
+    EXPECT_LT(stats.variance, bound);
+    EXPECT_GT(stats.variance, bound / 200.0);
+}
+
+TEST(Noise, BlindRotationGrowsLinearlyInN)
+{
+    TfheParams small = paramsSetI();
+    TfheParams big = paramsSetI();
+    big.n = 2 * small.n;
+    double v_small = NoiseModel(small).blindRotation();
+    double v_big = NoiseModel(big).blindRotation();
+    EXPECT_NEAR(v_big / v_small, 2.0, 0.01);
+}
+
+TEST(Noise, PaperParameterSetsDecodeGateMessages)
+{
+    // Every paper set must leave enough budget to decode the gate
+    // message space (8) after one PBS + KS; sets with larger N
+    // support larger spaces.
+    for (const auto &p : paperParamSets()) {
+        NoiseModel m(p);
+        EXPECT_TRUE(m.pbsDecodes(8)) << "set " << p.name
+            << " stddev=" << std::sqrt(m.pbsOutput());
+    }
+}
+
+TEST(Noise, SetIVSupportsHighPrecision)
+{
+    // The paper motivates set IV as the high-precision set: it must
+    // decode far larger message spaces than set I.
+    NoiseModel m1(paramsSetI());
+    NoiseModel m4(paramsSetIV());
+    EXPECT_TRUE(m4.pbsDecodes(128));
+    EXPECT_FALSE(m1.pbsDecodes(128));
+    // And the budget ordering holds outright.
+    EXPECT_LT(m4.pbsOutput(), m1.pbsOutput());
+}
+
+TEST(Noise, PbsOutputEmpiricalWithinBound)
+{
+    // Full end-to-end: bootstrap a known message many times at set I
+    // and compare the measured output-phase variance to the bound.
+    TfheContext ctx(paramsSetI(), 19);
+    NoiseModel model(paramsSetI());
+    const uint64_t space = 4;
+    TorusPolynomial tv = makeIntTestVector(ctx.params().N, space,
+                                           [](int64_t x) { return x; });
+    NoiseStats stats;
+    for (int i = 0; i < 12; ++i) {
+        auto ct = ctx.encryptInt(1, space);
+        auto out = ctx.bootstrap(ct, tv);
+        Torus32 expected = encodeLut(1, space);
+        stats.add(
+            torus32ToDouble(lwePhase(ctx.lweKey(), out) - expected));
+    }
+    stats.finalize();
+    EXPECT_LT(stats.worst, std::sqrt(model.pbsOutput()) * 8 + 1.0 / 64);
+    EXPECT_LT(stats.variance, model.pbsOutput() * 4);
+}
+
+TEST(Noise, StatsAccumulator)
+{
+    NoiseStats s;
+    s.add(1.0);
+    s.add(-1.0);
+    s.add(3.0);
+    s.finalize();
+    EXPECT_EQ(s.samples, 3u);
+    EXPECT_NEAR(s.mean, 1.0, 1e-12);
+    EXPECT_NEAR(s.variance, (1 + 1 + 9) / 3.0 - 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.worst, 3.0);
+}
+
+TEST(Noise, DecodableStddevScale)
+{
+    // Half a step of space p is 1/(2p); at z sigma confidence the
+    // tolerable stddev is 1/(4pz).
+    EXPECT_DOUBLE_EQ(NoiseModel::decodableStddev(8, 6.0),
+                     1.0 / (2 * 8 * 6.0));
+    EXPECT_GT(NoiseModel::decodableStddev(4),
+              NoiseModel::decodableStddev(16));
+}
+
+} // namespace
+} // namespace strix

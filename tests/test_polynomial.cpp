@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit and property tests for negacyclic polynomial arithmetic.
+ * Schoolbook, Karatsuba, and FFT multipliers are cross-checked.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "poly/negacyclic_fft.h"
+#include "poly/polynomial.h"
+
+namespace strix {
+namespace {
+
+TorusPolynomial
+randomTorusPoly(size_t n, Rng &rng)
+{
+    TorusPolynomial p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = rng.uniformTorus32();
+    return p;
+}
+
+IntPolynomial
+randomSmallIntPoly(size_t n, int32_t bound, Rng &rng)
+{
+    IntPolynomial p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = static_cast<int32_t>(rng.uniformBelow(2 * bound + 1)) -
+               bound;
+    return p;
+}
+
+TEST(Polynomial, AddSubRoundTrip)
+{
+    Rng rng(1);
+    TorusPolynomial a = randomTorusPoly(64, rng);
+    TorusPolynomial b = randomTorusPoly(64, rng);
+    TorusPolynomial c = a;
+    c.addAssign(b);
+    c.subAssign(b);
+    EXPECT_EQ(c, a);
+}
+
+TEST(Polynomial, NegateIsAdditiveInverse)
+{
+    Rng rng(2);
+    TorusPolynomial a = randomTorusPoly(32, rng);
+    TorusPolynomial b = a;
+    b.negate();
+    a.addAssign(b);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], 0u);
+}
+
+TEST(Polynomial, RotateByZeroIsIdentity)
+{
+    Rng rng(3);
+    TorusPolynomial a = randomTorusPoly(64, rng);
+    TorusPolynomial out(64);
+    negacyclicRotate(out, a, 0);
+    EXPECT_EQ(out, a);
+}
+
+TEST(Polynomial, RotateByNNegates)
+{
+    Rng rng(4);
+    const size_t n = 64;
+    TorusPolynomial a = randomTorusPoly(n, rng);
+    TorusPolynomial out(n);
+    negacyclicRotate(out, a, static_cast<uint32_t>(n));
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], 0u - a[i]);
+}
+
+TEST(Polynomial, RotateBy2NIsIdentity)
+{
+    Rng rng(5);
+    const size_t n = 64;
+    TorusPolynomial a = randomTorusPoly(n, rng);
+    TorusPolynomial out(n);
+    negacyclicRotate(out, a, static_cast<uint32_t>(2 * n));
+    EXPECT_EQ(out, a);
+}
+
+TEST(Polynomial, RotationComposes)
+{
+    Rng rng(6);
+    const size_t n = 128;
+    TorusPolynomial a = randomTorusPoly(n, rng);
+    TorusPolynomial r1(n), r2(n), direct(n);
+    negacyclicRotate(r1, a, 37);
+    negacyclicRotate(r2, r1, 99);
+    negacyclicRotate(direct, a, 136);
+    EXPECT_EQ(r2, direct);
+}
+
+TEST(Polynomial, RotateMatchesMonomialMultiplication)
+{
+    // X^a * poly computed via schoolbook with a one-hot IntPolynomial.
+    Rng rng(7);
+    const size_t n = 32;
+    TorusPolynomial p = randomTorusPoly(n, rng);
+    for (uint32_t power : {1u, 5u, 31u, 32u, 40u, 63u}) {
+        TorusPolynomial rotated(n);
+        negacyclicRotate(rotated, p, power);
+
+        IntPolynomial monomial(n);
+        bool neg = power >= n;
+        monomial[power % n] = neg ? -1 : 1;
+        TorusPolynomial expected(n);
+        negacyclicMulNaive(expected, monomial, p);
+        EXPECT_EQ(rotated, expected) << "power=" << power;
+    }
+}
+
+TEST(Polynomial, RotateMinusOne)
+{
+    Rng rng(8);
+    const size_t n = 64;
+    TorusPolynomial p = randomTorusPoly(n, rng);
+    TorusPolynomial got(n), rot(n);
+    negacyclicRotateMinusOne(got, p, 17);
+    negacyclicRotate(rot, p, 17);
+    rot.subAssign(p);
+    EXPECT_EQ(got, rot);
+}
+
+/** Karatsuba vs schoolbook over random inputs at several sizes. */
+class MulCrossCheck : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(MulCrossCheck, KaratsubaMatchesNaive)
+{
+    const size_t n = GetParam();
+    Rng rng(100 + n);
+    for (int trial = 0; trial < 5; ++trial) {
+        IntPolynomial a = randomSmallIntPoly(n, 512, rng);
+        TorusPolynomial b = randomTorusPoly(n, rng);
+        TorusPolynomial r1(n), r2(n);
+        negacyclicMulNaive(r1, a, b);
+        negacyclicMulKaratsuba(r2, a, b);
+        EXPECT_EQ(r1, r2) << "n=" << n << " trial=" << trial;
+    }
+}
+
+TEST_P(MulCrossCheck, FftMatchesNaive)
+{
+    const size_t n = GetParam();
+    Rng rng(200 + n);
+    for (int trial = 0; trial < 5; ++trial) {
+        // FFT path is exact only up to rounding; with small int
+        // coefficients the products stay far below 2^53 and the
+        // result must round to the exact value.
+        IntPolynomial a = randomSmallIntPoly(n, 512, rng);
+        TorusPolynomial b = randomTorusPoly(n, rng);
+        TorusPolynomial r1(n), r2(n);
+        negacyclicMulNaive(r1, a, b);
+        negacyclicMulFft(r2, a, b);
+        int64_t max_err = 0;
+        for (size_t i = 0; i < n; ++i) {
+            int64_t e = std::abs(
+                static_cast<int64_t>(torusDistance(r1[i], r2[i])));
+            max_err = std::max(max_err, e);
+        }
+        // FFT rounding error must be tiny compared to any noise term.
+        EXPECT_LE(max_err, 4) << "n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MulCrossCheck,
+                         ::testing::Values(16, 32, 64, 128, 256, 1024));
+
+TEST(Polynomial, MulByOneIsIdentity)
+{
+    Rng rng(9);
+    const size_t n = 64;
+    TorusPolynomial b = randomTorusPoly(n, rng);
+    IntPolynomial one(n);
+    one[0] = 1;
+    TorusPolynomial r(n);
+    negacyclicMulNaive(r, one, b);
+    EXPECT_EQ(r, b);
+    negacyclicMulKaratsuba(r, one, b);
+    EXPECT_EQ(r, b);
+}
+
+TEST(Polynomial, MulDistributesOverAddition)
+{
+    Rng rng(10);
+    const size_t n = 64;
+    IntPolynomial a = randomSmallIntPoly(n, 64, rng);
+    TorusPolynomial b = randomTorusPoly(n, rng);
+    TorusPolynomial c = randomTorusPoly(n, rng);
+
+    TorusPolynomial bc = b;
+    bc.addAssign(c);
+    TorusPolynomial left(n);
+    negacyclicMulNaive(left, a, bc);
+
+    TorusPolynomial ab(n), ac(n);
+    negacyclicMulNaive(ab, a, b);
+    negacyclicMulNaive(ac, a, c);
+    ab.addAssign(ac);
+    EXPECT_EQ(left, ab);
+}
+
+TEST(Polynomial, MulAddAccumulates)
+{
+    Rng rng(11);
+    const size_t n = 32;
+    IntPolynomial a = randomSmallIntPoly(n, 16, rng);
+    TorusPolynomial b = randomTorusPoly(n, rng);
+    TorusPolynomial acc = randomTorusPoly(n, rng);
+    TorusPolynomial expected = acc;
+    TorusPolynomial prod(n);
+    negacyclicMulNaive(prod, a, b);
+    expected.addAssign(prod);
+    negacyclicMulAddNaive(acc, a, b);
+    EXPECT_EQ(acc, expected);
+}
+
+TEST(Polynomial, XTimesXPowNMinus1IsMinusOne)
+{
+    // (X) * (X^{N-1}) = X^N = -1 in the negacyclic ring.
+    const size_t n = 16;
+    IntPolynomial x(n);
+    x[1] = 1;
+    TorusPolynomial xn1(n);
+    xn1[n - 1] = 1u << 30;
+    TorusPolynomial r(n);
+    negacyclicMulNaive(r, x, xn1);
+    EXPECT_EQ(r[0], 0u - (1u << 30));
+    for (size_t i = 1; i < n; ++i)
+        EXPECT_EQ(r[i], 0u);
+}
+
+} // namespace
+} // namespace strix

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the PRNG and Gaussian torus sampler.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace strix {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformBelow(17), 17u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.uniformDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, UniformBitsBalanced)
+{
+    Rng rng(11);
+    int ones = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        ones += rng.uniformBit();
+    EXPECT_NEAR(ones, trials / 2, 300);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard)
+{
+    Rng rng(13);
+    const int trials = 20000;
+    double sum = 0, sum2 = 0;
+    for (int i = 0; i < trials; ++i) {
+        double g = rng.gaussianDouble();
+        sum += g;
+        sum2 += g * g;
+    }
+    double mean = sum / trials;
+    double var = sum2 / trials - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianTorusZeroStddevIsExactlyZero)
+{
+    Rng rng(15);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.gaussianTorus32(0.0), 0u);
+}
+
+TEST(Rng, GaussianTorusSmallStddevStaysSmall)
+{
+    Rng rng(17);
+    const double stddev = std::pow(2.0, -20);
+    for (int i = 0; i < 1000; ++i) {
+        Torus32 e = rng.gaussianTorus32(stddev);
+        double d = torus32ToDouble(e);
+        EXPECT_LT(std::abs(d), 8 * stddev); // 8 sigma
+    }
+}
+
+} // namespace
+} // namespace strix

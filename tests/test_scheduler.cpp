@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Epoch-scheduler tests: interval invariants, keyswitch overlap,
+ * consistency with the accelerator's batch model, and trace output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "strix/accelerator.h"
+#include "strix/scheduler.h"
+
+namespace strix {
+namespace {
+
+TEST(Scheduler, EmptyBatch)
+{
+    EpochScheduler s(StrixConfig::paperDefault());
+    EXPECT_TRUE(s.schedule(paramsSetI(), 0).empty());
+}
+
+TEST(Scheduler, SingleEpochShape)
+{
+    EpochScheduler s(StrixConfig::paperDefault());
+    auto epochs = s.schedule(paramsSetI(), 100);
+    ASSERT_EQ(epochs.size(), 1u);
+    const auto &e = epochs[0];
+    EXPECT_EQ(e.lwes, 100u);
+    EXPECT_EQ(e.core_batch, 13u); // ceil(100/8)
+    EXPECT_EQ(e.br_start, 0u);
+    EXPECT_GT(e.br_end, e.br_start);
+    EXPECT_EQ(e.ks_start, e.br_end); // KS right after BR
+    EXPECT_GT(e.ks_end, e.ks_start);
+    EXPECT_TRUE(e.ks_exposed); // final epoch's KS is always exposed
+}
+
+TEST(Scheduler, BlindRotationsRunBackToBack)
+{
+    EpochScheduler s(StrixConfig::paperDefault());
+    auto epochs = s.schedule(paramsSetI(), 1000);
+    ASSERT_GE(epochs.size(), 2u);
+    for (size_t e = 1; e < epochs.size(); ++e) {
+        // With KS shorter than BR (true at set I full batches), the
+        // PBS clusters never idle.
+        EXPECT_EQ(epochs[e].br_start, epochs[e - 1].br_end);
+    }
+}
+
+TEST(Scheduler, KeyswitchOverlapsNextBlindRotation)
+{
+    EpochScheduler s(StrixConfig::paperDefault());
+    auto epochs = s.schedule(paramsSetI(), 1000);
+    ASSERT_GE(epochs.size(), 2u);
+    for (size_t e = 0; e + 1 < epochs.size(); ++e) {
+        // KS of epoch e runs while BR of e+1 runs.
+        EXPECT_LT(epochs[e].ks_start, epochs[e + 1].br_end);
+        EXPECT_GE(epochs[e].ks_start, epochs[e + 1].br_start);
+        // Hidden (not exposed) for set I full batches.
+        if (e + 1 < epochs.size() - 1)
+            EXPECT_FALSE(epochs[e].ks_exposed) << e;
+    }
+}
+
+TEST(Scheduler, MakespanMatchesAcceleratorModel)
+{
+    StrixAccelerator acc;
+    EpochScheduler s(StrixConfig::paperDefault());
+    for (uint64_t lwes : {1ull, 255ull, 256ull, 257ull, 10000ull}) {
+        auto epochs = s.schedule(paramsSetI(), lwes);
+        double span_s = double(EpochScheduler::makespan(epochs)) /
+                        (1.2e9);
+        BatchPerf perf = acc.runBatch(paramsSetI(), lwes);
+        EXPECT_NEAR(perf.seconds, span_s, 1e-12) << lwes;
+        EXPECT_EQ(perf.epochs, epochs.size()) << lwes;
+    }
+}
+
+TEST(Scheduler, KsBoundWorkloadSerializesOnKs)
+{
+    // Shrink the KS cluster until keyswitching dominates: the PBS
+    // cluster must then wait (br_start > previous br_end).
+    StrixConfig cfg = StrixConfig::paperDefault();
+    cfg.ks_clp = 1;
+    cfg.ks_colp = 1;
+    EpochScheduler s(cfg);
+    auto epochs = s.schedule(paramsSetI(), 2000);
+    ASSERT_GE(epochs.size(), 3u);
+    bool serialized = false;
+    for (size_t e = 1; e < epochs.size(); ++e)
+        serialized |= epochs[e].br_start > epochs[e - 1].br_end;
+    EXPECT_TRUE(serialized);
+    // And mid-schedule KS exposures are flagged.
+    bool exposed_mid = false;
+    for (size_t e = 0; e + 1 < epochs.size(); ++e)
+        exposed_mid |= epochs[e].ks_exposed;
+    EXPECT_TRUE(exposed_mid);
+}
+
+TEST(Scheduler, TraceHasTwoRows)
+{
+    EpochScheduler s(StrixConfig::paperDefault());
+    auto epochs = s.schedule(paramsSetI(), 600);
+    GanttTrace trace = EpochScheduler::toTrace(epochs);
+    ASSERT_EQ(trace.rows().size(), 2u);
+    EXPECT_EQ(trace.rows()[0].name(), "PBS clusters");
+    EXPECT_FALSE(trace.rows()[0].hasOverlap());
+    EXPECT_FALSE(trace.rows()[1].hasOverlap());
+    EXPECT_EQ(trace.endCycle(), EpochScheduler::makespan(epochs));
+}
+
+TEST(Scheduler, PartialLastEpochIsSmaller)
+{
+    EpochScheduler s(StrixConfig::paperDefault());
+    auto epochs = s.schedule(paramsSetI(), 257); // 256 + 1
+    ASSERT_EQ(epochs.size(), 2u);
+    EXPECT_EQ(epochs[0].lwes, 256u);
+    EXPECT_EQ(epochs[1].lwes, 1u);
+    EXPECT_LT(epochs[1].br_end - epochs[1].br_start,
+              epochs[0].br_end - epochs[0].br_start);
+}
+
+} // namespace
+} // namespace strix

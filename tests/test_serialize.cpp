@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Serialization round-trip and malformed-input tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tfhe/serialize.h"
+
+namespace strix {
+namespace {
+
+TEST(Serialize, ParamsRoundTrip)
+{
+    std::stringstream ss;
+    serialize(ss, paramsSetII());
+    TfheParams p = deserializeParams(ss);
+    EXPECT_EQ(p.name, "II");
+    EXPECT_EQ(p.n, paramsSetII().n);
+    EXPECT_EQ(p.N, paramsSetII().N);
+    EXPECT_EQ(p.l_bsk, paramsSetII().l_bsk);
+    EXPECT_DOUBLE_EQ(p.lwe_noise, paramsSetII().lwe_noise);
+    EXPECT_EQ(p.lambda, 128);
+}
+
+TEST(Serialize, LweKeyRoundTrip)
+{
+    Rng rng(1);
+    LweKey key(500, rng);
+    std::stringstream ss;
+    serialize(ss, key);
+    LweKey back = deserializeLweKey(ss);
+    ASSERT_EQ(back.dim(), key.dim());
+    for (uint32_t i = 0; i < key.dim(); ++i)
+        EXPECT_EQ(back.bit(i), key.bit(i));
+}
+
+TEST(Serialize, CiphertextRoundTripDecrypts)
+{
+    Rng rng(2);
+    LweKey key(128, rng);
+    auto ct = lweEncrypt(key, encodeMessage(5, 16), 0.0, rng);
+    std::stringstream ss;
+    serialize(ss, ct);
+    LweCiphertext back = deserializeLweCiphertext(ss);
+    EXPECT_EQ(lweDecrypt(key, back, 16), 5);
+}
+
+TEST(Serialize, GlweKeyRoundTrip)
+{
+    Rng rng(3);
+    GlweKey key(2, 64, rng);
+    std::stringstream ss;
+    serialize(ss, key);
+    GlweKey back = deserializeGlweKey(ss);
+    ASSERT_EQ(back.k(), 2u);
+    ASSERT_EQ(back.ringDim(), 64u);
+    for (uint32_t i = 0; i < 2; ++i)
+        EXPECT_EQ(back.poly(i), key.poly(i));
+}
+
+TEST(Serialize, TorusPolynomialRoundTrip)
+{
+    Rng rng(4);
+    TorusPolynomial p(256);
+    for (size_t i = 0; i < p.size(); ++i)
+        p[i] = rng.uniformTorus32();
+    std::stringstream ss;
+    serialize(ss, p);
+    EXPECT_EQ(deserializeTorusPolynomial(ss), p);
+}
+
+TEST(Serialize, KeySwitchKeyRoundTripFunctional)
+{
+    // The deserialized ksk must actually keyswitch correctly.
+    Rng rng(5);
+    TfheParams p = testParams(32, 64);
+    p.l_ksk = 12;
+    p.ks_base_bits = 2;
+    LweKey from(128, rng);
+    LweKey to(32, rng);
+    KeySwitchKey ksk = KeySwitchKey::generate(from, to, p, rng);
+
+    std::stringstream ss;
+    serialize(ss, ksk);
+    KeySwitchKey back = deserializeKeySwitchKey(ss);
+
+    auto ct = lweEncrypt(from, encodeMessage(3, 8), 0.0, rng);
+    EXPECT_EQ(lweDecrypt(to, keySwitch(ct, back), 8), 3);
+}
+
+TEST(Serialize, EncryptedUintRoundTrip)
+{
+    TfheContext ctx(testParams(32, 256, 1, 3, 8, 0.0), 99);
+    IntegerOps ops(ctx);
+    EncryptedUint x = ops.encrypt(201, 4);
+    std::stringstream ss;
+    serialize(ss, x);
+    EncryptedUint back = deserializeEncryptedUint(ss);
+    EXPECT_EQ(ops.decrypt(back), 201u);
+    EXPECT_EQ(back.digit_bits, x.digit_bits);
+}
+
+TEST(Serialize, MultipleFramesInOneStream)
+{
+    Rng rng(6);
+    LweKey key(64, rng);
+    auto c1 = lweEncrypt(key, encodeMessage(1, 8), 0.0, rng);
+    auto c2 = lweEncrypt(key, encodeMessage(2, 8), 0.0, rng);
+    std::stringstream ss;
+    serialize(ss, paramsSetI());
+    serialize(ss, c1);
+    serialize(ss, c2);
+    TfheParams p = deserializeParams(ss);
+    EXPECT_EQ(p.name, "I");
+    EXPECT_EQ(lweDecrypt(key, deserializeLweCiphertext(ss), 8), 1);
+    EXPECT_EQ(lweDecrypt(key, deserializeLweCiphertext(ss), 8), 2);
+}
+
+TEST(Serialize, WrongTagThrows)
+{
+    Rng rng(7);
+    LweKey key(16, rng);
+    std::stringstream ss;
+    serialize(ss, key);
+    EXPECT_THROW(deserializeLweCiphertext(ss), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStreamThrows)
+{
+    Rng rng(8);
+    LweKey key(64, rng);
+    auto ct = lweEncrypt(key, 0, 0.0, rng);
+    std::stringstream full;
+    serialize(full, ct);
+    std::string bytes = full.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(deserializeLweCiphertext(truncated),
+                 std::runtime_error);
+}
+
+TEST(Serialize, GarbageThrows)
+{
+    std::stringstream ss("this is not a TFHE frame at all....");
+    EXPECT_THROW(deserializeParams(ss), std::runtime_error);
+}
+
+} // namespace
+} // namespace strix

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the simulation framework: timelines, Gantt rendering,
+ * bandwidth accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/bandwidth.h"
+#include "sim/timeline.h"
+
+namespace strix {
+namespace {
+
+TEST(UnitTimeline, BusyCyclesClipsToWindow)
+{
+    UnitTimeline t("fft");
+    t.record(10, 20, "a");
+    t.record(30, 50, "b");
+    EXPECT_EQ(t.busyCycles(0, 100), 30u);
+    EXPECT_EQ(t.busyCycles(15, 35), 10u); // 5 from [10,20) + 5 from [30,50)
+    EXPECT_EQ(t.busyCycles(50, 60), 0u);
+}
+
+TEST(UnitTimeline, UtilizationFractions)
+{
+    UnitTimeline t("vma");
+    t.record(0, 50);
+    EXPECT_DOUBLE_EQ(t.utilization(0, 100), 0.5);
+    EXPECT_DOUBLE_EQ(t.utilization(0, 50), 1.0);
+    EXPECT_DOUBLE_EQ(t.utilization(60, 70), 0.0);
+}
+
+TEST(UnitTimeline, OverlapDetection)
+{
+    UnitTimeline a("x");
+    a.record(0, 10);
+    a.record(10, 20); // adjacent is fine
+    EXPECT_FALSE(a.hasOverlap());
+    a.record(15, 25);
+    EXPECT_TRUE(a.hasOverlap());
+}
+
+TEST(UnitTimeline, ZeroLengthIntervalsIgnored)
+{
+    UnitTimeline t("acc");
+    t.record(5, 5);
+    EXPECT_TRUE(t.intervals().empty());
+    EXPECT_EQ(t.endCycle(), 0u);
+}
+
+TEST(GanttTrace, RowsAreStableAndNamed)
+{
+    GanttTrace g;
+    g.row("Rotator").record(0, 10);
+    g.row("FFT").record(5, 20);
+    EXPECT_EQ(g.rows().size(), 2u);
+    // Fetching an existing row must not duplicate it.
+    g.row("Rotator").record(20, 30);
+    EXPECT_EQ(g.rows().size(), 2u);
+    EXPECT_EQ(g.endCycle(), 30u);
+}
+
+TEST(GanttTrace, RenderContainsRowNames)
+{
+    GanttTrace g;
+    g.row("Rotator").record(0, 100, "1");
+    g.row("HBM").record(0, 60, "k");
+    std::string out = g.render(50);
+    EXPECT_NE(out.find("Rotator"), std::string::npos);
+    EXPECT_NE(out.find("HBM"), std::string::npos);
+    EXPECT_NE(out.find('1'), std::string::npos);
+    EXPECT_NE(out.find('k'), std::string::npos);
+}
+
+TEST(ChannelGroup, BandwidthShareSplit)
+{
+    // 8 of 16 channels of a 300 GB/s stack = 150 GB/s.
+    ChannelGroup bsk(300.0, 8, 16);
+    EXPECT_DOUBLE_EQ(bsk.gbps(), 150.0);
+    ChannelGroup ksk(300.0, 4, 16);
+    EXPECT_DOUBLE_EQ(ksk.gbps(), 75.0);
+}
+
+TEST(ChannelGroup, TransferCyclesAtClock)
+{
+    ChannelGroup g(300.0, 16, 16);
+    // 300 bytes at 300 GB/s = 1 ns = 1.2 cycles at 1.2 GHz.
+    EXPECT_EQ(g.transferCycles(300, 1.2), 1u);
+    // 3 MB at 300 GB/s = 10 us = 12000 cycles.
+    EXPECT_EQ(g.transferCycles(3000000, 1.2), 12000u);
+}
+
+TEST(ChannelGroup, RequiredGbpsInvertsTransfer)
+{
+    // Moving 512 KiB every 4096 cycles at 1.2 GHz needs ~153.6 GB/s.
+    double need = ChannelGroup::requiredGbps(512 * 1024, 4096, 1.2);
+    EXPECT_NEAR(need, 153.6, 1.0);
+}
+
+} // namespace
+} // namespace strix

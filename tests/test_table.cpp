@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the text table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace strix {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t;
+    t.header({"Platform", "Latency"});
+    t.row({"CPU", "14.00"});
+    t.row({"Strix", "0.16"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Platform"), std::string::npos);
+    EXPECT_NE(out.find("Strix"), std::string::npos);
+    EXPECT_NE(out.find("0.16"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"x"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, NumFormatsFixedPoint)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+TEST(TextTable, NumSepInsertsThousands)
+{
+    EXPECT_EQ(TextTable::numSep(74696), "74,696");
+    EXPECT_EQ(TextTable::numSep(999), "999");
+    EXPECT_EQ(TextTable::numSep(1000000), "1,000,000");
+    EXPECT_EQ(TextTable::numSep(0), "0");
+}
+
+TEST(TextTable, SeparatorProducesRule)
+{
+    TextTable t;
+    t.header({"h"});
+    t.row({"1"});
+    t.separator();
+    t.row({"2"});
+    std::string out = t.render();
+    // 4 rules: top, under header, explicit, bottom.
+    size_t count = 0, pos = 0;
+    while ((pos = out.find("+--", pos)) != std::string::npos) {
+        ++count;
+        pos += 3;
+    }
+    EXPECT_GE(count, 4u);
+}
+
+} // namespace
+} // namespace strix

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for torus scalar conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace strix {
+namespace {
+
+TEST(Types, DoubleToTorusRoundTrip)
+{
+    EXPECT_EQ(doubleToTorus32(0.0), 0u);
+    EXPECT_EQ(doubleToTorus32(0.5), 0x80000000u);
+    EXPECT_EQ(doubleToTorus32(-0.25), 0xC0000000u);
+    EXPECT_EQ(doubleToTorus32(0.25), 0x40000000u);
+    // Reduction mod 1.
+    EXPECT_EQ(doubleToTorus32(1.25), doubleToTorus32(0.25));
+    EXPECT_EQ(doubleToTorus32(-0.75), doubleToTorus32(0.25));
+}
+
+TEST(Types, TorusToDoubleCentered)
+{
+    EXPECT_DOUBLE_EQ(torus32ToDouble(0), 0.0);
+    EXPECT_DOUBLE_EQ(torus32ToDouble(0x40000000u), 0.25);
+    EXPECT_DOUBLE_EQ(torus32ToDouble(0xC0000000u), -0.25);
+}
+
+TEST(Types, RoundTripThroughDouble)
+{
+    for (Torus32 t : {0u, 1u, 0x12345678u, 0xFFFFFFFFu, 0x7FFFFFFFu}) {
+        EXPECT_EQ(doubleToTorus32(torus32ToDouble(t)), t) << t;
+    }
+}
+
+TEST(Types, EncodeDecodeMessagePowerOfTwoSpace)
+{
+    const uint64_t p = 16;
+    for (int64_t m = 0; m < static_cast<int64_t>(p); ++m) {
+        Torus32 t = encodeMessage(m, p);
+        EXPECT_EQ(decodeMessage(t, p), m) << m;
+    }
+}
+
+TEST(Types, EncodeDecodeMessageNonPowerOfTwoSpace)
+{
+    const uint64_t p = 10;
+    for (int64_t m = 0; m < static_cast<int64_t>(p); ++m) {
+        Torus32 t = encodeMessage(m, p);
+        EXPECT_EQ(decodeMessage(t, p), m) << m;
+    }
+}
+
+TEST(Types, DecodeToleratesNoise)
+{
+    const uint64_t p = 8;
+    for (int64_t m = 0; m < 8; ++m) {
+        Torus32 t = encodeMessage(m, p);
+        // Up to just under half an encoding step (step = 2^32/8 =
+        // 2^29, half-step = 2^28) of noise.
+        Torus32 noise = (1u << 28) - 1000;
+        EXPECT_EQ(decodeMessage(t + noise, p), m);
+        EXPECT_EQ(decodeMessage(t - noise, p), m);
+    }
+}
+
+TEST(Types, NegativeMessagesWrap)
+{
+    EXPECT_EQ(encodeMessage(-1, 8), encodeMessage(7, 8));
+    EXPECT_EQ(encodeMessage(-3, 8), encodeMessage(5, 8));
+}
+
+TEST(Types, RoundToBits)
+{
+    // Keeping 8 bits rounds to the nearest multiple of 2^24.
+    EXPECT_EQ(roundToBits(0x01000000u, 8), 0x01000000u);
+    EXPECT_EQ(roundToBits(0x01800000u, 8), 0x02000000u); // half rounds up
+    EXPECT_EQ(roundToBits(0x017FFFFFu, 8), 0x01000000u);
+    // Wrap at the top of the torus.
+    EXPECT_EQ(roundToBits(0xFFFFFFFFu, 8), 0u);
+    // Full width: identity.
+    EXPECT_EQ(roundToBits(0xDEADBEEFu, 32), 0xDEADBEEFu);
+}
+
+TEST(Types, TorusDistanceIsCentered)
+{
+    EXPECT_EQ(torusDistance(5, 3), 2);
+    EXPECT_EQ(torusDistance(3, 5), -2);
+    // Wraparound: distance between 0 and 0xFFFFFFFF is 1.
+    EXPECT_EQ(torusDistance(0, 0xFFFFFFFFu), 1);
+}
+
+} // namespace
+} // namespace strix

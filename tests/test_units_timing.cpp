@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Closed-form functional-unit timing tests, checked against the
+ * hand-derived cycle counts of the paper design point (Sec. V).
+ */
+
+#include <gtest/gtest.h>
+
+#include "strix/functional_units.h"
+#include "strix/memory_system.h"
+
+namespace strix {
+namespace {
+
+TEST(UnitTiming, PaperDesignPointSetI)
+{
+    // Set I (n=500, N=1024, k=1, lb=2) with TvLP=8/CLP=4/PLP=2/CoLP=2
+    // and folding: the FFT (and the balanced decomposer/VMA/IFFT/
+    // accumulator) dominate at 256 cycles; the rotator runs at 50%.
+    UnitTiming t(StrixConfig::paperDefault(), paramsSetI());
+    EXPECT_EQ(t.fftCyclesPerPoly(), 128u);   // (N/2)/CLP
+    EXPECT_EQ(t.fftCycles(), 256u);          // 4 polys on 2 instances
+    EXPECT_EQ(t.ifftCycles(), 256u);         // 1:1 split
+    EXPECT_EQ(t.decomposerCycles(), 256u);
+    EXPECT_EQ(t.vmaCycles(), 256u);
+    EXPECT_EQ(t.accumulatorCycles(), 256u);
+    EXPECT_EQ(t.rotatorCycles(), 128u);      // 50% utilization
+    EXPECT_EQ(t.iterationII(), 256u);
+}
+
+TEST(UnitTiming, NoFoldingDoublesTheFftBottleneck)
+{
+    UnitTiming fold(StrixConfig::paperDefault(), paramsSetI());
+    UnitTiming nofold(StrixConfig::paperNoFolding(), paramsSetI());
+    EXPECT_EQ(nofold.fftCyclesPerPoly(), 2 * fold.fftCyclesPerPoly());
+    EXPECT_EQ(nofold.iterationII(), 2 * fold.iterationII());
+}
+
+TEST(UnitTiming, IterationIIScalesWithParameters)
+{
+    StrixConfig cfg = StrixConfig::paperDefault();
+    // Set II: lb = 3 => ceil(6/2) = 3 transforms per FFT instance.
+    EXPECT_EQ(UnitTiming(cfg, paramsSetII()).iterationII(), 384u);
+    // Set III: N = 2048, lb = 3.
+    EXPECT_EQ(UnitTiming(cfg, paramsSetIII()).iterationII(), 768u);
+    // Set IV: N = 16384, lb = 2.
+    EXPECT_EQ(UnitTiming(cfg, paramsSetIV()).iterationII(), 4096u);
+}
+
+TEST(UnitTiming, KeyswitchHidesBehindBlindRotation)
+{
+    // Sec. IV-B: the keyswitch cluster must keep up with the PBS
+    // cluster so KS latency can hide behind the next blind rotation.
+    StrixConfig cfg = StrixConfig::paperDefault();
+    for (const auto &p : paperParamSets()) {
+        UnitTiming t(cfg, p);
+        EXPECT_LE(t.keyswitchCycles(),
+                  Cycle(p.n) * t.iterationII())
+            << "set " << p.name;
+    }
+}
+
+TEST(UnitTiming, DoublingClpHalvesIteration)
+{
+    StrixConfig cfg = StrixConfig::paperDefault();
+    cfg.clp = 8;
+    UnitTiming fast(cfg, paramsSetIV());
+    UnitTiming base(StrixConfig::paperDefault(), paramsSetIV());
+    EXPECT_EQ(fast.iterationII() * 2, base.iterationII());
+}
+
+TEST(MemorySystem, BskBytesPerIteration)
+{
+    // One GGSW in the Fourier domain: (k+1)^2 * lb polys of N/2
+    // complex points, 8 bytes each. Set I: 4*2*512*8 = 32 KiB.
+    MemorySystem mem(StrixConfig::paperDefault(), paramsSetI());
+    EXPECT_EQ(mem.bskBytesPerIteration(), 32u * 1024);
+    // Set IV: 4*2*8192*8 = 512 KiB.
+    MemorySystem mem4(StrixConfig::paperDefault(), paramsSetIV());
+    EXPECT_EQ(mem4.bskBytesPerIteration(), 512u * 1024);
+}
+
+TEST(MemorySystem, CoreBatchFromLocalScratchpad)
+{
+    // Set IV test vectors are 128 KiB; double-buffered in the 512 KiB
+    // PBS section => core batch 2 (matches the Sec. VI-C trade-off).
+    MemorySystem mem4(StrixConfig::paperDefault(), paramsSetIV());
+    EXPECT_EQ(mem4.coreBatch(), 2u);
+    // Set I test vectors are 8 KiB => batch 32.
+    MemorySystem mem1(StrixConfig::paperDefault(), paramsSetI());
+    EXPECT_EQ(mem1.coreBatch(), 32u);
+}
+
+TEST(MemorySystem, BskFetchGatesSmallBatches)
+{
+    // Set IV at the bsk channel share (150 GB/s): 512 KiB per
+    // iteration = ~4096 cycles, equal to the compute II. A single
+    // LWE per core is therefore exactly at the memory boundary.
+    StrixConfig cfg = StrixConfig::paperDefault();
+    MemorySystem mem(cfg, paramsSetIV());
+    UnitTiming t(cfg, paramsSetIV());
+    EXPECT_NEAR(double(mem.bskFetchCycles()), double(t.iterationII()),
+                double(t.iterationII()) * 0.05);
+}
+
+} // namespace
+} // namespace strix

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deep-NN workload graph tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/deepnn.h"
+
+namespace strix {
+namespace {
+
+TEST(DeepNn, LayerCountMatchesDepth)
+{
+    for (uint32_t d : {3u, 20u, 50u, 100u}) {
+        WorkloadGraph g = buildDeepNn(d);
+        EXPECT_EQ(g.layers().size(), d) << "depth " << d;
+    }
+}
+
+TEST(DeepNn, ConvLayerShape)
+{
+    WorkloadGraph g = buildDeepNn(20);
+    const GraphLayer &conv = g.layers().front();
+    // [1, 2, 21, 20] = 840 ReLU PBS, 10x11 kernel MACs each.
+    EXPECT_EQ(conv.pbs_count, 840u);
+    EXPECT_EQ(conv.linear_macs, 840u * 110);
+}
+
+TEST(DeepNn, HiddenLayersAre92Wide)
+{
+    WorkloadGraph g = buildDeepNn(20);
+    for (size_t i = 1; i + 1 < g.layers().size(); ++i)
+        EXPECT_EQ(g.layers()[i].pbs_count, 92u) << "layer " << i;
+}
+
+TEST(DeepNn, ClassifierHeadHasNoPbs)
+{
+    WorkloadGraph g = buildDeepNn(50);
+    EXPECT_EQ(g.layers().back().pbs_count, 0u);
+    EXPECT_EQ(g.layers().back().linear_macs, 92u * 10);
+}
+
+TEST(DeepNn, TotalPbsCounts)
+{
+    // 840 + (d-2)*92.
+    EXPECT_EQ(deepNnPbsCount(20), 840u + 18 * 92);
+    EXPECT_EQ(deepNnPbsCount(50), 840u + 48 * 92);
+    EXPECT_EQ(deepNnPbsCount(100), 840u + 98 * 92);
+}
+
+TEST(DeepNn, FirstDenseConsumesConvOutputs)
+{
+    WorkloadGraph g = buildDeepNn(20);
+    EXPECT_EQ(g.layers()[1].linear_macs, 840u * 92);
+    EXPECT_EQ(g.layers()[2].linear_macs, 92u * 92);
+}
+
+TEST(DeepNn, RejectsTooShallow)
+{
+    EXPECT_DEATH(buildDeepNn(2), "depth");
+}
+
+TEST(DeepNn, GraphAccumulators)
+{
+    WorkloadGraph g = buildDeepNn(20);
+    EXPECT_EQ(g.totalPbs(), deepNnPbsCount(20));
+    EXPECT_GT(g.totalLinearMacs(), 0u);
+    EXPECT_EQ(g.name(), "NN-20");
+}
+
+} // namespace
+} // namespace strix
