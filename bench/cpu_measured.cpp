@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -20,8 +21,13 @@
 using namespace strix;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --smoke: single rep, no thread sweep beyond 2 workers. Used by
+    // the ctest smoke run so the binary is exercised end-to-end
+    // without paying for a full measurement.
+    const bool smoke = argc > 1 && !std::strcmp(argv[1], "--smoke");
+
     std::printf("=== Measured software-TFHE PBS on this machine "
                 "(parameter set I) ===\n\n");
 
@@ -33,13 +39,13 @@ main()
     // Pre-encrypt a pool of inputs (encryption uses the context RNG
     // and is not thread-safe; bootstrapping is const and is).
     std::vector<LweCiphertext> inputs;
-    for (int i = 0; i < 64; ++i)
+    for (int i = 0; i < (smoke ? 4 : 64); ++i)
         inputs.push_back(ctx.encryptInt(i % 4, space));
 
     using Clock = std::chrono::steady_clock;
 
     // Single-thread latency.
-    const int warm = 2, reps = 8;
+    const int warm = smoke ? 0 : 2, reps = smoke ? 1 : 8;
     for (int i = 0; i < warm; ++i)
         ctx.bootstrap(inputs[0], tv);
     auto t0 = Clock::now();
@@ -58,9 +64,12 @@ main()
     t.header({"threads", "PBS/s", "scaling"});
     double tp1 = 0.0;
     unsigned hw = std::thread::hardware_concurrency();
-    for (unsigned n : {1u, 2u, 4u, std::max(4u, hw)}) {
+    std::vector<unsigned> counts{1u, 2u, 4u, std::max(4u, hw)};
+    if (smoke)
+        counts = {1u, 2u};
+    for (unsigned n : counts) {
         std::atomic<int> done{0};
-        const int per_thread = 4;
+        const int per_thread = smoke ? 1 : 4;
         auto t1 = Clock::now();
         std::vector<std::thread> workers;
         for (unsigned w = 0; w < n; ++w) {

@@ -74,7 +74,11 @@ main()
     // Part 1: a real encrypted MLP on the software library.
     // ---------------------------------------------------------------
     std::printf("== Part 1: encrypted 4-3-2 MLP on software TFHE ==\n");
-    const uint64_t space = 32; // signed values in [0,32), two's wrap
+    // Signed values in [-8, 8) via two's wrap. Set I's modulus-switch
+    // rounding noise (~0.003 of the torus at n=500, N=1024) needs the
+    // 1/(4*space) bucket margin to stay several sigma wide: space=16
+    // gives ~5 sigma, space=32 would fail ~1% of bootstraps.
+    const uint64_t space = 16;
     TfheContext ctx(paramsSetI(), 555);
     TinyMlp mlp;
 

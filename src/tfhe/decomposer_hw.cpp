@@ -101,7 +101,12 @@ streamingDecomposePoly(std::vector<IntPolynomial> &out,
 {
     StreamingDecomposer dec(g);
     const size_t n = poly.size();
-    out.assign(g.levels, IntPolynomial(n));
+    // (clear+emplace rather than assign(count, proto): GCC 12's
+    // -Wfree-nonheap-object misfires on the inlined prototype dtor.)
+    out.clear();
+    out.reserve(g.levels);
+    for (uint32_t j = 0; j < g.levels; ++j)
+        out.emplace_back(n);
     size_t coeff_idx = 0;
     for (size_t i = 0; i < n; ++i) {
         dec.push(poly[i]);

@@ -1,0 +1,48 @@
+#include "support/test_util.h"
+
+namespace strix {
+namespace test {
+
+TorusPolynomial
+randomTorusPoly(size_t n, Rng &rng)
+{
+    TorusPolynomial p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = rng.uniformTorus32();
+    return p;
+}
+
+IntPolynomial
+randomSmallIntPoly(size_t n, int32_t bound, Rng &rng)
+{
+    IntPolynomial p(n);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = static_cast<int32_t>(rng.uniformBelow(2 * bound + 1)) -
+               bound;
+    return p;
+}
+
+TorusPolynomial
+randomMessagePoly(uint32_t n, Rng &rng, uint64_t space)
+{
+    TorusPolynomial mu(n);
+    for (uint32_t i = 0; i < n; ++i)
+        mu[i] = encodeMessage(
+            static_cast<int64_t>(rng.uniformBelow(space)), space);
+    return mu;
+}
+
+TfheParams
+fastParams()
+{
+    return testParams(48, 512, 1, 3, 8, 0.0);
+}
+
+TfheParams
+midParams()
+{
+    return testParams(20, 256, 1, 3, 8, 0.0);
+}
+
+} // namespace test
+} // namespace strix

@@ -9,6 +9,7 @@
 
 #include "tfhe/bootstrap.h"
 #include "tfhe/context.h"
+#include "support/test_util.h"
 
 namespace strix {
 namespace {
@@ -47,7 +48,8 @@ class BootstrapExact : public ::testing::Test
     static constexpr uint32_t kLweDim = 16;
 
     BootstrapExact()
-        : params_(testParams(kLweDim, kN, 1, 3, 8, 0.0)), ctx_(params_, 99)
+        : params_(testParams(kLweDim, kN, 1, 3, 8, 0.0)),
+          ctx_(params_, test::kSeedBootstrap)
     {
     }
 

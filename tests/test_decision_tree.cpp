@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/test_util.h"
 #include "workloads/decision_tree.h"
 
 namespace strix {
@@ -15,7 +16,7 @@ namespace {
 TfheContext &
 exactCtx()
 {
-    static TfheContext ctx(testParams(48, 512, 1, 3, 8, 0.0), 1357);
+    static TfheContext ctx(test::fastParams(), test::kSeedDecisionTree);
     return ctx;
 }
 

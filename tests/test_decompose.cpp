@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "tfhe/decompose.h"
 #include "tfhe/decomposer_hw.h"
+#include "support/test_util.h"
 
 namespace strix {
 namespace {
@@ -127,9 +128,7 @@ TEST(Gadget, PolyDecomposeMatchesScalar)
     const GadgetParams g{7, 3};
     Rng rng(6);
     const size_t n = 64;
-    TorusPolynomial p(n);
-    for (size_t i = 0; i < n; ++i)
-        p[i] = rng.uniformTorus32();
+    TorusPolynomial p = test::randomTorusPoly(n, rng);
     std::vector<IntPolynomial> out;
     gadgetDecomposePoly(out, p, g);
     ASSERT_EQ(out.size(), g.levels);
@@ -146,9 +145,7 @@ TEST(Gadget, StreamingPolyMatchesReferencePoly)
     const GadgetParams g{10, 2};
     Rng rng(7);
     const size_t n = 256;
-    TorusPolynomial p(n);
-    for (size_t i = 0; i < n; ++i)
-        p[i] = rng.uniformTorus32();
+    TorusPolynomial p = test::randomTorusPoly(n, rng);
     std::vector<IntPolynomial> ref, hw;
     gadgetDecomposePoly(ref, p, g);
     streamingDecomposePoly(hw, p, g);

@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "poly/complex_fft.h"
 #include "poly/negacyclic_fft.h"
+#include "support/test_util.h"
 
 namespace strix {
 namespace {
@@ -88,9 +89,7 @@ TEST_P(NegacyclicRoundTrip, TorusPolySurvives)
 {
     const size_t n = GetParam();
     Rng rng(n);
-    TorusPolynomial p(n);
-    for (size_t i = 0; i < n; ++i)
-        p[i] = rng.uniformTorus32();
+    TorusPolynomial p = test::randomTorusPoly(n, rng);
     const auto &eng = NegacyclicFft::get(n);
     FreqPolynomial f;
     eng.forward(f, p);
@@ -121,9 +120,7 @@ TEST(NegacyclicFft, MonomialProductViaFftIsExactRotation)
 {
     const size_t n = 128;
     Rng rng(5);
-    TorusPolynomial p(n);
-    for (size_t i = 0; i < n; ++i)
-        p[i] = rng.uniformTorus32();
+    TorusPolynomial p = test::randomTorusPoly(n, rng);
 
     IntPolynomial mono(n);
     mono[3] = 1;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/test_util.h"
 #include "tfhe/gates.h"
 
 namespace strix {
@@ -16,7 +17,7 @@ namespace {
 TfheContext &
 exactCtx()
 {
-    static TfheContext ctx(testParams(48, 512, 1, 3, 8, 0.0), 1234);
+    static TfheContext ctx(test::fastParams(), test::kSeedGates);
     return ctx;
 }
 

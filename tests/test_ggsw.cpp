@@ -7,21 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include "support/test_util.h"
 #include "tfhe/ggsw.h"
 
 namespace strix {
 namespace {
 
-TorusPolynomial
-messagePoly(uint32_t n, Rng &rng, uint64_t space = 16)
-{
-    TorusPolynomial mu(n);
-    for (uint32_t i = 0; i < n; ++i)
-        mu[i] =
-            encodeMessage(static_cast<int64_t>(rng.uniformBelow(space)),
-                          space);
-    return mu;
-}
+using test::randomMessagePoly;
 
 /** Max |error| of phase vs expectation, in torus ulps. */
 int64_t
@@ -56,7 +48,7 @@ TEST_P(ExternalProductSweep, EncryptsProductOfBit)
 
     for (int32_t m : {0, 1}) {
         GgswCiphertext ggsw = ggswEncrypt(key, m, g, 0.0, rng);
-        TorusPolynomial mu = messagePoly(c.big_n, rng);
+        TorusPolynomial mu = randomMessagePoly(c.big_n, rng);
         GlweCiphertext glwe = glweEncrypt(key, mu, 0.0, rng);
         GlweCiphertext out;
         externalProduct(out, ggsw, glwe);
@@ -88,7 +80,7 @@ TEST(Ggsw, FftExternalProductMatchesExact)
     GgswCiphertext ggsw = ggswEncrypt(key, 1, g, 0.0, rng);
     GgswFft ggsw_fft(ggsw);
 
-    TorusPolynomial mu = messagePoly(n, rng);
+    TorusPolynomial mu = randomMessagePoly(n, rng);
     GlweCiphertext glwe = glweEncrypt(key, mu, 0.0, rng);
 
     GlweCiphertext exact, viaFft;
@@ -111,7 +103,7 @@ TEST(Ggsw, CmuxSelectsRotationWhenBitSet)
     const uint32_t n = 64, k = 1;
     GlweKey key(k, n, rng);
     GadgetParams g{10, 2};
-    TorusPolynomial mu = messagePoly(n, rng);
+    TorusPolynomial mu = randomMessagePoly(n, rng);
 
     const uint32_t power = 13;
     TorusPolynomial rotated(n);
@@ -136,7 +128,7 @@ TEST(Ggsw, CmuxChainAccumulatesRotations)
     const uint32_t n = 64, k = 1;
     GlweKey key(k, n, rng);
     GadgetParams g{10, 2};
-    TorusPolynomial mu = messagePoly(n, rng);
+    TorusPolynomial mu = randomMessagePoly(n, rng);
 
     GgswCiphertext one = ggswEncrypt(key, 1, g, 0.0, rng);
     GgswFft fft(one);

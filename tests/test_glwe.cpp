@@ -5,27 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include "support/test_util.h"
 #include "tfhe/glwe.h"
 
 namespace strix {
 namespace {
 
-TorusPolynomial
-randomMessage(uint32_t n, Rng &rng)
-{
-    TorusPolynomial mu(n);
-    for (uint32_t i = 0; i < n; ++i)
-        mu[i] = encodeMessage(static_cast<int64_t>(rng.uniformBelow(16)),
-                              16);
-    return mu;
-}
+using test::randomMessagePoly;
 
 TEST(Glwe, ZeroNoisePhaseRecoversMessage)
 {
     Rng rng(1);
     for (uint32_t k : {1u, 2u, 3u}) {
         GlweKey key(k, 64, rng);
-        TorusPolynomial mu = randomMessage(64, rng);
+        TorusPolynomial mu = randomMessagePoly(64, rng);
         auto ct = glweEncrypt(key, mu, 0.0, rng);
         EXPECT_EQ(glwePhase(key, ct), mu) << "k=" << k;
     }
@@ -35,7 +28,7 @@ TEST(Glwe, TrivialCiphertextPhaseIsBody)
 {
     Rng rng(2);
     GlweKey key(2, 32, rng);
-    TorusPolynomial mu = randomMessage(32, rng);
+    TorusPolynomial mu = randomMessagePoly(32, rng);
     auto ct = GlweCiphertext::trivial(2, mu);
     EXPECT_EQ(glwePhase(key, ct), mu);
 }
@@ -44,8 +37,8 @@ TEST(Glwe, HomomorphicAddition)
 {
     Rng rng(3);
     GlweKey key(1, 64, rng);
-    TorusPolynomial m1 = randomMessage(64, rng);
-    TorusPolynomial m2 = randomMessage(64, rng);
+    TorusPolynomial m1 = randomMessagePoly(64, rng);
+    TorusPolynomial m2 = randomMessagePoly(64, rng);
     auto c1 = glweEncrypt(key, m1, 0.0, rng);
     auto c2 = glweEncrypt(key, m2, 0.0, rng);
     c1.addAssign(c2);
@@ -58,7 +51,7 @@ TEST(Glwe, NoisyDecryptionWithinBudget)
 {
     Rng rng(4);
     GlweKey key(1, 1024, rng);
-    TorusPolynomial mu = randomMessage(1024, rng);
+    TorusPolynomial mu = randomMessagePoly(1024, rng);
     auto ct = glweEncrypt(key, mu, 9.0e-9, rng); // set I GLWE noise
     TorusPolynomial phase = glwePhase(key, ct);
     for (size_t i = 0; i < phase.size(); ++i) {
@@ -88,7 +81,7 @@ TEST_P(SampleExtractIndex, ExtractsCoefficient)
     const uint32_t n = 64;
     for (uint32_t k : {1u, 2u}) {
         GlweKey key(k, n, rng);
-        TorusPolynomial mu = randomMessage(n, rng);
+        TorusPolynomial mu = randomMessagePoly(n, rng);
         auto ct = glweEncrypt(key, mu, 0.0, rng);
         LweCiphertext lwe = sampleExtract(ct, index);
         ASSERT_EQ(lwe.dim(), k * n);
@@ -105,8 +98,8 @@ TEST(Glwe, SampleExtractOfSumIsSumOfExtracts)
 {
     Rng rng(6);
     GlweKey key(1, 32, rng);
-    auto c1 = glweEncrypt(key, randomMessage(32, rng), 0.0, rng);
-    auto c2 = glweEncrypt(key, randomMessage(32, rng), 0.0, rng);
+    auto c1 = glweEncrypt(key, randomMessagePoly(32, rng), 0.0, rng);
+    auto c2 = glweEncrypt(key, randomMessagePoly(32, rng), 0.0, rng);
     auto sum = c1;
     sum.addAssign(c2);
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/test_util.h"
 #include "tfhe/integer.h"
 
 namespace strix {
@@ -14,7 +15,7 @@ namespace {
 TfheContext &
 exactCtx()
 {
-    static TfheContext ctx(testParams(48, 512, 1, 3, 8, 0.0), 2468);
+    static TfheContext ctx(test::fastParams(), test::kSeedInteger);
     return ctx;
 }
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/test_util.h"
 #include <sstream>
 
 #include "baselines/cpu_model.h"
@@ -24,7 +25,7 @@ namespace {
 TfheContext &
 exactCtx()
 {
-    static TfheContext ctx(testParams(48, 512, 1, 3, 8, 0.0), 60606);
+    static TfheContext ctx(test::fastParams(), test::kSeedIntegration);
     return ctx;
 }
 
@@ -123,7 +124,7 @@ TEST(Integration, UnrolledContextFullLutChain)
 {
     // Unrolled bootstrapping inside a longer computation: LUT chain
     // with additions between, all on the unrolled key.
-    TfheParams params = testParams(20, 256, 1, 3, 8, 0.0);
+    TfheParams params = test::midParams();
     Rng rng(111);
     LweKey lwe_key(params.n, rng);
     GlweKey glwe_key(params.k, params.N, rng);

@@ -9,28 +9,13 @@
 #include "common/random.h"
 #include "poly/negacyclic_fft.h"
 #include "poly/polynomial.h"
+#include "support/test_util.h"
 
 namespace strix {
 namespace {
 
-TorusPolynomial
-randomTorusPoly(size_t n, Rng &rng)
-{
-    TorusPolynomial p(n);
-    for (size_t i = 0; i < n; ++i)
-        p[i] = rng.uniformTorus32();
-    return p;
-}
-
-IntPolynomial
-randomSmallIntPoly(size_t n, int32_t bound, Rng &rng)
-{
-    IntPolynomial p(n);
-    for (size_t i = 0; i < n; ++i)
-        p[i] = static_cast<int32_t>(rng.uniformBelow(2 * bound + 1)) -
-               bound;
-    return p;
-}
+using test::randomSmallIntPoly;
+using test::randomTorusPoly;
 
 TEST(Polynomial, AddSubRoundTrip)
 {

@@ -55,8 +55,9 @@ TEST(Scheduler, KeyswitchOverlapsNextBlindRotation)
         EXPECT_LT(epochs[e].ks_start, epochs[e + 1].br_end);
         EXPECT_GE(epochs[e].ks_start, epochs[e + 1].br_start);
         // Hidden (not exposed) for set I full batches.
-        if (e + 1 < epochs.size() - 1)
+        if (e + 1 < epochs.size() - 1) {
             EXPECT_FALSE(epochs[e].ks_exposed) << e;
+        }
     }
 }
 

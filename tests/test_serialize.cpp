@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "tfhe/serialize.h"
+#include "support/test_util.h"
 
 namespace strix {
 namespace {
@@ -64,9 +65,7 @@ TEST(Serialize, GlweKeyRoundTrip)
 TEST(Serialize, TorusPolynomialRoundTrip)
 {
     Rng rng(4);
-    TorusPolynomial p(256);
-    for (size_t i = 0; i < p.size(); ++i)
-        p[i] = rng.uniformTorus32();
+    TorusPolynomial p = test::randomTorusPoly(256, rng);
     std::stringstream ss;
     serialize(ss, p);
     EXPECT_EQ(deserializeTorusPolynomial(ss), p);
