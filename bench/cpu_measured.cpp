@@ -1,21 +1,19 @@
 /**
  * @file
  * Measured CPU baseline: runs our actual software TFHE (not the
- * analytic model) single- and multi-threaded, reporting real PBS
- * latency and throughput on this machine. Complements Table V's
- * Concrete rows: the absolute numbers depend on how optimized the
- * FFT is, but the scaling behaviour (throughput = threads/latency,
- * no packing) is the phenomenon the paper's Sec. III builds on.
+ * analytic model) single-threaded and through the batched,
+ * thread-parallel PBS API, reporting real PBS latency and throughput
+ * on this machine. Complements Table V's Concrete rows: the absolute
+ * numbers depend on how optimized the FFT is, but the scaling
+ * behaviour (throughput = threads/latency, no packing) is the
+ * phenomenon the paper's Sec. III builds on.
  */
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <thread>
-#include <vector>
 
-#include "common/table.h"
+#include "pbs_sweep.h"
 #include "tfhe/context.h"
 
 using namespace strix;
@@ -23,9 +21,9 @@ using namespace strix;
 int
 main(int argc, char **argv)
 {
-    // --smoke: single rep, no thread sweep beyond 2 workers. Used by
-    // the ctest smoke run so the binary is exercised end-to-end
-    // without paying for a full measurement.
+    // --smoke: single rep, small batches, thread sweep capped at 2
+    // workers. Used by the ctest smoke run so the binary is exercised
+    // end-to-end without paying for a full measurement.
     const bool smoke = argc > 1 && !std::strcmp(argv[1], "--smoke");
 
     std::printf("=== Measured software-TFHE PBS on this machine "
@@ -35,22 +33,17 @@ main(int argc, char **argv)
     const uint64_t space = 4;
     TorusPolynomial tv = makeIntTestVector(
         ctx.params().N, space, [](int64_t x) { return x; });
-
-    // Pre-encrypt a pool of inputs (encryption uses the context RNG
-    // and is not thread-safe; bootstrapping is const and is).
-    std::vector<LweCiphertext> inputs;
-    for (int i = 0; i < (smoke ? 4 : 64); ++i)
-        inputs.push_back(ctx.encryptInt(i % 4, space));
+    LweCiphertext input = ctx.encryptInt(1, space);
 
     using Clock = std::chrono::steady_clock;
 
     // Single-thread latency.
     const int warm = smoke ? 0 : 2, reps = smoke ? 1 : 8;
     for (int i = 0; i < warm; ++i)
-        ctx.bootstrap(inputs[0], tv);
+        ctx.bootstrap(input, tv);
     auto t0 = Clock::now();
     for (int i = 0; i < reps; ++i)
-        ctx.bootstrap(inputs[i % inputs.size()], tv);
+        ctx.bootstrap(input, tv);
     double lat_ms =
         std::chrono::duration<double>(Clock::now() - t0).count() /
         reps * 1e3;
@@ -58,45 +51,10 @@ main(int argc, char **argv)
                 "(Concrete on Xeon: 14 ms)\n\n",
                 lat_ms);
 
-    // Thread scaling: each worker bootstraps independently -- no
-    // packing, the TFHE bottleneck the paper attacks.
-    TextTable t;
-    t.header({"threads", "PBS/s", "scaling"});
-    double tp1 = 0.0;
-    unsigned hw = std::thread::hardware_concurrency();
-    std::vector<unsigned> counts{1u, 2u, 4u, std::max(4u, hw)};
-    if (smoke)
-        counts = {1u, 2u};
-    for (unsigned n : counts) {
-        std::atomic<int> done{0};
-        const int per_thread = smoke ? 1 : 4;
-        auto t1 = Clock::now();
-        std::vector<std::thread> workers;
-        for (unsigned w = 0; w < n; ++w) {
-            workers.emplace_back([&, w] {
-                for (int i = 0; i < per_thread; ++i) {
-                    auto out = ctx.bootstrap(
-                        inputs[(w * per_thread + i) % inputs.size()],
-                        tv);
-                    done.fetch_add(1, std::memory_order_relaxed);
-                    (void)out;
-                }
-            });
-        }
-        for (auto &w : workers)
-            w.join();
-        double secs =
-            std::chrono::duration<double>(Clock::now() - t1).count();
-        double tp = done.load() / secs;
-        if (n == 1)
-            tp1 = tp;
-        t.row({std::to_string(n), TextTable::num(tp, 1),
-               TextTable::num(tp / tp1, 2) + "x"});
-    }
-    t.print();
-    std::printf("\nEach thread bootstraps one message at a time; "
-                "throughput only scales with workers, never within a "
-                "bootstrap -- the 'no ciphertext packing' property "
-                "that motivates Strix's batching architecture.\n");
-    return 0;
+    // Thread scaling through TfheContext::bootstrapBatch. Each worker
+    // still bootstraps one message at a time -- throughput scales
+    // with workers, never within a bootstrap, the 'no ciphertext
+    // packing' property that motivates Strix's batching architecture.
+    bool ok = runBatchPbsSweep(ctx, smoke);
+    return ok ? 0 : 1;
 }

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared measured batch-PBS scaling sweep used by cpu_measured and
+ * ablation_parallelism: one bootstrapBatch call per pool size with
+ * kPerWorker ciphertexts per worker (so every row is fully supplied),
+ * identity LUT so every output self-checks, thread counts
+ * deduplicated (max(4, hw) repeats 4 on a 4-core machine).
+ */
+
+#ifndef STRIX_BENCH_PBS_SWEEP_H
+#define STRIX_BENCH_PBS_SWEEP_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/table.h"
+#include "tfhe/context.h"
+
+namespace strix {
+
+/**
+ * Print the threads/batch/PBS-per-second/scaling table for @p ctx.
+ * @return false if any decrypted batch output mismatches (the caller
+ *         should exit nonzero).
+ */
+inline bool
+runBatchPbsSweep(TfheContext &ctx, bool smoke)
+{
+    const uint64_t space = 4;
+    TorusPolynomial tv = makeIntTestVector(
+        ctx.params().N, space, [](int64_t x) { return x; });
+
+    unsigned hw = std::thread::hardware_concurrency();
+    std::vector<unsigned> counts{1u, 2u, 4u, std::max(4u, hw)};
+    if (smoke)
+        counts = {1u, 2u};
+    counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+    // Encryption advances the context RNG and is the one part of the
+    // thread-safety contract that must stay on this thread; encrypt
+    // once for the widest row.
+    const size_t per_worker = smoke ? 2 : 4;
+    std::vector<LweCiphertext> inputs;
+    for (size_t i = 0; i < per_worker * counts.back(); ++i)
+        inputs.push_back(ctx.encryptInt(int64_t(i % space), space));
+
+    using Clock = std::chrono::steady_clock;
+    TextTable t;
+    t.header({"threads", "batch", "PBS/s", "scaling"});
+    double tp1 = 0.0;
+    bool ok = true;
+    for (unsigned n : counts) {
+        ctx.setBatchThreads(n);
+        const size_t batch = per_worker * n;
+        auto t0 = Clock::now();
+        std::vector<LweCiphertext> outs =
+            ctx.bootstrapBatch(inputs.data(), batch, tv);
+        double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        for (size_t i = 0; i < outs.size(); ++i)
+            ok &= ctx.decryptInt(outs[i], space) == int64_t(i % space);
+        double tp = double(outs.size()) / secs;
+        if (n == 1)
+            tp1 = tp;
+        t.row({std::to_string(n), std::to_string(batch),
+               TextTable::num(tp, 1), TextTable::num(tp / tp1, 2) + "x"});
+    }
+    t.print();
+    std::printf("\nbatch outputs %s the identity LUT\n",
+                ok ? "match" : "MISMATCH");
+    return ok;
+}
+
+} // namespace strix
+
+#endif // STRIX_BENCH_PBS_SWEEP_H

@@ -104,18 +104,22 @@ main()
     for (int64_t v : inputs)
         enc_in.push_back(ctx.encryptInt(v, space));
 
-    std::vector<LweCiphertext> enc_hidden;
-    for (int j = 0; j < 3; ++j) {
-        auto lin = linearCombo(enc_in, mlp.w1[j], 4, ctx.params().n,
-                               space);
-        // PBS ReLU over centered small signed values: inputs in
-        // [0, space) with the upper half representing negatives.
-        enc_hidden.push_back(ctx.applyLut(lin, space, [&](int64_t v) {
+    // All three hidden neurons share the ReLU LUT, so the layer is one
+    // bootstrapBatch call: the linear parts are computed first, then
+    // every PBS in the layer runs as a single batch on the context's
+    // worker pool -- the software shape of Strix's ciphertext batching.
+    std::vector<LweCiphertext> hidden_lin;
+    for (int j = 0; j < 3; ++j)
+        hidden_lin.push_back(
+            linearCombo(enc_in, mlp.w1[j], 4, ctx.params().n, space));
+    // PBS ReLU over centered small signed values: inputs in
+    // [0, space) with the upper half representing negatives.
+    std::vector<LweCiphertext> enc_hidden =
+        ctx.applyLutBatch(hidden_lin, space, [&](int64_t v) {
             int64_t centered =
                 v < int64_t(space) / 2 ? v : v - int64_t(space);
             return TinyMlp::relu(centered);
-        }));
-    }
+        });
 
     bool ok = true;
     std::printf("  hidden (after PBS ReLU): ");

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * ThreadPool implementation.
+ */
+
+#include "common/parallel.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace strix {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers_.reserve(threads - 1);
+    for (unsigned w = 1; w < threads; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("STRIX_THREADS")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+            return static_cast<unsigned>(v);
+        warn("ignoring invalid STRIX_THREADS value '" +
+             std::string(env) + "'");
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : hc;
+}
+
+void
+ThreadPool::runShare(const std::function<void(size_t, unsigned)> &fn,
+                     size_t count, unsigned worker)
+{
+    size_t i;
+    while (!abort_.load(std::memory_order_relaxed) &&
+           (i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
+        try {
+            fn(i, worker);
+        } catch (...) {
+            abort_.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(m_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop(unsigned worker)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(size_t, unsigned)> *fn = nullptr;
+        size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            fn = fn_;
+            count = count_;
+        }
+        runShare(*fn, count, worker);
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            if (--busy_ == 0)
+                done_cv_.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t count,
+                        const std::function<void(size_t, unsigned)> &fn)
+{
+    if (count == 0)
+        return;
+    std::lock_guard<std::mutex> submit(submit_mutex_);
+    if (workers_.empty() || count == 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i, 0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        fn_ = &fn;
+        count_ = count;
+        next_.store(0, std::memory_order_relaxed);
+        abort_.store(false, std::memory_order_relaxed);
+        busy_ = static_cast<unsigned>(workers_.size());
+        ++generation_;
+    }
+    cv_.notify_all();
+    runShare(fn, count, 0);
+
+    std::unique_lock<std::mutex> lock(m_);
+    done_cv_.wait(lock, [&] { return busy_ == 0; });
+    fn_ = nullptr;
+    if (first_error_) {
+        std::exception_ptr e = first_error_;
+        first_error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+} // namespace strix

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small persistent worker pool for data-parallel loops.
+ *
+ * The pool backs the batched PBS path: one TfheContext owns one pool
+ * and fans blind rotations of a ciphertext batch out across it. It is
+ * deliberately minimal -- a single parallel-for primitive -- rather
+ * than a general task system; everything the batching seam needs is
+ * "run f(i) for i in [0, count) on K threads with per-thread scratch".
+ */
+
+#ifndef STRIX_COMMON_PARALLEL_H
+#define STRIX_COMMON_PARALLEL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace strix {
+
+/**
+ * Fixed-size pool of persistent worker threads driving parallelFor.
+ *
+ * parallelFor(count, fn) invokes fn(index, worker) exactly once for
+ * every index in [0, count). The calling thread participates as
+ * worker 0; pool threads are workers 1..threads()-1, so `worker` can
+ * index per-thread scratch storage of size threads(). Indices are
+ * handed out dynamically (one shared atomic counter) for load
+ * balance; callers that need deterministic output write results by
+ * index, which makes the result independent of the schedule.
+ *
+ * Thread safety: concurrent parallelFor calls from different threads
+ * are safe -- submission is internally serialized, so they simply run
+ * one after another. If fn throws, the loop stops handing out new
+ * indices and the first exception is rethrown on the calling thread
+ * (in-flight indices on other workers still complete).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total worker count including the caller;
+     *                0 means defaultThreadCount(). 1 runs inline with
+     *                no extra threads.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total workers including the calling thread: >= 1. */
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /** Run fn(index, worker) for every index in [0, count). */
+    void parallelFor(size_t count,
+                     const std::function<void(size_t, unsigned)> &fn);
+
+    /**
+     * Pool size used when the constructor gets 0: the STRIX_THREADS
+     * environment variable if set to a positive integer, otherwise
+     * std::thread::hardware_concurrency() (minimum 1).
+     */
+    static unsigned defaultThreadCount();
+
+  private:
+    void workerLoop(unsigned worker);
+    void runShare(const std::function<void(size_t, unsigned)> &fn,
+                  size_t count, unsigned worker);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex submit_mutex_; //!< serializes parallelFor callers
+
+    // Job state, guarded by m_ except where noted.
+    std::mutex m_;
+    std::condition_variable cv_;      //!< wakes workers on a new job
+    std::condition_variable done_cv_; //!< wakes the submitting caller
+    const std::function<void(size_t, unsigned)> *fn_ = nullptr;
+    size_t count_ = 0;
+    std::atomic<size_t> next_{0};  //!< next index to hand out
+    std::atomic<bool> abort_{false}; //!< set on first exception
+    unsigned busy_ = 0;            //!< pool workers still on the job
+    uint64_t generation_ = 0;      //!< bumped per job
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+} // namespace strix
+
+#endif // STRIX_COMMON_PARALLEL_H

@@ -6,10 +6,9 @@
 #include "poly/complex_fft.h"
 
 #include <cmath>
-#include <map>
-#include <memory>
 
 #include "common/logging.h"
+#include "poly/plan_cache.h"
 
 namespace strix {
 
@@ -80,14 +79,23 @@ FftPlan::inverse(Cplx *data) const
         data[i] *= inv;
 }
 
+namespace {
+
+detail::Log2PlanCache<FftPlan> g_plan_cache;
+
+} // namespace
+
 const FftPlan &
 FftPlan::get(size_t m)
 {
-    static std::map<size_t, std::unique_ptr<FftPlan>> cache;
-    auto it = cache.find(m);
-    if (it == cache.end())
-        it = cache.emplace(m, std::make_unique<FftPlan>(m)).first;
-    return *it->second;
+    panicIfNot(m >= 2 && (m & (m - 1)) == 0, "FFT size must be 2^k >= 2");
+    return g_plan_cache.get(m);
+}
+
+void
+FftPlan::prewarm(size_t m)
+{
+    get(m);
 }
 
 } // namespace strix

@@ -20,6 +20,13 @@ namespace strix {
 using Cplx = std::complex<double>;
 
 /**
+ * Largest log2 size the process-wide plan caches accept. 2^40 points
+ * is far beyond any realistic ring dimension; the bound only sizes
+ * the fixed slot arrays backing the lock-free caches.
+ */
+inline constexpr size_t kMaxFftLog2 = 40;
+
+/**
  * FFT plan for a fixed power-of-two size M: bit-reversal permutation
  * and per-stage twiddle factors.
  */
@@ -43,8 +50,20 @@ class FftPlan
      */
     void inverse(Cplx *data) const;
 
-    /** Obtain a cached plan for size @p m (thread-unsafe cache). */
+    /**
+     * Obtain a cached plan for size @p m. Thread-safe: the first call
+     * for a size builds and publishes the plan under a lock; every
+     * later call is a single lock-free acquire load. Returned
+     * references stay valid for the process lifetime.
+     */
     static const FftPlan &get(size_t m);
+
+    /**
+     * Build and publish the plan for size @p m ahead of time so that
+     * subsequent get() calls -- including concurrent ones on the PBS
+     * hot path -- never take the construction lock.
+     */
+    static void prewarm(size_t m);
 
   private:
     void transform(Cplx *data, bool positive_exponent) const;

@@ -6,10 +6,9 @@
 #include "poly/negacyclic_fft.h"
 
 #include <cmath>
-#include <map>
-#include <memory>
 
 #include "common/logging.h"
+#include "poly/plan_cache.h"
 
 namespace strix {
 
@@ -89,14 +88,24 @@ NegacyclicFft::mulAccumulate(FreqPolynomial &out, const FreqPolynomial &a,
         out[i] += a[i] * b[i];
 }
 
+namespace {
+
+detail::Log2PlanCache<NegacyclicFft> g_engine_cache;
+
+} // namespace
+
 const NegacyclicFft &
 NegacyclicFft::get(size_t n)
 {
-    static std::map<size_t, std::unique_ptr<NegacyclicFft>> cache;
-    auto it = cache.find(n);
-    if (it == cache.end())
-        it = cache.emplace(n, std::make_unique<NegacyclicFft>(n)).first;
-    return *it->second;
+    panicIfNot(n >= 4 && (n & (n - 1)) == 0,
+               "negacyclic FFT ring dim must be 2^k >= 4");
+    return g_engine_cache.get(n);
+}
+
+void
+NegacyclicFft::prewarm(size_t n)
+{
+    get(n);
 }
 
 void

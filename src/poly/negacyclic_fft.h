@@ -57,8 +57,19 @@ class NegacyclicFft
     static void mulAccumulate(FreqPolynomial &out, const FreqPolynomial &a,
                               const FreqPolynomial &b);
 
-    /** Obtain a cached engine for ring dimension @p n. */
+    /**
+     * Obtain a cached engine for ring dimension @p n. Thread-safe:
+     * first touch builds under a lock, steady-state lookups are a
+     * single lock-free acquire load; references never dangle.
+     */
     static const NegacyclicFft &get(size_t n);
+
+    /**
+     * Build and publish the engine for ring dimension @p n (and its
+     * underlying N/2-point FftPlan) ahead of time, so later get()
+     * calls on the PBS hot path never take the construction lock.
+     */
+    static void prewarm(size_t n);
 
   private:
     template <typename CoeffToDouble, typename Poly>

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared double-checked plan cache used by FftPlan and NegacyclicFft.
+ *
+ * One atomic slot per power-of-two size, indexed by log2(size).
+ * Publication is double-checked: the steady-state path is a single
+ * acquire load with no lock, so concurrent bootstraps never contend
+ * here. Published objects are deliberately immortal (never freed) --
+ * handed-out references must outlive any thread that might still be
+ * transforming at process exit. Keeping the synchronization in one
+ * template means a future memory-order fix cannot miss one of the two
+ * caches.
+ */
+
+#ifndef STRIX_POLY_PLAN_CACHE_H
+#define STRIX_POLY_PLAN_CACHE_H
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+#include "common/logging.h"
+#include "poly/complex_fft.h" // kMaxFftLog2
+
+namespace strix {
+namespace detail {
+
+/** Lock-free-after-publication cache of immortal @p Plan objects. */
+template <typename Plan>
+class Log2PlanCache
+{
+  public:
+    /** @param size power of two, validated by the caller / Plan ctor. */
+    const Plan &get(size_t size)
+    {
+        size_t slot = 0;
+        while ((size_t{1} << slot) < size)
+            ++slot;
+        panicIfNot((size_t{1} << slot) == size && slot <= kMaxFftLog2,
+                   "plan cache: size must be a power of two in range");
+        const Plan *plan = slots_[slot].load(std::memory_order_acquire);
+        if (plan == nullptr) {
+            std::lock_guard<std::mutex> lock(build_mutex_);
+            plan = slots_[slot].load(std::memory_order_relaxed);
+            if (plan == nullptr) {
+                plan = new Plan(size);
+                slots_[slot].store(plan, std::memory_order_release);
+            }
+        }
+        return *plan;
+    }
+
+  private:
+    std::atomic<const Plan *> slots_[kMaxFftLog2 + 1] = {};
+    std::mutex build_mutex_;
+};
+
+} // namespace detail
+} // namespace strix
+
+#endif // STRIX_POLY_PLAN_CACHE_H

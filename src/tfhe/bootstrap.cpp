@@ -153,7 +153,7 @@ modulusSwitch(Torus32 a, uint32_t big_n)
 
 void
 blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
-            const BootstrappingKey &bsk)
+            const BootstrappingKey &bsk, PbsScratch &scratch)
 {
     const TfheParams &p = bsk.params();
     panicIfNot(ct.dim() == p.n, "blindRotate: ciphertext dim mismatch");
@@ -175,8 +175,28 @@ blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
         const uint32_t a_tilde = modulusSwitch(ct.a(i), p.N);
         if (a_tilde == 0)
             continue; // rotation by X^0 - 1 = 0 contributes nothing
-        bsk.bit(i).cmuxRotate(acc, a_tilde);
+        bsk.bit(i).cmuxRotate(acc, a_tilde, scratch);
     }
+}
+
+void
+blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
+            const BootstrappingKey &bsk)
+{
+    PbsScratch scratch;
+    blindRotate(acc, ct, bsk, scratch);
+}
+
+LweCiphertext
+programmableBootstrap(const LweCiphertext &ct,
+                      const TorusPolynomial &test_vector,
+                      const BootstrappingKey &bsk, PbsScratch &scratch)
+{
+    const TfheParams &p = bsk.params();
+    panicIfNot(test_vector.size() == p.N, "PBS: test vector size mismatch");
+    GlweCiphertext acc = GlweCiphertext::trivial(p.k, test_vector);
+    blindRotate(acc, ct, bsk, scratch);
+    return sampleExtract(acc, 0);
 }
 
 LweCiphertext
@@ -184,11 +204,8 @@ programmableBootstrap(const LweCiphertext &ct,
                       const TorusPolynomial &test_vector,
                       const BootstrappingKey &bsk)
 {
-    const TfheParams &p = bsk.params();
-    panicIfNot(test_vector.size() == p.N, "PBS: test vector size mismatch");
-    GlweCiphertext acc = GlweCiphertext::trivial(p.k, test_vector);
-    blindRotate(acc, ct, bsk);
-    return sampleExtract(acc, 0);
+    PbsScratch scratch;
+    return programmableBootstrap(ct, test_vector, bsk, scratch);
 }
 
 Torus32

@@ -95,10 +95,15 @@ uint32_t modulusSwitch(Torus32 a, uint32_t big_n);
  * Blind rotation (Algorithm 1, lines 4-12): rotate @p acc by -b~, then
  * run n CMux iterations accumulating X^{a~_i * s_i}.
  *
- * @param acc in: trivial GLWE of the test vector; out: rotated GLWE
- * @param ct  the LWE ciphertext being bootstrapped (dimension n)
- * @param bsk bootstrapping key
+ * @param acc     in: trivial GLWE of the test vector; out: rotated GLWE
+ * @param ct      the LWE ciphertext being bootstrapped (dimension n)
+ * @param bsk     bootstrapping key
+ * @param scratch per-thread working buffers reused across iterations
  */
+void blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
+                 const BootstrappingKey &bsk, PbsScratch &scratch);
+
+/** Convenience overload with a throwaway local scratch. */
 void blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
                  const BootstrappingKey &bsk);
 
@@ -115,7 +120,15 @@ LweCiphertext programmableBootstrapUnrolled(
  * Full PBS: blind-rotate the test vector, then sample-extract
  * coefficient 0. The result is an LWE ciphertext of dimension k*N
  * encrypting tv[phase~] (keyswitching converts it back to dim n).
+ * Thread-safe: shares no mutable state; @p scratch carries all
+ * working storage, so one scratch per thread parallelizes cleanly.
  */
+LweCiphertext programmableBootstrap(const LweCiphertext &ct,
+                                    const TorusPolynomial &test_vector,
+                                    const BootstrappingKey &bsk,
+                                    PbsScratch &scratch);
+
+/** Convenience overload with a throwaway local scratch. */
 LweCiphertext programmableBootstrap(const LweCiphertext &ct,
                                     const TorusPolynomial &test_vector,
                                     const BootstrappingKey &bsk);

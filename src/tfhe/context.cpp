@@ -5,10 +5,18 @@
 
 #include "tfhe/context.h"
 
+#include "poly/negacyclic_fft.h"
+
 namespace strix {
+
+TfheContext::FftPrewarm::FftPrewarm(const TfheParams &p)
+{
+    NegacyclicFft::prewarm(p.N);
+}
 
 TfheContext::TfheContext(const TfheParams &params, uint64_t seed)
     : params_(params),
+      fft_prewarm_(params_),
       rng_(seed),
       lwe_key_(params.n, rng_),
       glwe_key_(params.k, params.N, rng_),
@@ -16,6 +24,15 @@ TfheContext::TfheContext(const TfheParams &params, uint64_t seed)
       bsk_(BootstrappingKey::generate(lwe_key_, glwe_key_, params, rng_)),
       ksk_(KeySwitchKey::generate(extracted_key_, lwe_key_, params, rng_))
 {
+}
+
+ThreadPool &
+TfheContext::pool() const
+{
+    std::call_once(pool_once_, [this] {
+        pool_ = std::make_unique<ThreadPool>(batch_threads_);
+    });
+    return *pool_;
 }
 
 LweCiphertext
@@ -59,6 +76,47 @@ TfheContext::applyLut(const LweCiphertext &ct, uint64_t msg_space,
 {
     TorusPolynomial tv = makeIntTestVector(params_.N, msg_space, f);
     return bootstrap(ct, tv);
+}
+
+std::vector<LweCiphertext>
+TfheContext::bootstrapBatch(const LweCiphertext *cts, size_t count,
+                            const TorusPolynomial &test_vector) const
+{
+    ThreadPool &pool = this->pool();
+    std::vector<LweCiphertext> out(count);
+    // One scratch per worker: blind rotation allocates nothing and
+    // shares nothing, so workers never touch common mutable state.
+    std::vector<PbsScratch> scratch(pool.threads());
+    pool.parallelFor(count, [&](size_t i, unsigned worker) {
+        LweCiphertext big = programmableBootstrap(cts[i], test_vector,
+                                                  bsk_, scratch[worker]);
+        out[i] = keySwitch(big, ksk_);
+    });
+    return out;
+}
+
+std::vector<LweCiphertext>
+TfheContext::bootstrapBatch(const std::vector<LweCiphertext> &cts,
+                            const TorusPolynomial &test_vector) const
+{
+    return bootstrapBatch(cts.data(), cts.size(), test_vector);
+}
+
+std::vector<LweCiphertext>
+TfheContext::applyLutBatch(const std::vector<LweCiphertext> &cts,
+                           uint64_t msg_space,
+                           const std::function<int64_t(int64_t)> &f) const
+{
+    TorusPolynomial tv = makeIntTestVector(params_.N, msg_space, f);
+    return bootstrapBatch(cts, tv);
+}
+
+void
+TfheContext::setBatchThreads(unsigned threads)
+{
+    batch_threads_ = threads;
+    if (pool_) // already spun up: replace at the requested size
+        pool_ = std::make_unique<ThreadPool>(threads);
 }
 
 } // namespace strix

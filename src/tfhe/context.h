@@ -3,13 +3,27 @@
  * TfheContext: full key material plus high-level encrypt/decrypt and
  * bootstrap entry points. This is the main user-facing handle of the
  * software TFHE library.
+ *
+ * Thread-safety contract
+ * ----------------------
+ * All const members (decrypt*, bootstrap, applyLut, bootstrapBatch,
+ * applyLutBatch, accessors) are safe to call concurrently from any
+ * number of threads on one shared context: key material is immutable
+ * after construction, the FFT plan caches are prewarmed at
+ * construction and lock-free to read, and every bootstrap carries its
+ * own scratch buffers. The non-const members -- encryptBit/encryptInt
+ * (they advance the context RNG), rng(), and setBatchThreads -- are
+ * NOT thread-safe and must be externally serialized.
  */
 
 #ifndef STRIX_TFHE_CONTEXT_H
 #define STRIX_TFHE_CONTEXT_H
 
 #include <memory>
+#include <mutex>
+#include <vector>
 
+#include "common/parallel.h"
 #include "tfhe/bootstrap.h"
 #include "tfhe/keyswitch.h"
 
@@ -22,7 +36,14 @@ namespace strix {
 class TfheContext
 {
   public:
-    /** Generate all keys for @p params deterministically from @p seed. */
+    /**
+     * Generate all keys for @p params deterministically from @p seed
+     * and prewarm the FFT plan caches for this ring dimension. The
+     * batch worker pool spins up lazily on the first batch call
+     * (size: ThreadPool's default, overridable via STRIX_THREADS or
+     * setBatchThreads), so sequential users never pay for idle
+     * threads.
+     */
     TfheContext(const TfheParams &params, uint64_t seed = 0xC0DEC0DEULL);
 
     const TfheParams &params() const { return params_; }
@@ -63,14 +84,80 @@ class TfheContext
     LweCiphertext applyLut(const LweCiphertext &ct, uint64_t msg_space,
                            const std::function<int64_t(int64_t)> &f) const;
 
+    /**
+     * Batched PBS+KS: bootstrap @p count ciphertexts against one
+     * shared test vector, parallelized across ciphertexts on the
+     * context's worker pool with one scratch buffer per worker.
+     * out[i] always corresponds to cts[i] and is bit-identical to
+     * bootstrap(cts[i], test_vector) at any thread count -- the
+     * software seam for Strix-style ciphertext batching.
+     */
+    std::vector<LweCiphertext>
+    bootstrapBatch(const LweCiphertext *cts, size_t count,
+                   const TorusPolynomial &test_vector) const;
+
+    /** Convenience overload over a vector batch. */
+    std::vector<LweCiphertext>
+    bootstrapBatch(const std::vector<LweCiphertext> &cts,
+                   const TorusPolynomial &test_vector) const;
+
+    /**
+     * Batched applyLut: builds the test vector for @p f once and
+     * evaluates it over the whole batch via bootstrapBatch.
+     */
+    std::vector<LweCiphertext>
+    applyLutBatch(const std::vector<LweCiphertext> &cts, uint64_t msg_space,
+                  const std::function<int64_t(int64_t)> &f) const;
+
+    /**
+     * Resize the batch worker pool to @p threads workers (0 restores
+     * the default). Must not race with in-flight batch calls.
+     */
+    void setBatchThreads(unsigned threads);
+
+    /**
+     * Batch worker count the next batch call will use (>= 1,
+     * including the caller). Pure query: does not spin up the pool.
+     */
+    unsigned batchThreads() const
+    {
+        return batch_threads_ != 0 ? batch_threads_
+                                   : ThreadPool::defaultThreadCount();
+    }
+
   private:
     TfheParams params_;
+
+    /**
+     * Populates the FFT plan caches for this ring dimension. Members
+     * initialize in declaration order, so the caches are published
+     * before any key material is generated and every later lookup --
+     * including concurrent bootstraps -- is a lock-free read.
+     */
+    struct FftPrewarm
+    {
+        explicit FftPrewarm(const TfheParams &p);
+    };
+    FftPrewarm fft_prewarm_;
+
     Rng rng_;
     LweKey lwe_key_;
     GlweKey glwe_key_;
     LweKey extracted_key_;
     BootstrappingKey bsk_;
     KeySwitchKey ksk_;
+
+    /**
+     * Lazily created so the dominant sequential use case never spawns
+     * idle workers; call_once makes the first concurrent batch calls
+     * safe. setBatchThreads records the requested size (0 = default)
+     * and replaces an already-built pool outside the once path
+     * (documented as not racing with batch calls).
+     */
+    ThreadPool &pool() const;
+    unsigned batch_threads_ = 0;
+    mutable std::once_flag pool_once_;
+    mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace strix

@@ -77,7 +77,8 @@ GgswFft::GgswFft(const GgswCiphertext &ggsw)
 }
 
 void
-GgswFft::externalProduct(GlweCiphertext &out, const GlweCiphertext &glwe) const
+GgswFft::externalProduct(GlweCiphertext &out, const GlweCiphertext &glwe,
+                         PbsScratch &scratch) const
 {
     panicIfNot(glwe.k() == k_ && glwe.ringDim() == big_n_,
                "externalProduct(fft): shape mismatch");
@@ -86,10 +87,13 @@ GgswFft::externalProduct(GlweCiphertext &out, const GlweCiphertext &glwe) const
     // Decompose every component (Decomposer unit), transform digits
     // (FFT unit), multiply-accumulate against bsk rows (VMA unit),
     // inverse-transform each output column (IFFT unit).
-    std::vector<IntPolynomial> digits;
-    std::vector<FreqPolynomial> acc(k_ + 1,
-                                    FreqPolynomial(big_n_ / 2, Cplx(0, 0)));
-    FreqPolynomial fdigit;
+    std::vector<IntPolynomial> &digits = scratch.digits;
+    std::vector<FreqPolynomial> &acc = scratch.acc;
+    FreqPolynomial &fdigit = scratch.fdigit;
+    if (acc.size() != size_t(k_) + 1)
+        acc.resize(size_t(k_) + 1);
+    for (auto &col : acc)
+        col.assign(big_n_ / 2, Cplx(0, 0));
     for (uint32_t comp = 0; comp <= k_; ++comp) {
         gadgetDecomposePoly(digits, glwe.poly(comp), g_);
         for (uint32_t level = 0; level < g_.levels; ++level) {
@@ -100,23 +104,39 @@ GgswFft::externalProduct(GlweCiphertext &out, const GlweCiphertext &glwe) const
         }
     }
 
-    out = GlweCiphertext(k_, big_n_);
+    if (out.k() != k_ || out.ringDim() != big_n_)
+        out = GlweCiphertext(k_, big_n_);
     for (uint32_t c = 0; c <= k_; ++c)
         eng.inverse(out.poly(c), acc[c]);
 }
 
 void
-GgswFft::cmuxRotate(GlweCiphertext &acc, uint32_t power) const
+GgswFft::externalProduct(GlweCiphertext &out, const GlweCiphertext &glwe) const
 {
-    const uint32_t n = big_n_;
+    PbsScratch scratch;
+    externalProduct(out, glwe, scratch);
+}
+
+void
+GgswFft::cmuxRotate(GlweCiphertext &acc, uint32_t power,
+                    PbsScratch &scratch) const
+{
     // diff = X^power * acc - acc (Rotator unit: rotate and subtract)
-    GlweCiphertext diff(k_, n);
+    GlweCiphertext &diff = scratch.diff;
+    if (diff.k() != k_ || diff.ringDim() != big_n_)
+        diff = GlweCiphertext(k_, big_n_);
     for (uint32_t c = 0; c <= k_; ++c)
         negacyclicRotateMinusOne(diff.poly(c), acc.poly(c), power);
     // acc += ggsw [*] diff
-    GlweCiphertext prod;
-    externalProduct(prod, diff);
-    acc.addAssign(prod);
+    externalProduct(scratch.prod, diff, scratch);
+    acc.addAssign(scratch.prod);
+}
+
+void
+GgswFft::cmuxRotate(GlweCiphertext &acc, uint32_t power) const
+{
+    PbsScratch scratch;
+    cmuxRotate(acc, power, scratch);
 }
 
 } // namespace strix

@@ -56,6 +56,26 @@ void externalProduct(GlweCiphertext &out, const GgswCiphertext &ggsw,
                      const GlweCiphertext &glwe);
 
 /**
+ * Reusable working buffers for the FFT external-product path.
+ *
+ * One instance serves one thread: blind rotation reuses the same
+ * buffers across all n CMux iterations, so the hot loop performs no
+ * heap allocation, and the batched PBS path gives each pool worker
+ * its own instance so no hidden shared state remains on the hot path.
+ * Buffers are sized lazily on first use and resized only when the
+ * parameter shape changes; results are bit-identical with or without
+ * an external scratch.
+ */
+struct PbsScratch
+{
+    std::vector<IntPolynomial> digits;  //!< gadget digits, l entries
+    FreqPolynomial fdigit;              //!< forward FFT of one digit
+    std::vector<FreqPolynomial> acc;    //!< per-column freq accumulators
+    GlweCiphertext diff;                //!< CMux rotate-minus-one input
+    GlweCiphertext prod;                //!< external-product output
+};
+
+/**
  * GGSW with rows pre-transformed to the frequency domain; this is the
  * form in which Strix stores the bootstrapping key in the global
  * scratchpad (bsk polynomials arrive at the VMA unit already in the
@@ -83,8 +103,13 @@ class GgswFft
      * External product with frequency-domain accumulation:
      * decompose -> FFT -> multiply-accumulate -> IFFT, exactly the
      * PBS-cluster dataflow (Rotator output -> Decomposer -> FFT ->
-     * VMA -> IFFT -> Accumulator).
+     * VMA -> IFFT -> Accumulator). All working storage comes from
+     * @p scratch (one instance per thread).
      */
+    void externalProduct(GlweCiphertext &out, const GlweCiphertext &glwe,
+                         PbsScratch &scratch) const;
+
+    /** Convenience overload with a throwaway local scratch. */
     void externalProduct(GlweCiphertext &out,
                          const GlweCiphertext &glwe) const;
 
@@ -94,6 +119,10 @@ class GgswFft
      * selecting between acc and its rotation with one external
      * product (Algorithm 1, lines 6-11).
      */
+    void cmuxRotate(GlweCiphertext &acc, uint32_t power,
+                    PbsScratch &scratch) const;
+
+    /** Convenience overload with a throwaway local scratch. */
     void cmuxRotate(GlweCiphertext &acc, uint32_t power) const;
 
   private:

@@ -7,6 +7,15 @@
 
 #include "common/logging.h"
 
+// Thread-safety note: the function-local statics below are `const`
+// and initialized under C++11 magic-statics (the compiler serializes
+// first touch), then never written again -- safe to read from any
+// thread. They and the FFT plan caches (poly/complex_fft.cpp,
+// poly/negacyclic_fft.cpp, synchronized + lock-free reads) are the
+// only process-wide state in src/poly + src/tfhe; everything else
+// reachable from TfheContext::bootstrap() const works on per-call or
+// per-scratch storage.
+
 namespace strix {
 
 uint64_t

@@ -61,6 +61,7 @@ enum Seed : uint64_t {
     kSeedInteger = 2468,
     kSeedIntegration = 60606,
     kSeedBootstrap = 99,
+    kSeedParallel = 7777,
 };
 
 } // namespace test
