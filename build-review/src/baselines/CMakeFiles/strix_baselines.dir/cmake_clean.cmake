@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strix_baselines.dir/cpu_model.cpp.o"
+  "CMakeFiles/strix_baselines.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/strix_baselines.dir/gpu_model.cpp.o"
+  "CMakeFiles/strix_baselines.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/strix_baselines.dir/reference_platforms.cpp.o"
+  "CMakeFiles/strix_baselines.dir/reference_platforms.cpp.o.d"
+  "libstrix_baselines.a"
+  "libstrix_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strix_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

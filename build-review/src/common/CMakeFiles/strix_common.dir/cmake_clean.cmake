@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strix_common.dir/parallel.cpp.o"
+  "CMakeFiles/strix_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/strix_common.dir/random.cpp.o"
+  "CMakeFiles/strix_common.dir/random.cpp.o.d"
+  "CMakeFiles/strix_common.dir/table.cpp.o"
+  "CMakeFiles/strix_common.dir/table.cpp.o.d"
+  "CMakeFiles/strix_common.dir/types.cpp.o"
+  "CMakeFiles/strix_common.dir/types.cpp.o.d"
+  "libstrix_common.a"
+  "libstrix_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strix_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

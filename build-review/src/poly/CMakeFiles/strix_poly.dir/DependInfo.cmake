@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poly/complex_fft.cpp" "src/poly/CMakeFiles/strix_poly.dir/complex_fft.cpp.o" "gcc" "src/poly/CMakeFiles/strix_poly.dir/complex_fft.cpp.o.d"
+  "/root/repo/src/poly/negacyclic_fft.cpp" "src/poly/CMakeFiles/strix_poly.dir/negacyclic_fft.cpp.o" "gcc" "src/poly/CMakeFiles/strix_poly.dir/negacyclic_fft.cpp.o.d"
+  "/root/repo/src/poly/polynomial.cpp" "src/poly/CMakeFiles/strix_poly.dir/polynomial.cpp.o" "gcc" "src/poly/CMakeFiles/strix_poly.dir/polynomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/strix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

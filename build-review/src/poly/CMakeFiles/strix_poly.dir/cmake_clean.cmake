@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strix_poly.dir/complex_fft.cpp.o"
+  "CMakeFiles/strix_poly.dir/complex_fft.cpp.o.d"
+  "CMakeFiles/strix_poly.dir/negacyclic_fft.cpp.o"
+  "CMakeFiles/strix_poly.dir/negacyclic_fft.cpp.o.d"
+  "CMakeFiles/strix_poly.dir/polynomial.cpp.o"
+  "CMakeFiles/strix_poly.dir/polynomial.cpp.o.d"
+  "libstrix_poly.a"
+  "libstrix_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strix_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/timeline.cpp" "src/strix/CMakeFiles/strix_arch.dir/__/sim/timeline.cpp.o" "gcc" "src/strix/CMakeFiles/strix_arch.dir/__/sim/timeline.cpp.o.d"
+  "/root/repo/src/strix/accelerator.cpp" "src/strix/CMakeFiles/strix_arch.dir/accelerator.cpp.o" "gcc" "src/strix/CMakeFiles/strix_arch.dir/accelerator.cpp.o.d"
+  "/root/repo/src/strix/area_model.cpp" "src/strix/CMakeFiles/strix_arch.dir/area_model.cpp.o" "gcc" "src/strix/CMakeFiles/strix_arch.dir/area_model.cpp.o.d"
+  "/root/repo/src/strix/hsc.cpp" "src/strix/CMakeFiles/strix_arch.dir/hsc.cpp.o" "gcc" "src/strix/CMakeFiles/strix_arch.dir/hsc.cpp.o.d"
+  "/root/repo/src/strix/noc.cpp" "src/strix/CMakeFiles/strix_arch.dir/noc.cpp.o" "gcc" "src/strix/CMakeFiles/strix_arch.dir/noc.cpp.o.d"
+  "/root/repo/src/strix/scheduler.cpp" "src/strix/CMakeFiles/strix_arch.dir/scheduler.cpp.o" "gcc" "src/strix/CMakeFiles/strix_arch.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/tfhe/CMakeFiles/strix_tfhe.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/poly/CMakeFiles/strix_poly.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/strix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

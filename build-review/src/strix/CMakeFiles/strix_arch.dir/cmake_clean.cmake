@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strix_arch.dir/__/sim/timeline.cpp.o"
+  "CMakeFiles/strix_arch.dir/__/sim/timeline.cpp.o.d"
+  "CMakeFiles/strix_arch.dir/accelerator.cpp.o"
+  "CMakeFiles/strix_arch.dir/accelerator.cpp.o.d"
+  "CMakeFiles/strix_arch.dir/area_model.cpp.o"
+  "CMakeFiles/strix_arch.dir/area_model.cpp.o.d"
+  "CMakeFiles/strix_arch.dir/hsc.cpp.o"
+  "CMakeFiles/strix_arch.dir/hsc.cpp.o.d"
+  "CMakeFiles/strix_arch.dir/noc.cpp.o"
+  "CMakeFiles/strix_arch.dir/noc.cpp.o.d"
+  "CMakeFiles/strix_arch.dir/scheduler.cpp.o"
+  "CMakeFiles/strix_arch.dir/scheduler.cpp.o.d"
+  "libstrix_arch.a"
+  "libstrix_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strix_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

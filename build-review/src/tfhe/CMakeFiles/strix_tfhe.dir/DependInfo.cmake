@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tfhe/bootstrap.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/bootstrap.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/tfhe/context.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/context.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/context.cpp.o.d"
+  "/root/repo/src/tfhe/decompose.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/decompose.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/decompose.cpp.o.d"
+  "/root/repo/src/tfhe/decomposer_hw.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/decomposer_hw.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/decomposer_hw.cpp.o.d"
+  "/root/repo/src/tfhe/gates.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/gates.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/gates.cpp.o.d"
+  "/root/repo/src/tfhe/ggsw.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/ggsw.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/ggsw.cpp.o.d"
+  "/root/repo/src/tfhe/glwe.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/glwe.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/glwe.cpp.o.d"
+  "/root/repo/src/tfhe/integer.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/integer.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/integer.cpp.o.d"
+  "/root/repo/src/tfhe/keyswitch.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/keyswitch.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/keyswitch.cpp.o.d"
+  "/root/repo/src/tfhe/lwe.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/lwe.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/lwe.cpp.o.d"
+  "/root/repo/src/tfhe/noise.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/noise.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/noise.cpp.o.d"
+  "/root/repo/src/tfhe/params.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/params.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/params.cpp.o.d"
+  "/root/repo/src/tfhe/serialize.cpp" "src/tfhe/CMakeFiles/strix_tfhe.dir/serialize.cpp.o" "gcc" "src/tfhe/CMakeFiles/strix_tfhe.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/poly/CMakeFiles/strix_poly.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/strix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strix_tfhe.dir/bootstrap.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/context.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/context.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/decompose.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/decompose.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/decomposer_hw.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/decomposer_hw.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/gates.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/gates.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/ggsw.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/ggsw.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/glwe.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/glwe.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/integer.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/integer.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/keyswitch.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/keyswitch.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/lwe.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/lwe.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/noise.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/noise.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/params.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/params.cpp.o.d"
+  "CMakeFiles/strix_tfhe.dir/serialize.cpp.o"
+  "CMakeFiles/strix_tfhe.dir/serialize.cpp.o.d"
+  "libstrix_tfhe.a"
+  "libstrix_tfhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strix_tfhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

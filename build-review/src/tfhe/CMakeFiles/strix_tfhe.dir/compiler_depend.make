@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for strix_tfhe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strix_workloads.dir/circuit.cpp.o"
+  "CMakeFiles/strix_workloads.dir/circuit.cpp.o.d"
+  "CMakeFiles/strix_workloads.dir/decision_tree.cpp.o"
+  "CMakeFiles/strix_workloads.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/strix_workloads.dir/deepnn.cpp.o"
+  "CMakeFiles/strix_workloads.dir/deepnn.cpp.o.d"
+  "libstrix_workloads.a"
+  "libstrix_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strix_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

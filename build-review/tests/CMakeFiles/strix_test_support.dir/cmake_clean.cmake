@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strix_test_support.dir/support/test_util.cpp.o"
+  "CMakeFiles/strix_test_support.dir/support/test_util.cpp.o.d"
+  "libstrix_test_support.a"
+  "libstrix_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strix_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstrix_test_support.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accelerator.dir/test_accelerator.cpp.o"
+  "CMakeFiles/test_accelerator.dir/test_accelerator.cpp.o.d"
+  "test_accelerator"
+  "test_accelerator.pdb"
+  "test_accelerator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decompose.dir/test_decompose.cpp.o"
+  "CMakeFiles/test_decompose.dir/test_decompose.cpp.o.d"
+  "test_decompose"
+  "test_decompose.pdb"
+  "test_decompose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ggsw.dir/test_ggsw.cpp.o"
+  "CMakeFiles/test_ggsw.dir/test_ggsw.cpp.o.d"
+  "test_ggsw"
+  "test_ggsw.pdb"
+  "test_ggsw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ggsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ggsw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glwe.dir/test_glwe.cpp.o"
+  "CMakeFiles/test_glwe.dir/test_glwe.cpp.o.d"
+  "test_glwe"
+  "test_glwe.pdb"
+  "test_glwe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glwe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

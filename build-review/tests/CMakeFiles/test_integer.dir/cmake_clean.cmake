@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integer.dir/test_integer.cpp.o"
+  "CMakeFiles/test_integer.dir/test_integer.cpp.o.d"
+  "test_integer"
+  "test_integer.pdb"
+  "test_integer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keyswitch.dir/test_keyswitch.cpp.o"
+  "CMakeFiles/test_keyswitch.dir/test_keyswitch.cpp.o.d"
+  "test_keyswitch"
+  "test_keyswitch.pdb"
+  "test_keyswitch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keyswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

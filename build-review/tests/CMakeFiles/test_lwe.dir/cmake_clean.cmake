@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lwe.dir/test_lwe.cpp.o"
+  "CMakeFiles/test_lwe.dir/test_lwe.cpp.o.d"
+  "test_lwe"
+  "test_lwe.pdb"
+  "test_lwe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lwe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

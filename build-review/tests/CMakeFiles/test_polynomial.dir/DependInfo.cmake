@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_polynomial.cpp" "tests/CMakeFiles/test_polynomial.dir/test_polynomial.cpp.o" "gcc" "tests/CMakeFiles/test_polynomial.dir/test_polynomial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/tests/CMakeFiles/strix_test_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/strix_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/strix_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/strix/CMakeFiles/strix_arch.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tfhe/CMakeFiles/strix_tfhe.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/poly/CMakeFiles/strix_poly.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/strix_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

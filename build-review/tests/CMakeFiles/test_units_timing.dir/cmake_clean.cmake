@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_units_timing.dir/test_units_timing.cpp.o"
+  "CMakeFiles/test_units_timing.dir/test_units_timing.cpp.o.d"
+  "test_units_timing"
+  "test_units_timing.pdb"
+  "test_units_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_units_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

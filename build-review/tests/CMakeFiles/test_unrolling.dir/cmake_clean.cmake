@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unrolling.dir/test_unrolling.cpp.o"
+  "CMakeFiles/test_unrolling.dir/test_unrolling.cpp.o.d"
+  "test_unrolling"
+  "test_unrolling.pdb"
+  "test_unrolling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
