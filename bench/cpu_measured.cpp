@@ -7,13 +7,23 @@
  * numbers depend on how optimized the FFT is, but the scaling
  * behaviour (throughput = threads/latency, no packing) is the
  * phenomenon the paper's Sec. III builds on.
+ *
+ * Flags:
+ *   --smoke        single rep, small batches, thread sweep capped at
+ *                  2 workers (used by the ctest smoke run).
+ *   --json <file>  additionally write the measurements as JSON; CI's
+ *                  bench job uploads this next to micro_software's
+ *                  capture in the `bench-results` artifact.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
+#include "bench_flags.h"
 #include "pbs_sweep.h"
+#include "poly/simd.h"
 #include "tfhe/context.h"
 
 using namespace strix;
@@ -21,13 +31,21 @@ using namespace strix;
 int
 main(int argc, char **argv)
 {
-    // --smoke: single rep, small batches, thread sweep capped at 2
-    // workers. Used by the ctest smoke run so the binary is exercised
-    // end-to-end without paying for a full measurement.
-    const bool smoke = argc > 1 && !std::strcmp(argv[1], "--smoke");
+    bool smoke = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke")) {
+            smoke = true;
+        } else if (!matchJsonFlag(argc, argv, i, json_path)) {
+            std::fprintf(stderr,
+                         "usage: cpu_measured [--smoke] [--json <file>]\n");
+            return 2;
+        }
+    }
 
     std::printf("=== Measured software-TFHE PBS on this machine "
                 "(parameter set I) ===\n\n");
+    std::printf("FFT kernel backend: %s\n\n", activeKernels().name);
 
     TfheContext ctx(paramsSetI(), 4242);
     const uint64_t space = 4;
@@ -55,6 +73,35 @@ main(int argc, char **argv)
     // still bootstraps one message at a time -- throughput scales
     // with workers, never within a bootstrap, the 'no ciphertext
     // packing' property that motivates Strix's batching architecture.
-    bool ok = runBatchPbsSweep(ctx, smoke);
+    std::vector<PbsSweepRow> rows;
+    bool ok = runBatchPbsSweep(ctx, smoke, &rows);
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n"
+                     "  \"binary\": \"cpu_measured\",\n"
+                     "  \"params\": \"I\",\n"
+                     "  \"fft_kernel\": \"%s\",\n"
+                     "  \"smoke\": %s,\n"
+                     "  \"single_thread_pbs_ms\": %.4f,\n"
+                     "  \"sweep\": [",
+                     activeKernels().name, smoke ? "true" : "false",
+                     lat_ms);
+        for (size_t i = 0; i < rows.size(); ++i)
+            std::fprintf(f,
+                         "%s\n    {\"threads\": %u, \"batch\": %zu, "
+                         "\"pbs_per_s\": %.2f, \"scaling\": %.3f}",
+                         i ? "," : "", rows[i].threads, rows[i].batch,
+                         rows[i].pbs_per_s, rows[i].scaling);
+        std::fprintf(f, "\n  ],\n  \"outputs_ok\": %s\n}\n",
+                     ok ? "true" : "false");
+        std::fclose(f);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
     return ok ? 0 : 1;
 }

@@ -4,10 +4,24 @@
  * transforms, multipliers, decomposition, external product, PBS,
  * keyswitch, and gates. These are the measured counterparts of the
  * CPU baseline's cost model.
+ *
+ * `--json <file>` (or `--json=<file>`) writes the results as Google
+ * Benchmark's JSON to <file>; CI's bench job uploads that file as the
+ * `bench-results` artifact, and BENCH_baseline.json in the repo root
+ * is the first recorded capture. The BM_FftForward/<kernel> rows run
+ * the scalar and AVX2 kernel tables explicitly, so one run records
+ * the dispatch speedup; every other row uses whatever activeKernels()
+ * selected (see the `fft_kernel` context key, and STRIX_FORCE_SCALAR
+ * to pin it).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_flags.h"
+#include "poly/simd.h"
 #include "tfhe/gates.h"
 
 using namespace strix;
@@ -189,6 +203,81 @@ BM_GateNand(benchmark::State &state)
 }
 BENCHMARK(BM_GateNand)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 
+/**
+ * Forward FFT through an explicit kernel table: the A/B pair CI
+ * records so the dispatch speedup is measured, not asserted (expected
+ * well above 2x on AVX2 hosts -- the baseline capture shows 5-9x --
+ * but the bench job never gates a merge; shared runners are noisy).
+ */
+void
+BM_FftForwardKernel(benchmark::State &state, const PolyKernels *kernels,
+                    size_t m)
+{
+    const FftPlan &plan = FftPlan::get(m);
+    std::vector<Cplx> data(m, Cplx(0.5, -0.25));
+    for (auto _ : state) {
+        plan.forward(data.data(), *kernels);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(state.iterations() * int64_t(m));
+}
+
+void
+registerKernelBenchmarks()
+{
+    struct Entry {
+        const char *name;
+        const PolyKernels *kernels;
+    };
+    std::vector<Entry> tables{{"scalar", &scalarKernels()}};
+    if (const PolyKernels *avx2 = avx2Kernels())
+        tables.push_back({"avx2", avx2});
+    for (const Entry &e : tables)
+        for (size_t m : {size_t{512}, size_t{1024}, size_t{8192}}) {
+            std::string name =
+                std::string("BM_FftForward/") + e.name + "/" +
+                std::to_string(m);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [kernels = e.kernels, m](benchmark::State &st) {
+                    BM_FftForwardKernel(st, kernels, m);
+                });
+        }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Translate our stable `--json <file>` flag into Google
+    // Benchmark's out/out_format pair; everything else passes through
+    // (e.g. --benchmark_filter).
+    std::vector<std::string> args;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!matchJsonFlag(argc, argv, i, json_path))
+            args.emplace_back(argv[i]);
+    }
+    if (!json_path.empty()) {
+        args.push_back("--benchmark_out=" + json_path);
+        args.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char *> cargv{argv[0]};
+    for (std::string &s : args)
+        cargv.push_back(s.data());
+    int cargc = static_cast<int>(cargv.size());
+
+    registerKernelBenchmarks();
+    benchmark::Initialize(&cargc, cargv.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data()))
+        return 1;
+    // Recorded into the JSON context so the artifact says which
+    // backend the non-A/B rows ran on.
+    benchmark::AddCustomContext("fft_kernel", activeKernels().name);
+    benchmark::AddCustomContext("avx2_available",
+                                avx2Kernels() ? "yes" : "no");
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -21,13 +21,25 @@
 
 namespace strix {
 
+/** One row of the measured batch-PBS scaling sweep. */
+struct PbsSweepRow
+{
+    unsigned threads;
+    size_t batch;
+    double pbs_per_s;
+    double scaling;
+};
+
 /**
  * Print the threads/batch/PBS-per-second/scaling table for @p ctx.
+ * @param rows_out when non-null, receives one PbsSweepRow per printed
+ *        row (used by cpu_measured --json).
  * @return false if any decrypted batch output mismatches (the caller
  *         should exit nonzero).
  */
 inline bool
-runBatchPbsSweep(TfheContext &ctx, bool smoke)
+runBatchPbsSweep(TfheContext &ctx, bool smoke,
+                 std::vector<PbsSweepRow> *rows_out = nullptr)
 {
     const uint64_t space = 4;
     TorusPolynomial tv = makeIntTestVector(
@@ -65,6 +77,8 @@ runBatchPbsSweep(TfheContext &ctx, bool smoke)
         double tp = double(outs.size()) / secs;
         if (n == 1)
             tp1 = tp;
+        if (rows_out)
+            rows_out->push_back({n, batch, tp, tp / tp1});
         t.row({std::to_string(n), std::to_string(batch),
                TextTable::num(tp, 1), TextTable::num(tp / tp1, 2) + "x"});
     }

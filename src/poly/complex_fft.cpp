@@ -1,6 +1,7 @@
 /**
  * @file
- * Radix-2 decimation-in-time FFT implementation.
+ * FFT plan construction (tables only -- the butterfly loops live in
+ * the dispatched kernel backends, poly/simd_*.cpp).
  */
 
 #include "poly/complex_fft.h"
@@ -9,12 +10,17 @@
 
 #include "common/logging.h"
 #include "poly/plan_cache.h"
+#include "poly/simd.h"
 
 namespace strix {
 
 FftPlan::FftPlan(size_t m) : m_(m)
 {
     panicIfNot(m >= 2 && (m & (m - 1)) == 0, "FFT size must be 2^k >= 2");
+    // The permutation table stores 32-bit indices (half the footprint
+    // scanned on every transform); enforce the narrowing contract
+    // rather than silently wrapping for absurd plan sizes.
+    panicIfNot(m <= (uint64_t{1} << 32), "FFT size exceeds 2^32");
 
     bit_reverse_.resize(m);
     size_t log_m = 0;
@@ -25,58 +31,51 @@ FftPlan::FftPlan(size_t m) : m_(m)
         for (size_t b = 0; b < log_m; ++b)
             if (i & (size_t{1} << b))
                 r |= size_t{1} << (log_m - 1 - b);
-        bit_reverse_[i] = r;
+        bit_reverse_[i] = static_cast<uint32_t>(r);
     }
 
-    twiddles_.resize(m / 2);
-    for (size_t j = 0; j < m / 2; ++j) {
-        double ang = 2.0 * M_PI * static_cast<double>(j) /
-                     static_cast<double>(m);
-        twiddles_[j] = Cplx(std::cos(ang), std::sin(ang));
-    }
+    // Stage-major layout: each stage's twiddles are contiguous so the
+    // vector butterflies stream them with plain loads. The angle
+    // 2*pi*j/len equals the old strided table's 2*pi*(j*m/len)/m
+    // exactly (power-of-two scaling of a double is exact), so the
+    // scalar path stays bit-identical to the original implementation.
+    stage_twiddles_.reserve(m - 1);
+    for (size_t len = 2; len <= m; len <<= 1)
+        for (size_t j = 0; j < len / 2; ++j) {
+            double ang = 2.0 * M_PI * static_cast<double>(j) /
+                         static_cast<double>(len);
+            stage_twiddles_.emplace_back(std::cos(ang), std::sin(ang));
+        }
 }
 
-void
-FftPlan::transform(Cplx *data, bool positive_exponent) const
+FftTables
+FftPlan::tables() const
 {
-    // Bit-reversal permutation.
-    for (size_t i = 0; i < m_; ++i) {
-        size_t j = bit_reverse_[i];
-        if (i < j)
-            std::swap(data[i], data[j]);
-    }
-
-    // log2(M) butterfly stages, mirroring the hardware BFU stages.
-    for (size_t len = 2; len <= m_; len <<= 1) {
-        size_t half = len >> 1;
-        size_t stride = m_ / len;
-        for (size_t base = 0; base < m_; base += len) {
-            for (size_t j = 0; j < half; ++j) {
-                Cplx w = twiddles_[j * stride];
-                if (!positive_exponent)
-                    w = std::conj(w);
-                Cplx u = data[base + j];
-                Cplx v = data[base + j + half] * w;
-                data[base + j] = u + v;
-                data[base + j + half] = u - v;
-            }
-        }
-    }
+    return FftTables{m_, bit_reverse_.data(), stage_twiddles_.data()};
 }
 
 void
 FftPlan::forward(Cplx *data) const
 {
-    transform(data, true);
+    activeKernels().fftForward(tables(), data);
 }
 
 void
 FftPlan::inverse(Cplx *data) const
 {
-    transform(data, false);
-    const double inv = 1.0 / static_cast<double>(m_);
-    for (size_t i = 0; i < m_; ++i)
-        data[i] *= inv;
+    activeKernels().fftInverse(tables(), data);
+}
+
+void
+FftPlan::forward(Cplx *data, const PolyKernels &kernels) const
+{
+    kernels.fftForward(tables(), data);
+}
+
+void
+FftPlan::inverse(Cplx *data, const PolyKernels &kernels) const
+{
+    kernels.fftInverse(tables(), data);
 }
 
 namespace {

@@ -6,6 +6,14 @@
  * paper (Fig. 5): log2(M) butterfly stages with twiddle ROMs; the
  * software version applies the same dataflow sequentially. Plans are
  * cached per size.
+ *
+ * The butterfly loops themselves live behind the runtime-dispatched
+ * kernel table in poly/simd.h: a plan holds only the precomputed
+ * tables (bit-reversal permutation, stage-major twiddles), and
+ * forward()/inverse() run whichever backend activeKernels() selected
+ * at startup (AVX2+FMA where available, scalar otherwise or under
+ * STRIX_FORCE_SCALAR=1). The kernel-explicit overloads let tests and
+ * benchmarks run both backends side by side in one process.
  */
 
 #ifndef STRIX_POLY_COMPLEX_FFT_H
@@ -13,18 +21,23 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace strix {
 
 using Cplx = std::complex<double>;
 
+struct FftTables;
+struct PolyKernels;
+
 /**
- * Largest log2 size the process-wide plan caches accept. 2^40 points
- * is far beyond any realistic ring dimension; the bound only sizes
- * the fixed slot arrays backing the lock-free caches.
+ * Largest log2 size the process-wide plan caches accept. 2^32 points
+ * is far beyond any realistic ring dimension and matches the 32-bit
+ * permutation indices a plan stores; the bound also sizes the fixed
+ * slot arrays backing the lock-free caches.
  */
-inline constexpr size_t kMaxFftLog2 = 40;
+inline constexpr size_t kMaxFftLog2 = 32;
 
 /**
  * FFT plan for a fixed power-of-two size M: bit-reversal permutation
@@ -40,7 +53,8 @@ class FftPlan
 
     /**
      * In-place forward transform with positive exponent convention:
-     * X_k = sum_j x_j * exp(+2*pi*i*j*k / M).
+     * X_k = sum_j x_j * exp(+2*pi*i*j*k / M). Runs the dispatched
+     * (activeKernels) backend.
      */
     void forward(Cplx *data) const;
 
@@ -49,6 +63,15 @@ class FftPlan
      * x_j = (1/M) sum_k X_k * exp(-2*pi*i*j*k / M).
      */
     void inverse(Cplx *data) const;
+
+    /** forward() through an explicit kernel table (A/B testing). */
+    void forward(Cplx *data, const PolyKernels &kernels) const;
+
+    /** inverse() through an explicit kernel table (A/B testing). */
+    void inverse(Cplx *data, const PolyKernels &kernels) const;
+
+    /** Borrowed view of the precomputed tables for kernel calls. */
+    FftTables tables() const;
 
     /**
      * Obtain a cached plan for size @p m. Thread-safe: the first call
@@ -66,12 +89,14 @@ class FftPlan
     static void prewarm(size_t m);
 
   private:
-    void transform(Cplx *data, bool positive_exponent) const;
-
     size_t m_;
-    std::vector<size_t> bit_reverse_;
-    /** Twiddles w^j = exp(+2*pi*i*j/M) for j in [0, M/2). */
-    std::vector<Cplx> twiddles_;
+    std::vector<uint32_t> bit_reverse_;
+    /**
+     * Stage-major twiddles (m-1 entries): for each stage
+     * len = 2, 4, ..., m, the len/2 factors exp(+2*pi*i*j/len)
+     * contiguously. See FftTables::stage_twiddles.
+     */
+    std::vector<Cplx> stage_twiddles_;
 };
 
 } // namespace strix

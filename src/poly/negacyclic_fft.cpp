@@ -1,6 +1,9 @@
 /**
  * @file
- * Folded negacyclic FFT implementation.
+ * Folded negacyclic FFT implementation. The fold/twist/untwist loops
+ * run through the runtime-dispatched kernel table (poly/simd.h), so
+ * every caller -- externalProduct, blindRotate, bootstrapBatch --
+ * picks up the vector backend transparently.
  */
 
 #include "poly/negacyclic_fft.h"
@@ -9,6 +12,7 @@
 
 #include "common/logging.h"
 #include "poly/plan_cache.h"
+#include "poly/simd.h"
 
 namespace strix {
 
@@ -24,68 +28,85 @@ NegacyclicFft::NegacyclicFft(size_t n)
     }
 }
 
-template <typename CoeffToDouble, typename Poly>
 void
-NegacyclicFft::forwardImpl(FreqPolynomial &out, const Poly &poly,
-                           CoeffToDouble conv) const
+NegacyclicFft::forwardImpl(FreqPolynomial &out, const int32_t *coeffs,
+                           size_t size, const PolyKernels &kernels) const
 {
-    panicIfNot(poly.size() == n_, "forward: polynomial size mismatch");
+    panicIfNot(size == n_, "forward: polynomial size mismatch");
     const size_t m = n_ / 2;
     out.resize(m);
     // Fold: u_j = a_j + i * a_{j+N/2}, then twist by w^j.
-    for (size_t j = 0; j < m; ++j) {
-        Cplx u(conv(poly[j]), conv(poly[j + m]));
-        out[j] = u * twist_[j];
-    }
-    plan_.forward(out.data());
+    kernels.twist(out.data(), coeffs, coeffs + m, twist_.data(), m);
+    plan_.forward(out.data(), kernels);
 }
 
 void
 NegacyclicFft::forward(FreqPolynomial &out, const IntPolynomial &poly) const
 {
-    forwardImpl(out, poly,
-                [](int32_t c) { return static_cast<double>(c); });
+    forward(out, poly, activeKernels());
 }
 
 void
 NegacyclicFft::forward(FreqPolynomial &out, const TorusPolynomial &poly) const
 {
+    forward(out, poly, activeKernels());
+}
+
+void
+NegacyclicFft::forward(FreqPolynomial &out, const IntPolynomial &poly,
+                       const PolyKernels &kernels) const
+{
+    forwardImpl(out, poly.data(), poly.size(), kernels);
+}
+
+void
+NegacyclicFft::forward(FreqPolynomial &out, const TorusPolynomial &poly,
+                       const PolyKernels &kernels) const
+{
     // Centered lift keeps magnitudes <= 2^31 and therefore the
     // double-precision products exact enough for TFHE noise budgets.
-    forwardImpl(out, poly, [](Torus32 c) {
-        return static_cast<double>(static_cast<int32_t>(c));
-    });
+    // Torus32 is uint32_t; the int32_t view is the centered lift (and
+    // a legal aliasing, signed-of-the-same-width).
+    forwardImpl(out, reinterpret_cast<const int32_t *>(poly.data()),
+                poly.size(), kernels);
 }
 
 void
 NegacyclicFft::inverse(TorusPolynomial &out, const FreqPolynomial &freq) const
 {
+    inverse(out, freq, activeKernels());
+}
+
+void
+NegacyclicFft::inverse(TorusPolynomial &out, const FreqPolynomial &freq,
+                       const PolyKernels &kernels) const
+{
     panicIfNot(out.size() == n_, "inverse: polynomial size mismatch");
     panicIfNot(freq.size() == n_ / 2, "inverse: freq size mismatch");
     const size_t m = n_ / 2;
     FreqPolynomial work = freq;
-    plan_.inverse(work.data());
-    for (size_t j = 0; j < m; ++j) {
-        Cplx u = work[j] * std::conj(twist_[j]);
-        // Round to the integer grid and wrap mod 2^32. Coefficients
-        // may exceed int64 only for absurd parameter choices; TFHE
-        // gadget decomposition keeps them below ~2^52.
-        out[j] = static_cast<Torus32>(
-            static_cast<int64_t>(std::llround(u.real())));
-        out[j + m] = static_cast<Torus32>(
-            static_cast<int64_t>(std::llround(u.imag())));
-    }
+    plan_.inverse(work.data(), kernels);
+    // Untwist by conj(w^j), round to the integer grid, wrap mod 2^32.
+    kernels.untwist(out.data(), out.data() + m, work.data(),
+                    twist_.data(), m);
 }
 
 void
 NegacyclicFft::mulAccumulate(FreqPolynomial &out, const FreqPolynomial &a,
                              const FreqPolynomial &b)
 {
+    mulAccumulate(out, a, b, activeKernels());
+}
+
+void
+NegacyclicFft::mulAccumulate(FreqPolynomial &out, const FreqPolynomial &a,
+                             const FreqPolynomial &b,
+                             const PolyKernels &kernels)
+{
     panicIfNot(a.size() == b.size(), "mulAccumulate size mismatch");
     if (out.size() != a.size())
         out.assign(a.size(), Cplx(0, 0));
-    for (size_t i = 0; i < a.size(); ++i)
-        out[i] += a[i] * b[i];
+    kernels.mulAccumulate(out.data(), a.data(), b.data(), a.size());
 }
 
 namespace {

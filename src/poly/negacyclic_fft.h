@@ -27,6 +27,8 @@
 
 namespace strix {
 
+struct PolyKernels;
+
 /** Frequency-domain image of a length-N real polynomial: N/2 points. */
 using FreqPolynomial = std::vector<Cplx>;
 
@@ -58,6 +60,21 @@ class NegacyclicFft
                               const FreqPolynomial &b);
 
     /**
+     * Kernel-explicit overloads of the transforms above, used by the
+     * scalar-vs-vector cross-check tests and the A/B benchmarks. The
+     * default overloads run activeKernels().
+     */
+    void forward(FreqPolynomial &out, const IntPolynomial &poly,
+                 const PolyKernels &kernels) const;
+    void forward(FreqPolynomial &out, const TorusPolynomial &poly,
+                 const PolyKernels &kernels) const;
+    void inverse(TorusPolynomial &out, const FreqPolynomial &freq,
+                 const PolyKernels &kernels) const;
+    static void mulAccumulate(FreqPolynomial &out, const FreqPolynomial &a,
+                              const FreqPolynomial &b,
+                              const PolyKernels &kernels);
+
+    /**
      * Obtain a cached engine for ring dimension @p n. Thread-safe:
      * first touch builds under a lock, steady-state lookups are a
      * single lock-free acquire load; references never dangle.
@@ -72,9 +89,8 @@ class NegacyclicFft
     static void prewarm(size_t n);
 
   private:
-    template <typename CoeffToDouble, typename Poly>
-    void forwardImpl(FreqPolynomial &out, const Poly &poly,
-                     CoeffToDouble conv) const;
+    void forwardImpl(FreqPolynomial &out, const int32_t *coeffs,
+                     size_t size, const PolyKernels &kernels) const;
 
     size_t n_;
     const FftPlan &plan_;     //!< N/2-point complex FFT

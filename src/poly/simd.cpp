@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Kernel-table selection: one CPUID probe plus one environment check,
+ * latched on first use so every transform in the process agrees on a
+ * backend.
+ */
+
+#include "poly/simd.h"
+
+#include <cstdlib>
+
+namespace strix {
+
+bool
+cpuSupportsAvx2Fma()
+{
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+bool
+simdForcedScalar()
+{
+    static const bool forced = [] {
+        const char *e = std::getenv("STRIX_FORCE_SCALAR");
+        // Unset, empty, and "0" all mean "use the best backend".
+        return e != nullptr && e[0] != '\0' &&
+               !(e[0] == '0' && e[1] == '\0');
+    }();
+    return forced;
+}
+
+#ifndef STRIX_HAVE_AVX2
+// Built with STRIX_SIMD=OFF (or a compiler that cannot target AVX2):
+// the vector TU is absent, so the probe reports "unavailable" and the
+// scalar reference serves every call.
+const PolyKernels *
+avx2Kernels()
+{
+    return nullptr;
+}
+#endif
+
+const PolyKernels &
+activeKernels()
+{
+    static const PolyKernels &selected = []() -> const PolyKernels & {
+        if (!simdForcedScalar()) {
+            if (const PolyKernels *v = avx2Kernels())
+                return *v;
+        }
+        return scalarKernels();
+    }();
+    return selected;
+}
+
+} // namespace strix

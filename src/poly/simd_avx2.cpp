@@ -1,0 +1,267 @@
+/**
+ * @file
+ * AVX2+FMA kernel table. This is the only translation unit compiled
+ * with -mavx2 -mfma; it must never be entered on a CPU without those
+ * features, which avx2Kernels() guarantees by probing CPUID before
+ * publishing the table.
+ *
+ * Data layout: std::complex<double> is array-of-two-doubles, so one
+ * __m256d holds two complex values [re0 im0 re1 im1]. A complex
+ * multiply is then a movedup/permute pair plus one FMA:
+ *   even lanes  re = vr*wr - vi*wi   (fmaddsub subtracts on evens)
+ *   odd  lanes  im = vi*wr + vr*wi   (adds on odds)
+ * and multiplying by the conjugate just swaps fmaddsub for fmsubadd.
+ *
+ * The stage-major twiddle table (FftTables::stage_twiddles) makes
+ * every butterfly's twiddle load a contiguous unaligned load; the old
+ * strided layout would have needed gathers.
+ */
+
+#include "poly/simd.h"
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "simd_avx2.cpp must be compiled with -mavx2 -mfma"
+#endif
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <utility>
+
+namespace strix {
+namespace {
+
+// Deliberately file-local (not a shared header inline): see the
+// backend-author note in simd.h.
+void
+bitReversePermute(const FftTables &t, Cplx *data)
+{
+    for (size_t i = 0; i < t.m; ++i) {
+        size_t j = t.bit_reverse[i];
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+}
+
+/** [a0*b0, a1*b1] for 2 packed complex doubles per register. */
+inline __m256d
+cplxMul(__m256d a, __m256d b)
+{
+    __m256d br = _mm256_movedup_pd(b);     // [br0 br0 br1 br1]
+    __m256d bi = _mm256_permute_pd(b, 0xF); // [bi0 bi0 bi1 bi1]
+    __m256d as = _mm256_permute_pd(a, 0x5); // [ai0 ar0 ai1 ar1]
+    return _mm256_fmaddsub_pd(a, br, _mm256_mul_pd(as, bi));
+}
+
+/** [a0*conj(b0), a1*conj(b1)]. */
+inline __m256d
+cplxMulConj(__m256d a, __m256d b)
+{
+    __m256d br = _mm256_movedup_pd(b);
+    __m256d bi = _mm256_permute_pd(b, 0xF);
+    __m256d as = _mm256_permute_pd(a, 0x5);
+    return _mm256_fmsubadd_pd(a, br, _mm256_mul_pd(as, bi));
+}
+
+/**
+ * First butterfly stage (len = 2, twiddle 1): adjacent-pair
+ * sum/difference, two complex values per register.
+ */
+inline void
+stageLen2(double *d, size_t m)
+{
+    for (size_t i = 0; i < m; i += 2) {
+        __m256d x = _mm256_loadu_pd(d + 2 * i); // [c_i, c_{i+1}]
+        __m256d sw = _mm256_permute2f128_pd(x, x, 0x01);
+        __m256d sum = _mm256_add_pd(x, sw);
+        // sw - x puts c_i - c_{i+1} in the *upper* lane, which is
+        // where the blend takes it from.
+        __m256d diff = _mm256_sub_pd(sw, x);
+        // [c_i + c_{i+1}, c_i - c_{i+1}]
+        _mm256_storeu_pd(d + 2 * i, _mm256_blend_pd(sum, diff, 0xC));
+    }
+}
+
+/** Shared stage loop; Conj selects forward (v*w) vs inverse (v*conj(w)). */
+template <bool Conj>
+inline void
+butterflyStages(const FftTables &t, Cplx *data)
+{
+    double *d = reinterpret_cast<double *>(data);
+    const size_t m = t.m;
+    stageLen2(d, m);
+    const Cplx *tw = t.stage_twiddles + 1; // past the len=2 stage
+    for (size_t len = 4; len <= m; len <<= 1) {
+        const size_t half = len >> 1;
+        const double *twd = reinterpret_cast<const double *>(tw);
+        for (size_t base = 0; base < m; base += len) {
+            double *lo = d + 2 * base;
+            double *hi = d + 2 * (base + half);
+            size_t j = 0;
+            // Two independent butterfly vectors per iteration keeps
+            // both FMA ports busy.
+            for (; j + 4 <= half; j += 4) {
+                __m256d w0 = _mm256_loadu_pd(twd + 2 * j);
+                __m256d w1 = _mm256_loadu_pd(twd + 2 * j + 4);
+                __m256d u0 = _mm256_loadu_pd(lo + 2 * j);
+                __m256d u1 = _mm256_loadu_pd(lo + 2 * j + 4);
+                __m256d v0 = _mm256_loadu_pd(hi + 2 * j);
+                __m256d v1 = _mm256_loadu_pd(hi + 2 * j + 4);
+                __m256d p0 = Conj ? cplxMulConj(v0, w0) : cplxMul(v0, w0);
+                __m256d p1 = Conj ? cplxMulConj(v1, w1) : cplxMul(v1, w1);
+                _mm256_storeu_pd(lo + 2 * j, _mm256_add_pd(u0, p0));
+                _mm256_storeu_pd(lo + 2 * j + 4, _mm256_add_pd(u1, p1));
+                _mm256_storeu_pd(hi + 2 * j, _mm256_sub_pd(u0, p0));
+                _mm256_storeu_pd(hi + 2 * j + 4, _mm256_sub_pd(u1, p1));
+            }
+            for (; j < half; j += 2) {
+                __m256d w = _mm256_loadu_pd(twd + 2 * j);
+                __m256d u = _mm256_loadu_pd(lo + 2 * j);
+                __m256d v = _mm256_loadu_pd(hi + 2 * j);
+                __m256d p = Conj ? cplxMulConj(v, w) : cplxMul(v, w);
+                _mm256_storeu_pd(lo + 2 * j, _mm256_add_pd(u, p));
+                _mm256_storeu_pd(hi + 2 * j, _mm256_sub_pd(u, p));
+            }
+        }
+        tw += half;
+    }
+}
+
+void
+fftForwardAvx2(const FftTables &t, Cplx *data)
+{
+    bitReversePermute(t, data);
+    butterflyStages<false>(t, data);
+}
+
+void
+fftInverseAvx2(const FftTables &t, Cplx *data)
+{
+    bitReversePermute(t, data);
+    butterflyStages<true>(t, data);
+    double *d = reinterpret_cast<double *>(data);
+    const __m256d inv =
+        _mm256_set1_pd(1.0 / static_cast<double>(t.m));
+    for (size_t i = 0; i < 2 * t.m; i += 4)
+        _mm256_storeu_pd(d + i, _mm256_mul_pd(_mm256_loadu_pd(d + i), inv));
+}
+
+void
+twistAvx2(Cplx *out, const int32_t *lo, const int32_t *hi, const Cplx *tw,
+          size_t m)
+{
+    double *o = reinterpret_cast<double *>(out);
+    const double *twd = reinterpret_cast<const double *>(tw);
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+        __m256d re = _mm256_cvtepi32_pd(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(lo + j)));
+        __m256d im = _mm256_cvtepi32_pd(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(hi + j)));
+        // Interleave [r0..r3]/[i0..i3] into packed complex pairs.
+        __m256d t0 = _mm256_unpacklo_pd(re, im); // [r0 i0 r2 i2]
+        __m256d t1 = _mm256_unpackhi_pd(re, im); // [r1 i1 r3 i3]
+        __m256d c01 = _mm256_permute2f128_pd(t0, t1, 0x20);
+        __m256d c23 = _mm256_permute2f128_pd(t0, t1, 0x31);
+        _mm256_storeu_pd(o + 2 * j,
+                         cplxMul(c01, _mm256_loadu_pd(twd + 2 * j)));
+        _mm256_storeu_pd(o + 2 * j + 4,
+                         cplxMul(c23, _mm256_loadu_pd(twd + 2 * j + 4)));
+    }
+    for (; j < m; ++j)
+        out[j] = Cplx(static_cast<double>(lo[j]),
+                      static_cast<double>(hi[j])) *
+                 tw[j];
+}
+
+void
+untwistAvx2(uint32_t *lo, uint32_t *hi, const Cplx *freq, const Cplx *tw,
+            size_t m)
+{
+    const double *f = reinterpret_cast<const double *>(freq);
+    const double *twd = reinterpret_cast<const double *>(tw);
+    // 2^52 + 2^51: adding it forces round-to-nearest onto the integer
+    // grid and leaves value mod 2^32 in the low mantissa dword; valid
+    // exactly on the kernel contract's |u| < 2^51 domain (simd.h),
+    // comfortably above the ~2^50 worst case of any shipped parameter
+    // set. Ties round to even where the scalar reference rounds away
+    // from zero -- a <=1 ulp difference the tests allow.
+    const __m256d magic = _mm256_set1_pd(6755399441055744.0);
+    const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+        __m256d u01 = cplxMulConj(_mm256_loadu_pd(f + 2 * j),
+                                  _mm256_loadu_pd(twd + 2 * j));
+        __m256d u23 = cplxMulConj(_mm256_loadu_pd(f + 2 * j + 4),
+                                  _mm256_loadu_pd(twd + 2 * j + 4));
+        // Deinterleave packed complex pairs into [r0..r3]/[i0..i3].
+        __m256d t0 = _mm256_permute2f128_pd(u01, u23, 0x20);
+        __m256d t1 = _mm256_permute2f128_pd(u01, u23, 0x31);
+        __m256d re = _mm256_unpacklo_pd(t0, t1);
+        __m256d im = _mm256_unpackhi_pd(t0, t1);
+        __m256i rei = _mm256_castpd_si256(_mm256_add_pd(re, magic));
+        __m256i imi = _mm256_castpd_si256(_mm256_add_pd(im, magic));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(lo + j),
+            _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(rei, pick)));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(hi + j),
+            _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(imi, pick)));
+    }
+    for (; j < m; ++j) {
+        Cplx u = freq[j] * std::conj(tw[j]);
+        lo[j] = static_cast<uint32_t>(
+            static_cast<int64_t>(std::llround(u.real())));
+        hi[j] = static_cast<uint32_t>(
+            static_cast<int64_t>(std::llround(u.imag())));
+    }
+}
+
+void
+mulAccumulateAvx2(Cplx *out, const Cplx *a, const Cplx *b, size_t m)
+{
+    double *o = reinterpret_cast<double *>(out);
+    const double *ad = reinterpret_cast<const double *>(a);
+    const double *bd = reinterpret_cast<const double *>(b);
+    size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+        __m256d s0 = _mm256_add_pd(
+            _mm256_loadu_pd(o + 2 * i),
+            cplxMul(_mm256_loadu_pd(ad + 2 * i),
+                    _mm256_loadu_pd(bd + 2 * i)));
+        __m256d s1 = _mm256_add_pd(
+            _mm256_loadu_pd(o + 2 * i + 4),
+            cplxMul(_mm256_loadu_pd(ad + 2 * i + 4),
+                    _mm256_loadu_pd(bd + 2 * i + 4)));
+        _mm256_storeu_pd(o + 2 * i, s0);
+        _mm256_storeu_pd(o + 2 * i + 4, s1);
+    }
+    for (; i + 2 <= m; i += 2) {
+        __m256d s = _mm256_add_pd(
+            _mm256_loadu_pd(o + 2 * i),
+            cplxMul(_mm256_loadu_pd(ad + 2 * i),
+                    _mm256_loadu_pd(bd + 2 * i)));
+        _mm256_storeu_pd(o + 2 * i, s);
+    }
+    for (; i < m; ++i)
+        out[i] += a[i] * b[i];
+}
+
+const PolyKernels kAvx2Kernels = {
+    "avx2",     fftForwardAvx2, fftInverseAvx2,
+    twistAvx2,  untwistAvx2,    mulAccumulateAvx2,
+};
+
+} // namespace
+
+const PolyKernels *
+avx2Kernels()
+{
+    // The table itself is feature-independent data; the probe keeps a
+    // non-AVX2 machine from ever calling into this TU's code.
+    static const PolyKernels *const published =
+        cpuSupportsAvx2Fma() ? &kAvx2Kernels : nullptr;
+    return published;
+}
+
+} // namespace strix

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Portable scalar kernel table: the semantic reference every vector
+ * backend is cross-checked against. The butterfly math reproduces the
+ * original FftPlan::transform loop bit-for-bit (the stage-major
+ * twiddle table holds the same double values the old strided table
+ * produced, because scaling an angle by a power of two is exact).
+ */
+
+#include <cmath>
+#include <utility>
+
+#include "poly/simd.h"
+
+namespace strix {
+namespace {
+
+// Deliberately file-local (not a shared header inline): see the
+// backend-author note in simd.h.
+void
+bitReversePermute(const FftTables &t, Cplx *data)
+{
+    for (size_t i = 0; i < t.m; ++i) {
+        size_t j = t.bit_reverse[i];
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+}
+
+void
+fftForwardScalar(const FftTables &t, Cplx *data)
+{
+    bitReversePermute(t, data);
+    const Cplx *tw = t.stage_twiddles;
+    for (size_t len = 2; len <= t.m; len <<= 1) {
+        const size_t half = len >> 1;
+        for (size_t base = 0; base < t.m; base += len) {
+            for (size_t j = 0; j < half; ++j) {
+                Cplx u = data[base + j];
+                Cplx v = data[base + j + half] * tw[j];
+                data[base + j] = u + v;
+                data[base + j + half] = u - v;
+            }
+        }
+        tw += half;
+    }
+}
+
+void
+fftInverseScalar(const FftTables &t, Cplx *data)
+{
+    bitReversePermute(t, data);
+    const Cplx *tw = t.stage_twiddles;
+    for (size_t len = 2; len <= t.m; len <<= 1) {
+        const size_t half = len >> 1;
+        for (size_t base = 0; base < t.m; base += len) {
+            for (size_t j = 0; j < half; ++j) {
+                Cplx u = data[base + j];
+                Cplx v = data[base + j + half] * std::conj(tw[j]);
+                data[base + j] = u + v;
+                data[base + j + half] = u - v;
+            }
+        }
+        tw += half;
+    }
+    const double inv = 1.0 / static_cast<double>(t.m);
+    for (size_t i = 0; i < t.m; ++i)
+        data[i] *= inv;
+}
+
+void
+twistScalar(Cplx *out, const int32_t *lo, const int32_t *hi,
+            const Cplx *tw, size_t m)
+{
+    for (size_t j = 0; j < m; ++j) {
+        Cplx u(static_cast<double>(lo[j]), static_cast<double>(hi[j]));
+        out[j] = u * tw[j];
+    }
+}
+
+void
+untwistScalar(uint32_t *lo, uint32_t *hi, const Cplx *freq,
+              const Cplx *tw, size_t m)
+{
+    for (size_t j = 0; j < m; ++j) {
+        Cplx u = freq[j] * std::conj(tw[j]);
+        // Round to the integer grid and wrap mod 2^32. The kernel
+        // contract (simd.h) bounds |u| < 2^51 -- TFHE gadget
+        // decomposition keeps real inputs below ~2^50 -- so llround
+        // never overflows int64 and the vector backends' magic-number
+        // rounding agrees with this reference.
+        lo[j] = static_cast<uint32_t>(
+            static_cast<int64_t>(std::llround(u.real())));
+        hi[j] = static_cast<uint32_t>(
+            static_cast<int64_t>(std::llround(u.imag())));
+    }
+}
+
+void
+mulAccumulateScalar(Cplx *out, const Cplx *a, const Cplx *b, size_t m)
+{
+    for (size_t i = 0; i < m; ++i)
+        out[i] += a[i] * b[i];
+}
+
+const PolyKernels kScalarKernels = {
+    "scalar",          fftForwardScalar, fftInverseScalar,
+    twistScalar,       untwistScalar,    mulAccumulateScalar,
+};
+
+} // namespace
+
+const PolyKernels &
+scalarKernels()
+{
+    return kScalarKernels;
+}
+
+} // namespace strix

@@ -5,6 +5,7 @@
 
 #include "tfhe/serialize.h"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -100,11 +101,20 @@ std::vector<uint32_t>
 readU32Vector(std::istream &is)
 {
     uint64_t n = readU64(is);
-    if (n > (1ull << 32))
+    // No serialized structure holds a vector anywhere near 2^25
+    // entries (LWE dims cap at 2^24); a bigger count is a corrupt or
+    // hostile length field (found by the fuzz sweep in
+    // tests/test_serialize.cpp).
+    if (n > (1ull << 25))
         throw std::runtime_error("serialize: implausible vector size");
-    std::vector<uint32_t> v(n);
-    for (auto &x : v)
-        x = readU32(is);
+    // Grow with the bytes actually present rather than trusting the
+    // length field with one eager allocation: a flipped length byte
+    // on a short frame then throws "truncated" after consuming what
+    // exists instead of first resizing to 128 MiB.
+    std::vector<uint32_t> v;
+    v.reserve(static_cast<size_t>(std::min<uint64_t>(n, 4096)));
+    for (uint64_t i = 0; i < n; ++i)
+        v.push_back(readU32(is));
     return v;
 }
 
@@ -139,6 +149,8 @@ deserializeParams(std::istream &is)
         throw std::runtime_error("serialize: implausible name length");
     p.name.resize(len);
     is.read(p.name.data(), static_cast<std::streamsize>(len));
+    if (!is)
+        throw std::runtime_error("serialize: truncated stream");
     p.n = readU32(is);
     p.N = readU32(is);
     p.k = readU32(is);

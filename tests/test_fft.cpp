@@ -1,13 +1,22 @@
 /**
  * @file
- * Tests for the complex FFT and the folded negacyclic FFT.
+ * Tests for the complex FFT and the folded negacyclic FFT, plus the
+ * scalar-vs-AVX2 kernel cross-checks for the runtime-dispatch seam
+ * (poly/simd.h). The cross-checks sweep every plan size any shipped
+ * parameter set touches (midParams N=256 ... set IV N=16384) and run
+ * under both CI legs: with STRIX_SIMD=ON they compare the two
+ * backends element by element; with STRIX_SIMD=OFF (or on a non-AVX2
+ * host) the vector half skips and the scalar reference still runs.
  */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/random.h"
 #include "poly/complex_fft.h"
 #include "poly/negacyclic_fft.h"
+#include "poly/simd.h"
 #include "support/test_util.h"
 
 namespace strix {
@@ -162,6 +171,234 @@ TEST(NegacyclicFft, MulAccumulateAddsInFrequencyDomain)
     for (size_t i = 0; i < n; ++i)
         EXPECT_LE(std::abs(torusDistance(got[i], expected[i])), 2);
 }
+
+// ---------------------------------------------------------------------------
+// Runtime-dispatch seam: scalar vs AVX2 kernel cross-checks.
+
+/**
+ * Every complex-FFT plan size the software path can instantiate:
+ * N/2 for midParams (128), fastParams (256), sets I/II (512),
+ * set III (1024), Deep-NN 4096 (2048), set IV (8192), plus the tiny
+ * sizes the algorithm must still handle.
+ */
+const size_t kPlanSizes[] = {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+                             2048, 4096, 8192};
+
+/** Ring dimensions: n = 2m for each plan size above. */
+const size_t kRingDims[] = {4, 8, 16, 32, 64, 128, 256, 512, 1024,
+                            2048, 4096, 8192, 16384};
+
+/**
+ * FMA vs separate multiply/add changes rounding, so vector results
+ * are ULP-bounded, not bit-equal: allow a small relative error
+ * against the largest magnitude in the reference output.
+ */
+double
+maxAbs(const Cplx *data, size_t m)
+{
+    double mx = 0.0;
+    for (size_t i = 0; i < m; ++i)
+        mx = std::max(mx, std::abs(data[i]));
+    return mx;
+}
+
+void
+expectUlpClose(const Cplx *got, const Cplx *ref, size_t m, double rel)
+{
+    const double tol = std::max(maxAbs(ref, m), 1.0) * rel;
+    for (size_t i = 0; i < m; ++i) {
+        EXPECT_NEAR(got[i].real(), ref[i].real(), tol) << "index " << i;
+        EXPECT_NEAR(got[i].imag(), ref[i].imag(), tol) << "index " << i;
+    }
+}
+
+TEST(SimdDispatch, ActiveTableMatchesProbeAndOverride)
+{
+    // The active table is latched once; whatever it is, it must be
+    // consistent with the CPUID probe and the environment override.
+    const PolyKernels &active = activeKernels();
+    if (simdForcedScalar()) {
+        EXPECT_STREQ(active.name, "scalar");
+    } else if (avx2Kernels() != nullptr) {
+        EXPECT_STREQ(active.name, "avx2");
+    } else {
+        EXPECT_STREQ(active.name, "scalar");
+    }
+    if (avx2Kernels() != nullptr) {
+        EXPECT_TRUE(cpuSupportsAvx2Fma());
+    }
+}
+
+TEST(SimdDispatch, ScalarTableIsAlwaysAvailable)
+{
+    const PolyKernels &s = scalarKernels();
+    EXPECT_STREQ(s.name, "scalar");
+    EXPECT_NE(s.fftForward, nullptr);
+    EXPECT_NE(s.fftInverse, nullptr);
+    EXPECT_NE(s.twist, nullptr);
+    EXPECT_NE(s.untwist, nullptr);
+    EXPECT_NE(s.mulAccumulate, nullptr);
+}
+
+class KernelCrossCheck : public ::testing::TestWithParam<size_t>
+{
+  protected:
+    void SetUp() override
+    {
+        if (avx2Kernels() == nullptr)
+            GTEST_SKIP() << "AVX2 kernels unavailable "
+                            "(STRIX_SIMD=OFF or non-AVX2 host)";
+    }
+};
+
+TEST_P(KernelCrossCheck, ForwardFftMatchesScalar)
+{
+    const size_t m = GetParam();
+    const FftPlan &plan = FftPlan::get(m);
+    Rng rng(m);
+    std::vector<Cplx> ref(m), vec(m);
+    for (size_t i = 0; i < m; ++i)
+        ref[i] = Cplx(rng.uniformDouble() - 0.5, rng.uniformDouble() - 0.5);
+    vec = ref;
+    plan.forward(ref.data(), scalarKernels());
+    plan.forward(vec.data(), *avx2Kernels());
+    expectUlpClose(vec.data(), ref.data(), m, 1e-12);
+}
+
+TEST_P(KernelCrossCheck, InverseFftMatchesScalar)
+{
+    const size_t m = GetParam();
+    const FftPlan &plan = FftPlan::get(m);
+    Rng rng(m + 17);
+    std::vector<Cplx> ref(m), vec(m);
+    for (size_t i = 0; i < m; ++i)
+        ref[i] = Cplx(rng.uniformDouble() - 0.5, rng.uniformDouble() - 0.5);
+    vec = ref;
+    plan.inverse(ref.data(), scalarKernels());
+    plan.inverse(vec.data(), *avx2Kernels());
+    expectUlpClose(vec.data(), ref.data(), m, 1e-12);
+}
+
+TEST_P(KernelCrossCheck, MulAccumulateMatchesScalar)
+{
+    const size_t m = GetParam();
+    Rng rng(m + 31);
+    FreqPolynomial a(m), b(m), ref(m), vec(m);
+    for (size_t i = 0; i < m; ++i) {
+        a[i] = Cplx(rng.uniformDouble() - 0.5, rng.uniformDouble() - 0.5);
+        b[i] = Cplx(rng.uniformDouble() - 0.5, rng.uniformDouble() - 0.5);
+        ref[i] = vec[i] =
+            Cplx(rng.uniformDouble() - 0.5, rng.uniformDouble() - 0.5);
+    }
+    scalarKernels().mulAccumulate(ref.data(), a.data(), b.data(), m);
+    avx2Kernels()->mulAccumulate(vec.data(), a.data(), b.data(), m);
+    expectUlpClose(vec.data(), ref.data(), m, 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(PlanSizes, KernelCrossCheck,
+                         ::testing::ValuesIn(kPlanSizes));
+
+class NegacyclicKernelCrossCheck : public ::testing::TestWithParam<size_t>
+{
+  protected:
+    void SetUp() override
+    {
+        if (avx2Kernels() == nullptr)
+            GTEST_SKIP() << "AVX2 kernels unavailable "
+                            "(STRIX_SIMD=OFF or non-AVX2 host)";
+    }
+};
+
+TEST_P(NegacyclicKernelCrossCheck, TorusForwardMatchesScalar)
+{
+    const size_t n = GetParam();
+    const auto &eng = NegacyclicFft::get(n);
+    Rng rng(n);
+    TorusPolynomial p = test::randomTorusPoly(n, rng);
+    FreqPolynomial ref, vec;
+    eng.forward(ref, p, scalarKernels());
+    eng.forward(vec, p, *avx2Kernels());
+    ASSERT_EQ(vec.size(), ref.size());
+    expectUlpClose(vec.data(), ref.data(), ref.size(), 1e-12);
+}
+
+TEST_P(NegacyclicKernelCrossCheck, IntForwardMatchesScalar)
+{
+    const size_t n = GetParam();
+    const auto &eng = NegacyclicFft::get(n);
+    Rng rng(n + 7);
+    IntPolynomial p = test::randomSmallIntPoly(n, 512, rng);
+    FreqPolynomial ref, vec;
+    eng.forward(ref, p, scalarKernels());
+    eng.forward(vec, p, *avx2Kernels());
+    ASSERT_EQ(vec.size(), ref.size());
+    expectUlpClose(vec.data(), ref.data(), ref.size(), 1e-12);
+}
+
+TEST_P(NegacyclicKernelCrossCheck, InverseMatchesScalarWithinOneStep)
+{
+    // Full inverse path (inverse FFT + untwist + round to Torus32).
+    // The vector untwist rounds ties to even where scalar llround
+    // rounds away from zero, and FMA shifts values near a rounding
+    // boundary, so allow one grid step.
+    const size_t n = GetParam();
+    const auto &eng = NegacyclicFft::get(n);
+    Rng rng(n + 13);
+    TorusPolynomial p = test::randomTorusPoly(n, rng);
+    FreqPolynomial f;
+    eng.forward(f, p, scalarKernels());
+    TorusPolynomial ref(n), vec(n);
+    eng.inverse(ref, f, scalarKernels());
+    eng.inverse(vec, f, *avx2Kernels());
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_LE(std::abs(torusDistance(vec[i], ref[i])), 1) << i;
+}
+
+TEST_P(NegacyclicKernelCrossCheck, RoundTripSurvivesUnderAvx2)
+{
+    // Same property the scalar path guarantees: forward then inverse
+    // recovers the torus polynomial to one ulp.
+    const size_t n = GetParam();
+    const auto &eng = NegacyclicFft::get(n);
+    Rng rng(n + 23);
+    TorusPolynomial p = test::randomTorusPoly(n, rng);
+    FreqPolynomial f;
+    eng.forward(f, p, *avx2Kernels());
+    TorusPolynomial back(n);
+    eng.inverse(back, f, *avx2Kernels());
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_LE(std::abs(torusDistance(back[i], p[i])), 1) << i;
+}
+
+TEST_P(NegacyclicKernelCrossCheck, ProductMatchesExactKaratsuba)
+{
+    // End-to-end check against exact integer arithmetic: the AVX2
+    // pipeline (twist -> FFT -> mulAcc -> inverse FFT -> untwist)
+    // must compute the same negacyclic product the exact Karatsuba
+    // multiplier does, to the usual FFT rounding slack.
+    const size_t n = GetParam();
+    if (n > 4096)
+        GTEST_SKIP() << "Karatsuba reference too slow beyond 4096";
+    const auto &eng = NegacyclicFft::get(n);
+    Rng rng(n + 29);
+    IntPolynomial a = test::randomSmallIntPoly(n, 512, rng);
+    TorusPolynomial b = test::randomTorusPoly(n, rng);
+
+    FreqPolynomial fa, fb, prod;
+    eng.forward(fa, a, *avx2Kernels());
+    eng.forward(fb, b, *avx2Kernels());
+    NegacyclicFft::mulAccumulate(prod, fa, fb, *avx2Kernels());
+    TorusPolynomial got(n);
+    eng.inverse(got, prod, *avx2Kernels());
+
+    TorusPolynomial expected(n);
+    negacyclicMulKaratsuba(expected, a, b);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_LE(std::abs(torusDistance(got[i], expected[i])), 2) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(RingDims, NegacyclicKernelCrossCheck,
+                         ::testing::ValuesIn(kRingDims));
 
 } // namespace
 } // namespace strix

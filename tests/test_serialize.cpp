@@ -1,10 +1,15 @@
 /**
  * @file
- * Serialization round-trip and malformed-input tests.
+ * Serialization round-trip and malformed-input tests, including the
+ * randomized structure-level fuzz sweeps: random-shape round-trips,
+ * exhaustive truncation (every strict prefix must throw), header
+ * bit-flips (must throw), and random payload byte-flips (must either
+ * throw std::runtime_error or parse -- never crash or hang).
  */
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "tfhe/serialize.h"
@@ -144,6 +149,222 @@ TEST(Serialize, GarbageThrows)
 {
     std::stringstream ss("this is not a TFHE frame at all....");
     EXPECT_THROW(deserializeParams(ss), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized structure-level fuzz sweeps.
+
+/** Serialize one frame and return its raw bytes. */
+template <typename T>
+std::string
+frameBytes(const T &value)
+{
+    std::stringstream ss;
+    serialize(ss, value);
+    return ss.str();
+}
+
+TEST(SerializeFuzz, RandomParamsRoundTripSweep)
+{
+    Rng rng(101);
+    for (int iter = 0; iter < 50; ++iter) {
+        TfheParams p;
+        // Arbitrary field soup, including empty and longish names and
+        // non-finite-free but extreme doubles.
+        size_t name_len = rng.uniformBelow(64);
+        for (size_t i = 0; i < name_len; ++i)
+            p.name.push_back(
+                static_cast<char>('a' + rng.uniformBelow(26)));
+        p.n = static_cast<uint32_t>(rng.uniformTorus32());
+        p.N = static_cast<uint32_t>(rng.uniformTorus32());
+        p.k = static_cast<uint32_t>(rng.uniformBelow(17));
+        p.l_bsk = static_cast<uint32_t>(rng.uniformBelow(65));
+        p.bg_bits = static_cast<uint32_t>(rng.uniformBelow(33));
+        p.l_ksk = static_cast<uint32_t>(rng.uniformBelow(65));
+        p.ks_base_bits = static_cast<uint32_t>(rng.uniformBelow(33));
+        p.lwe_noise = rng.uniformDouble() * 1e-3;
+        p.glwe_noise = rng.uniformDouble() * 1e-12;
+        p.lambda = static_cast<int>(rng.uniformBelow(257));
+
+        std::stringstream ss;
+        serialize(ss, p);
+        TfheParams back = deserializeParams(ss);
+        EXPECT_EQ(back.name, p.name);
+        EXPECT_EQ(back.n, p.n);
+        EXPECT_EQ(back.N, p.N);
+        EXPECT_EQ(back.k, p.k);
+        EXPECT_EQ(back.l_bsk, p.l_bsk);
+        EXPECT_EQ(back.bg_bits, p.bg_bits);
+        EXPECT_EQ(back.l_ksk, p.l_ksk);
+        EXPECT_EQ(back.ks_base_bits, p.ks_base_bits);
+        EXPECT_DOUBLE_EQ(back.lwe_noise, p.lwe_noise);
+        EXPECT_DOUBLE_EQ(back.glwe_noise, p.glwe_noise);
+        EXPECT_EQ(back.lambda, p.lambda);
+    }
+}
+
+TEST(SerializeFuzz, RandomShapeMultiFrameRoundTripSweep)
+{
+    // Streams of randomly shaped, randomly ordered frames must
+    // round-trip structure by structure.
+    Rng rng(202);
+    for (int iter = 0; iter < 25; ++iter) {
+        std::stringstream ss;
+
+        size_t lwe_dim = 1 + rng.uniformBelow(300);
+        LweKey lkey(static_cast<uint32_t>(lwe_dim), rng);
+        serialize(ss, lkey);
+
+        size_t poly_n = size_t{1} << (1 + rng.uniformBelow(9));
+        TorusPolynomial poly =
+            test::randomTorusPoly(poly_n, rng);
+        serialize(ss, poly);
+
+        uint32_t k = 1 + static_cast<uint32_t>(rng.uniformBelow(3));
+        uint32_t ring = 1u << (2 + rng.uniformBelow(7));
+        GlweKey gkey(k, ring, rng);
+        serialize(ss, gkey);
+
+        auto ct = lweEncrypt(lkey, encodeMessage(1, 8), 0.0, rng);
+        serialize(ss, ct);
+
+        LweKey lback = deserializeLweKey(ss);
+        ASSERT_EQ(lback.dim(), lkey.dim());
+        for (uint32_t i = 0; i < lkey.dim(); ++i)
+            ASSERT_EQ(lback.bit(i), lkey.bit(i));
+
+        EXPECT_EQ(deserializeTorusPolynomial(ss), poly);
+
+        GlweKey gback = deserializeGlweKey(ss);
+        ASSERT_EQ(gback.k(), k);
+        ASSERT_EQ(gback.ringDim(), ring);
+        for (uint32_t i = 0; i < k; ++i)
+            ASSERT_EQ(gback.poly(i), gkey.poly(i));
+
+        EXPECT_EQ(lweDecrypt(lkey, deserializeLweCiphertext(ss), 8), 1);
+    }
+}
+
+TEST(SerializeFuzz, EveryStrictPrefixThrows)
+{
+    // A frame cut anywhere before its last byte must be rejected --
+    // no partial parse may leak out as a valid structure.
+    Rng rng(303);
+    LweKey key(48, rng);
+    TfheParams params = paramsSetII();
+    TorusPolynomial poly = test::randomTorusPoly(64, rng);
+    auto ct = lweEncrypt(key, encodeMessage(3, 8), 0.0, rng);
+
+    const std::string frames[] = {
+        frameBytes(params),
+        frameBytes(key),
+        frameBytes(poly),
+        frameBytes(ct),
+    };
+    int idx = 0;
+    for (const std::string &bytes : frames) {
+        SCOPED_TRACE("frame " + std::to_string(idx++));
+        for (size_t cut = 0; cut < bytes.size(); ++cut) {
+            std::stringstream ss(bytes.substr(0, cut));
+            switch (idx - 1) {
+              case 0:
+                EXPECT_THROW(deserializeParams(ss), std::runtime_error)
+                    << "cut=" << cut;
+                break;
+              case 1:
+                EXPECT_THROW(deserializeLweKey(ss), std::runtime_error)
+                    << "cut=" << cut;
+                break;
+              case 2:
+                EXPECT_THROW(deserializeTorusPolynomial(ss),
+                             std::runtime_error)
+                    << "cut=" << cut;
+                break;
+              default:
+                EXPECT_THROW(deserializeLweCiphertext(ss),
+                             std::runtime_error)
+                    << "cut=" << cut;
+            }
+        }
+    }
+}
+
+TEST(SerializeFuzz, EveryHeaderBitFlipThrows)
+{
+    // The 8-byte header is tag + version; any single-bit corruption
+    // of it must be rejected outright.
+    Rng rng(404);
+    TorusPolynomial poly = test::randomTorusPoly(32, rng);
+    const std::string bytes = frameBytes(poly);
+    ASSERT_GE(bytes.size(), 8u);
+    for (size_t bit = 0; bit < 64; ++bit) {
+        std::string corrupted = bytes;
+        corrupted[bit / 8] =
+            static_cast<char>(corrupted[bit / 8] ^ (1 << (bit % 8)));
+        std::stringstream ss(corrupted);
+        EXPECT_THROW(deserializeTorusPolynomial(ss), std::runtime_error)
+            << "bit " << bit;
+    }
+}
+
+TEST(SerializeFuzz, RandomByteFlipsNeverCrash)
+{
+    // Payload corruption may parse to a different (garbage) structure
+    // or throw std::runtime_error; anything else -- a crash, a hang,
+    // an unbounded allocation (bounded by the length-field caps in
+    // serialize.cpp), another exception type -- is a bug.
+    Rng rng(505);
+    TfheParams p = testParams(16, 64);
+    p.l_ksk = 2;
+    p.ks_base_bits = 4;
+    LweKey from(48, rng);
+    LweKey to(16, rng);
+    KeySwitchKey ksk = KeySwitchKey::generate(from, to, p, rng);
+    const std::string base = frameBytes(ksk);
+
+    for (int iter = 0; iter < 300; ++iter) {
+        std::string corrupted = base;
+        // Flip 1-4 random bytes anywhere in the frame.
+        size_t flips = 1 + rng.uniformBelow(4);
+        for (size_t f = 0; f < flips; ++f) {
+            size_t pos = rng.uniformBelow(corrupted.size());
+            corrupted[pos] = static_cast<char>(
+                corrupted[pos] ^
+                static_cast<char>(1 + rng.uniformBelow(255)));
+        }
+        std::stringstream ss(corrupted);
+        try {
+            KeySwitchKey back = deserializeKeySwitchKey(ss);
+            // Parsed (e.g. only ciphertext payload bytes flipped):
+            // the plausibility guards must still have held.
+            EXPECT_LE(back.gadget().levels, 64u);
+        } catch (const std::runtime_error &) {
+            // Rejected: fine.
+        }
+    }
+}
+
+TEST(SerializeFuzz, ImplausibleVectorLengthRejectedWithoutAllocating)
+{
+    // A hostile length field (2^32 entries = 16 GiB) must be rejected
+    // by the plausibility cap, not by attempting the allocation.
+    std::stringstream ss;
+    serialize(ss, LweCiphertext(4));
+    std::string bytes = ss.str();
+    // Frame layout: tag(4) version(4) then u64 vector length.
+    uint64_t huge = uint64_t{1} << 32;
+    std::memcpy(&bytes[8], &huge, sizeof(huge));
+    std::stringstream corrupted(bytes);
+    EXPECT_THROW(deserializeLweCiphertext(corrupted), std::runtime_error);
+
+    // A length just inside the cap on a short frame must throw
+    // "truncated" after consuming the bytes that exist -- the reader
+    // grows with the stream, it never eagerly allocates the claimed
+    // 128 MiB (readU32Vector's incremental loop).
+    uint64_t capped = (uint64_t{1} << 25) - 1;
+    std::memcpy(&bytes[8], &capped, sizeof(capped));
+    std::stringstream truncated(bytes);
+    EXPECT_THROW(deserializeLweCiphertext(truncated), std::runtime_error);
 }
 
 } // namespace
