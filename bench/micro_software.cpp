@@ -140,6 +140,12 @@ BM_GadgetDecomposePoly(benchmark::State &state)
 }
 BENCHMARK(BM_GadgetDecomposePoly)->Arg(1024)->Arg(16384);
 
+/**
+ * Fused vs per-poly external product: the A/B pair for the batched
+ * FFT sweep. Both run with a persistent scratch, so the delta is the
+ * transform scheduling alone (results are bit-identical; the tests
+ * assert it).
+ */
 void
 BM_ExternalProductFft(benchmark::State &state)
 {
@@ -151,12 +157,34 @@ BM_ExternalProductFft(benchmark::State &state)
     TorusPolynomial mu(n);
     GlweCiphertext ct = glweEncrypt(key, mu, 0.0, rng);
     GlweCiphertext out;
+    PbsScratch scratch;
     for (auto _ : state) {
-        ggsw.externalProduct(out, ct);
+        ggsw.externalProduct(out, ct, scratch);
         benchmark::DoNotOptimize(&out);
     }
+    state.SetLabel("batch-fused FFT sweep");
 }
 BENCHMARK(BM_ExternalProductFft);
+
+void
+BM_ExternalProductFftPerPoly(benchmark::State &state)
+{
+    Rng rng(6);
+    const uint32_t n = 1024, k = 1;
+    GlweKey key(k, n, rng);
+    GadgetParams g{10, 2};
+    GgswFft ggsw(ggswEncrypt(key, 1, g, 0.0, rng));
+    TorusPolynomial mu(n);
+    GlweCiphertext ct = glweEncrypt(key, mu, 0.0, rng);
+    GlweCiphertext out;
+    PbsScratch scratch;
+    for (auto _ : state) {
+        ggsw.externalProductPerPoly(out, ct, scratch);
+        benchmark::DoNotOptimize(&out);
+    }
+    state.SetLabel("per-poly reference");
+}
+BENCHMARK(BM_ExternalProductFftPerPoly);
 
 void
 BM_ProgrammableBootstrap(benchmark::State &state)
@@ -222,6 +250,27 @@ BM_FftForwardKernel(benchmark::State &state, const PolyKernels *kernels,
     state.SetItemsProcessed(state.iterations() * int64_t(m));
 }
 
+/**
+ * Batched forward FFT through an explicit kernel table. Reported
+ * per-transform (items = batch members), so the row is directly
+ * comparable against BM_FftForward at the same m: the gap is the
+ * twiddle-amortization win of the stage-major batch sweep.
+ */
+void
+BM_FftForwardBatchKernel(benchmark::State &state,
+                         const PolyKernels *kernels, size_t m,
+                         size_t batch)
+{
+    const FftPlan &plan = FftPlan::get(m);
+    std::vector<Cplx> data(m * batch, Cplx(0.5, -0.25));
+    for (auto _ : state) {
+        plan.forwardBatch(data.data(), batch, *kernels);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(state.iterations() * int64_t(m) *
+                            int64_t(batch));
+}
+
 void
 registerKernelBenchmarks()
 {
@@ -242,6 +291,19 @@ registerKernelBenchmarks()
                 [kernels = e.kernels, m](benchmark::State &st) {
                     BM_FftForwardKernel(st, kernels, m);
                 });
+            // Batch 4 = the (k+1)*l digit count of sets I/II; batch 8
+            // covers the larger gadget shapes.
+            for (size_t batch : {size_t{4}, size_t{8}}) {
+                std::string bname =
+                    std::string("BM_FftForwardBatch/") + e.name + "/" +
+                    std::to_string(m) + "/" + std::to_string(batch);
+                benchmark::RegisterBenchmark(
+                    bname.c_str(),
+                    [kernels = e.kernels, m,
+                     batch](benchmark::State &st) {
+                        BM_FftForwardBatchKernel(st, kernels, m, batch);
+                    });
+            }
         }
 }
 

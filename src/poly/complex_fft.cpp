@@ -67,9 +67,22 @@ FftPlan::inverse(Cplx *data) const
 }
 
 void
+FftPlan::forwardBatch(Cplx *data, size_t batch) const
+{
+    activeKernels().fftForwardBatch(tables(), data, batch);
+}
+
+void
 FftPlan::forward(Cplx *data, const PolyKernels &kernels) const
 {
     kernels.fftForward(tables(), data);
+}
+
+void
+FftPlan::forwardBatch(Cplx *data, size_t batch,
+                      const PolyKernels &kernels) const
+{
+    kernels.fftForwardBatch(tables(), data, batch);
 }
 
 void

@@ -64,8 +64,21 @@ class FftPlan
      */
     void inverse(Cplx *data) const;
 
+    /**
+     * Batched in-place forward transform of @p batch contiguous
+     * size-M members (member b at data[b*M, (b+1)*M)). Bit-identical
+     * to calling forward() on each member, but the butterfly stages
+     * sweep the whole batch stage-major, amortizing twiddle loads --
+     * the software form of Strix's streaming FFT batch schedule.
+     */
+    void forwardBatch(Cplx *data, size_t batch) const;
+
     /** forward() through an explicit kernel table (A/B testing). */
     void forward(Cplx *data, const PolyKernels &kernels) const;
+
+    /** forwardBatch() through an explicit kernel table (A/B testing). */
+    void forwardBatch(Cplx *data, size_t batch,
+                      const PolyKernels &kernels) const;
 
     /** inverse() through an explicit kernel table (A/B testing). */
     void inverse(Cplx *data, const PolyKernels &kernels) const;

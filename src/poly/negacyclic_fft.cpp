@@ -72,6 +72,22 @@ NegacyclicFft::forward(FreqPolynomial &out, const TorusPolynomial &poly,
 }
 
 void
+NegacyclicFft::forwardBatch(Cplx *out, const int32_t *coeffs,
+                            size_t batch) const
+{
+    forwardBatch(out, coeffs, batch, activeKernels());
+}
+
+void
+NegacyclicFft::forwardBatch(Cplx *out, const int32_t *coeffs, size_t batch,
+                            const PolyKernels &kernels) const
+{
+    const size_t m = n_ / 2;
+    kernels.twistBatch(out, coeffs, twist_.data(), m, batch);
+    plan_.forwardBatch(out, batch, kernels);
+}
+
+void
 NegacyclicFft::inverse(TorusPolynomial &out, const FreqPolynomial &freq) const
 {
     inverse(out, freq, activeKernels());
@@ -104,8 +120,13 @@ NegacyclicFft::mulAccumulate(FreqPolynomial &out, const FreqPolynomial &a,
                              const PolyKernels &kernels)
 {
     panicIfNot(a.size() == b.size(), "mulAccumulate size mismatch");
-    if (out.size() != a.size())
+    if (out.empty())
         out.assign(a.size(), Cplx(0, 0));
+    // A wrong-sized non-empty accumulator used to be silently
+    // zero-reinitialized, which masked shape bugs in callers (the
+    // partial sum vanished along with the mismatch).
+    panicIfNot(out.size() == a.size(),
+               "mulAccumulate accumulator size mismatch");
     kernels.mulAccumulate(out.data(), a.data(), b.data(), a.size());
 }
 

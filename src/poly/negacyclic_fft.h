@@ -55,7 +55,24 @@ class NegacyclicFft
      */
     void inverse(TorusPolynomial &out, const FreqPolynomial &freq) const;
 
-    /** out_k += a_k * b_k (frequency-domain multiply-accumulate). */
+    /**
+     * Batched forward transform of @p batch contiguous length-N
+     * coefficient rows: row b of @p coeffs is the N signed
+     * (centered-lift) coefficients of one polynomial, row b of @p out
+     * its N/2 frequency points. Bit-identical to calling forward() on
+     * each row; the fold/twist and every FFT stage sweep the batch as
+     * one planned pass (Strix's streaming-FFT batch schedule). This is
+     * the path the external product feeds its (k+1)*l decomposition
+     * digits through.
+     */
+    void forwardBatch(Cplx *out, const int32_t *coeffs, size_t batch) const;
+
+    /**
+     * out_k += a_k * b_k (frequency-domain multiply-accumulate).
+     * An empty @p out is auto-sized (zero-initialized); a non-empty
+     * accumulator of the wrong size panics instead of being silently
+     * reinitialized, so shape bugs in callers surface immediately.
+     */
     static void mulAccumulate(FreqPolynomial &out, const FreqPolynomial &a,
                               const FreqPolynomial &b);
 
@@ -68,6 +85,8 @@ class NegacyclicFft
                  const PolyKernels &kernels) const;
     void forward(FreqPolynomial &out, const TorusPolynomial &poly,
                  const PolyKernels &kernels) const;
+    void forwardBatch(Cplx *out, const int32_t *coeffs, size_t batch,
+                      const PolyKernels &kernels) const;
     void inverse(TorusPolynomial &out, const FreqPolynomial &freq,
                  const PolyKernels &kernels) const;
     static void mulAccumulate(FreqPolynomial &out, const FreqPolynomial &a,

@@ -66,6 +66,23 @@ struct PolyKernels
     /** In-place forward DIT FFT (positive exponent), bit-reversal included. */
     void (*fftForward)(const FftTables &t, Cplx *data);
 
+    /**
+     * Batched in-place forward FFT over @p batch contiguous
+     * transforms: member b occupies data[b*m, (b+1)*m). Semantically
+     * identical to calling fftForward on each member -- the tests
+     * assert bit-exact agreement -- but the stage loop is fused: after
+     * per-member bit reversal, each butterfly stage sweeps the whole
+     * batch before the next stage runs. Member starts are multiples of
+     * m (itself a multiple of every stage length), so one base sweep
+     * over batch*m elements never straddles a member boundary, and the
+     * vector backend can hoist a small stage's twiddles into registers
+     * once per stage instead of reloading them per transform. This is
+     * the software analogue of Strix's streaming FFT: the (k+1)*l
+     * decomposition digits of an external product go through the plan
+     * as one scheduled batch.
+     */
+    void (*fftForwardBatch)(const FftTables &t, Cplx *data, size_t batch);
+
     /** In-place inverse FFT (negative exponent), scaled by 1/m. */
     void (*fftInverse)(const FftTables &t, Cplx *data);
 
@@ -77,6 +94,17 @@ struct PolyKernels
      */
     void (*twist)(Cplx *out, const int32_t *lo, const int32_t *hi,
                   const Cplx *tw, size_t m);
+
+    /**
+     * Batched fold+twist over a contiguous digit matrix: row b of
+     * @p coeffs is the length-2m coefficient array of one polynomial
+     * (so lo = coeffs + b*2m, hi = lo + m), and row b of @p out is its
+     * m twisted points. Bit-identical to calling twist per row; a
+     * separate entry so backends may amortize the shared twist table
+     * across the batch.
+     */
+    void (*twistBatch)(Cplx *out, const int32_t *coeffs, const Cplx *tw,
+                       size_t m, size_t batch);
 
     /**
      * Untwist+round leaving the negacyclic transform: for

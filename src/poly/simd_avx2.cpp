@@ -82,6 +82,49 @@ stageLen2(double *d, size_t m)
     }
 }
 
+/**
+ * One butterfly stage of length @p len swept over @p span contiguous
+ * elements; span is the transform size for a single FFT and the whole
+ * chunk (members * m) for the batched sweep. Conj selects forward
+ * (v*w) vs inverse (v*conj(w)).
+ */
+template <bool Conj>
+inline void
+stageSweep(double *d, const Cplx *tw, size_t len, size_t span)
+{
+    const size_t half = len >> 1;
+    const double *twd = reinterpret_cast<const double *>(tw);
+    for (size_t base = 0; base < span; base += len) {
+        double *lo = d + 2 * base;
+        double *hi = d + 2 * (base + half);
+        size_t j = 0;
+        // Two independent butterfly vectors per iteration keeps
+        // both FMA ports busy.
+        for (; j + 4 <= half; j += 4) {
+            __m256d w0 = _mm256_loadu_pd(twd + 2 * j);
+            __m256d w1 = _mm256_loadu_pd(twd + 2 * j + 4);
+            __m256d u0 = _mm256_loadu_pd(lo + 2 * j);
+            __m256d u1 = _mm256_loadu_pd(lo + 2 * j + 4);
+            __m256d v0 = _mm256_loadu_pd(hi + 2 * j);
+            __m256d v1 = _mm256_loadu_pd(hi + 2 * j + 4);
+            __m256d p0 = Conj ? cplxMulConj(v0, w0) : cplxMul(v0, w0);
+            __m256d p1 = Conj ? cplxMulConj(v1, w1) : cplxMul(v1, w1);
+            _mm256_storeu_pd(lo + 2 * j, _mm256_add_pd(u0, p0));
+            _mm256_storeu_pd(lo + 2 * j + 4, _mm256_add_pd(u1, p1));
+            _mm256_storeu_pd(hi + 2 * j, _mm256_sub_pd(u0, p0));
+            _mm256_storeu_pd(hi + 2 * j + 4, _mm256_sub_pd(u1, p1));
+        }
+        for (; j < half; j += 2) {
+            __m256d w = _mm256_loadu_pd(twd + 2 * j);
+            __m256d u = _mm256_loadu_pd(lo + 2 * j);
+            __m256d v = _mm256_loadu_pd(hi + 2 * j);
+            __m256d p = Conj ? cplxMulConj(v, w) : cplxMul(v, w);
+            _mm256_storeu_pd(lo + 2 * j, _mm256_add_pd(u, p));
+            _mm256_storeu_pd(hi + 2 * j, _mm256_sub_pd(u, p));
+        }
+    }
+}
+
 /** Shared stage loop; Conj selects forward (v*w) vs inverse (v*conj(w)). */
 template <bool Conj>
 inline void
@@ -92,38 +135,8 @@ butterflyStages(const FftTables &t, Cplx *data)
     stageLen2(d, m);
     const Cplx *tw = t.stage_twiddles + 1; // past the len=2 stage
     for (size_t len = 4; len <= m; len <<= 1) {
-        const size_t half = len >> 1;
-        const double *twd = reinterpret_cast<const double *>(tw);
-        for (size_t base = 0; base < m; base += len) {
-            double *lo = d + 2 * base;
-            double *hi = d + 2 * (base + half);
-            size_t j = 0;
-            // Two independent butterfly vectors per iteration keeps
-            // both FMA ports busy.
-            for (; j + 4 <= half; j += 4) {
-                __m256d w0 = _mm256_loadu_pd(twd + 2 * j);
-                __m256d w1 = _mm256_loadu_pd(twd + 2 * j + 4);
-                __m256d u0 = _mm256_loadu_pd(lo + 2 * j);
-                __m256d u1 = _mm256_loadu_pd(lo + 2 * j + 4);
-                __m256d v0 = _mm256_loadu_pd(hi + 2 * j);
-                __m256d v1 = _mm256_loadu_pd(hi + 2 * j + 4);
-                __m256d p0 = Conj ? cplxMulConj(v0, w0) : cplxMul(v0, w0);
-                __m256d p1 = Conj ? cplxMulConj(v1, w1) : cplxMul(v1, w1);
-                _mm256_storeu_pd(lo + 2 * j, _mm256_add_pd(u0, p0));
-                _mm256_storeu_pd(lo + 2 * j + 4, _mm256_add_pd(u1, p1));
-                _mm256_storeu_pd(hi + 2 * j, _mm256_sub_pd(u0, p0));
-                _mm256_storeu_pd(hi + 2 * j + 4, _mm256_sub_pd(u1, p1));
-            }
-            for (; j < half; j += 2) {
-                __m256d w = _mm256_loadu_pd(twd + 2 * j);
-                __m256d u = _mm256_loadu_pd(lo + 2 * j);
-                __m256d v = _mm256_loadu_pd(hi + 2 * j);
-                __m256d p = Conj ? cplxMulConj(v, w) : cplxMul(v, w);
-                _mm256_storeu_pd(lo + 2 * j, _mm256_add_pd(u, p));
-                _mm256_storeu_pd(hi + 2 * j, _mm256_sub_pd(u, p));
-            }
-        }
-        tw += half;
+        stageSweep<Conj>(d, tw, len, m);
+        tw += len >> 1;
     }
 }
 
@@ -132,6 +145,129 @@ fftForwardAvx2(const FftTables &t, Cplx *data)
 {
     bitReversePermute(t, data);
     butterflyStages<false>(t, data);
+}
+
+/**
+ * One L1-resident chunk of the batched forward FFT: per-member bit
+ * reversal, then every butterfly stage sweeps the whole chunk before
+ * the next stage runs. Member starts are multiples of t.m, which
+ * every stage length divides, so one base sweep over batch*m elements
+ * never straddles a member.
+ *
+ * The batch win is twiddle amortization: the three smallest
+ * twiddle-bearing stages (len 4/8/16) keep the entire stage twiddle
+ * set in registers for the whole sweep, where the per-poly path
+ * reloads it for every transform; the larger stages reuse the exact
+ * loop of butterflyStages over the longer span. Every element sees
+ * the same add/sub/FMA sequence the single-transform kernel applies,
+ * so results are bit-identical to per-member fftForwardAvx2 (the
+ * tests assert equality, not ULP closeness).
+ */
+void
+fftForwardBatchChunkAvx2(const FftTables &t, Cplx *data, size_t batch)
+{
+    for (size_t b = 0; b < batch; ++b)
+        bitReversePermute(t, data + b * t.m);
+    double *d = reinterpret_cast<double *>(data);
+    const size_t m = t.m;
+    const size_t total = m * batch;
+    stageLen2(d, total);
+    const Cplx *tw = t.stage_twiddles + 1; // past the len=2 stage
+    if (m >= 4) { // len = 4, half = 2: one hoisted register
+        const __m256d w =
+            _mm256_loadu_pd(reinterpret_cast<const double *>(tw));
+        for (size_t base = 0; base < total; base += 4) {
+            double *lo = d + 2 * base;
+            double *hi = lo + 4;
+            __m256d u = _mm256_loadu_pd(lo);
+            __m256d v = _mm256_loadu_pd(hi);
+            __m256d p = cplxMul(v, w);
+            _mm256_storeu_pd(lo, _mm256_add_pd(u, p));
+            _mm256_storeu_pd(hi, _mm256_sub_pd(u, p));
+        }
+        tw += 2;
+    }
+    if (m >= 8) { // len = 8, half = 4: two hoisted registers
+        const double *twd = reinterpret_cast<const double *>(tw);
+        const __m256d w0 = _mm256_loadu_pd(twd);
+        const __m256d w1 = _mm256_loadu_pd(twd + 4);
+        for (size_t base = 0; base < total; base += 8) {
+            double *lo = d + 2 * base;
+            double *hi = lo + 8;
+            __m256d u0 = _mm256_loadu_pd(lo);
+            __m256d u1 = _mm256_loadu_pd(lo + 4);
+            __m256d v0 = _mm256_loadu_pd(hi);
+            __m256d v1 = _mm256_loadu_pd(hi + 4);
+            __m256d p0 = cplxMul(v0, w0);
+            __m256d p1 = cplxMul(v1, w1);
+            _mm256_storeu_pd(lo, _mm256_add_pd(u0, p0));
+            _mm256_storeu_pd(lo + 4, _mm256_add_pd(u1, p1));
+            _mm256_storeu_pd(hi, _mm256_sub_pd(u0, p0));
+            _mm256_storeu_pd(hi + 4, _mm256_sub_pd(u1, p1));
+        }
+        tw += 4;
+    }
+    if (m >= 16) { // len = 16, half = 8: four hoisted registers
+        const double *twd = reinterpret_cast<const double *>(tw);
+        const __m256d w0 = _mm256_loadu_pd(twd);
+        const __m256d w1 = _mm256_loadu_pd(twd + 4);
+        const __m256d w2 = _mm256_loadu_pd(twd + 8);
+        const __m256d w3 = _mm256_loadu_pd(twd + 12);
+        for (size_t base = 0; base < total; base += 16) {
+            double *lo = d + 2 * base;
+            double *hi = lo + 16;
+            __m256d u0 = _mm256_loadu_pd(lo);
+            __m256d u1 = _mm256_loadu_pd(lo + 4);
+            __m256d v0 = _mm256_loadu_pd(hi);
+            __m256d v1 = _mm256_loadu_pd(hi + 4);
+            __m256d p0 = cplxMul(v0, w0);
+            __m256d p1 = cplxMul(v1, w1);
+            _mm256_storeu_pd(lo, _mm256_add_pd(u0, p0));
+            _mm256_storeu_pd(lo + 4, _mm256_add_pd(u1, p1));
+            _mm256_storeu_pd(hi, _mm256_sub_pd(u0, p0));
+            _mm256_storeu_pd(hi + 4, _mm256_sub_pd(u1, p1));
+            __m256d u2 = _mm256_loadu_pd(lo + 8);
+            __m256d u3 = _mm256_loadu_pd(lo + 12);
+            __m256d v2 = _mm256_loadu_pd(hi + 8);
+            __m256d v3 = _mm256_loadu_pd(hi + 12);
+            __m256d p2 = cplxMul(v2, w2);
+            __m256d p3 = cplxMul(v3, w3);
+            _mm256_storeu_pd(lo + 8, _mm256_add_pd(u2, p2));
+            _mm256_storeu_pd(lo + 12, _mm256_add_pd(u3, p3));
+            _mm256_storeu_pd(hi + 8, _mm256_sub_pd(u2, p2));
+            _mm256_storeu_pd(hi + 12, _mm256_sub_pd(u3, p3));
+        }
+        tw += 8;
+    }
+    for (size_t len = 32; len <= m; len <<= 1) {
+        stageSweep<false>(d, tw, len, total);
+        tw += len >> 1;
+    }
+}
+
+/**
+ * Batched forward FFT. The stage-major sweep re-touches a chunk's
+ * entire data once per stage, so the chunk working set is capped near
+ * 32 KiB (half a typical L1d): members beyond that are processed as
+ * consecutive L1-resident chunks. This keeps the small-stage twiddle
+ * amortization where it pays (many members per chunk at the external
+ * product's m = N/2 sizes) without turning large-m sweeps into
+ * L2-streaming loops. Chunking only changes the order independent
+ * members are processed in, never the per-member arithmetic.
+ */
+void
+fftForwardBatchAvx2(const FftTables &t, Cplx *data, size_t batch)
+{
+    constexpr size_t kChunkPoints = 2048; // * sizeof(Cplx) = 32 KiB
+    const size_t max_members =
+        t.m >= kChunkPoints ? 1 : kChunkPoints / t.m;
+    while (batch > 0) {
+        const size_t members =
+            batch < max_members ? batch : max_members;
+        fftForwardBatchChunkAvx2(t, data, members);
+        data += members * t.m;
+        batch -= members;
+    }
 }
 
 void
@@ -172,6 +308,17 @@ twistAvx2(Cplx *out, const int32_t *lo, const int32_t *hi, const Cplx *tw,
         out[j] = Cplx(static_cast<double>(lo[j]),
                       static_cast<double>(hi[j])) *
                  tw[j];
+}
+
+void
+twistBatchAvx2(Cplx *out, const int32_t *coeffs, const Cplx *tw, size_t m,
+               size_t batch)
+{
+    // The twist table is shared by every row and stays cache-hot
+    // across the batch; the per-row loop is already vectorized.
+    for (size_t b = 0; b < batch; ++b)
+        twistAvx2(out + b * m, coeffs + b * 2 * m, coeffs + b * 2 * m + m,
+                  tw, m);
 }
 
 void
@@ -248,8 +395,9 @@ mulAccumulateAvx2(Cplx *out, const Cplx *a, const Cplx *b, size_t m)
 }
 
 const PolyKernels kAvx2Kernels = {
-    "avx2",     fftForwardAvx2, fftInverseAvx2,
-    twistAvx2,  untwistAvx2,    mulAccumulateAvx2,
+    "avx2",         fftForwardAvx2, fftForwardBatchAvx2,
+    fftInverseAvx2, twistAvx2,      twistBatchAvx2,
+    untwistAvx2,    mulAccumulateAvx2,
 };
 
 } // namespace

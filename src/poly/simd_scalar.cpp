@@ -47,6 +47,32 @@ fftForwardScalar(const FftTables &t, Cplx *data)
 }
 
 void
+fftForwardBatchScalar(const FftTables &t, Cplx *data, size_t batch)
+{
+    for (size_t b = 0; b < batch; ++b)
+        bitReversePermute(t, data + b * t.m);
+    // Stage-major over the batch: every member start is a multiple of
+    // t.m, which is a multiple of every stage length, so sweeping base
+    // over the whole batch*m buffer runs the per-member stage loops in
+    // one pass. Each element sees exactly the ops fftForwardScalar
+    // would apply, so the result is bit-identical per member.
+    const size_t total = t.m * batch;
+    const Cplx *tw = t.stage_twiddles;
+    for (size_t len = 2; len <= t.m; len <<= 1) {
+        const size_t half = len >> 1;
+        for (size_t base = 0; base < total; base += len) {
+            for (size_t j = 0; j < half; ++j) {
+                Cplx u = data[base + j];
+                Cplx v = data[base + j + half] * tw[j];
+                data[base + j] = u + v;
+                data[base + j + half] = u - v;
+            }
+        }
+        tw += half;
+    }
+}
+
+void
 fftInverseScalar(const FftTables &t, Cplx *data)
 {
     bitReversePermute(t, data);
@@ -79,6 +105,15 @@ twistScalar(Cplx *out, const int32_t *lo, const int32_t *hi,
 }
 
 void
+twistBatchScalar(Cplx *out, const int32_t *coeffs, const Cplx *tw,
+                 size_t m, size_t batch)
+{
+    for (size_t b = 0; b < batch; ++b)
+        twistScalar(out + b * m, coeffs + b * 2 * m,
+                    coeffs + b * 2 * m + m, tw, m);
+}
+
+void
 untwistScalar(uint32_t *lo, uint32_t *hi, const Cplx *freq,
               const Cplx *tw, size_t m)
 {
@@ -104,8 +139,9 @@ mulAccumulateScalar(Cplx *out, const Cplx *a, const Cplx *b, size_t m)
 }
 
 const PolyKernels kScalarKernels = {
-    "scalar",          fftForwardScalar, fftInverseScalar,
-    twistScalar,       untwistScalar,    mulAccumulateScalar,
+    "scalar",         fftForwardScalar, fftForwardBatchScalar,
+    fftInverseScalar, twistScalar,      twistBatchScalar,
+    untwistScalar,    mulAccumulateScalar,
 };
 
 } // namespace

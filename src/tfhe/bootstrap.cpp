@@ -65,13 +65,15 @@ UnrolledBootstrappingKey::bytes() const
 
 void
 blindRotateUnrolled(GlweCiphertext &acc, const LweCiphertext &ct,
-                    const UnrolledBootstrappingKey &ubsk)
+                    const UnrolledBootstrappingKey &ubsk,
+                    PbsScratch &scratch)
 {
     const TfheParams &p = ubsk.params();
     panicIfNot(ct.dim() == p.n, "blindRotateUnrolled: dim mismatch");
     const uint32_t two_n = 2 * p.N;
+    const ModSwitch ms(p.N);
 
-    const uint32_t b_tilde = modulusSwitch(ct.b(), p.N);
+    const uint32_t b_tilde = ms(ct.b());
     if (b_tilde != 0) {
         GlweCiphertext rotated(p.k, p.N);
         for (uint32_t c = 0; c <= p.k; ++c)
@@ -80,12 +82,23 @@ blindRotateUnrolled(GlweCiphertext &acc, const LweCiphertext &ct,
         acc = std::move(rotated);
     }
 
-    GlweCiphertext d(p.k, p.N), prod, sum(p.k, p.N);
+    // All pair-iteration working storage comes from the scratch, so
+    // the ceil(n/2) hot iterations allocate nothing (externalProduct
+    // uses the digit/frequency buffers, never these four).
+    GlweCiphertext &d = scratch.diff;
+    GlweCiphertext &prod = scratch.prod;
+    GlweCiphertext &sum = scratch.sum;
+    TorusPolynomial &tmp = scratch.rot_tmp;
+    if (d.k() != p.k || d.ringDim() != p.N)
+        d = GlweCiphertext(p.k, p.N);
+    if (sum.k() != p.k || sum.ringDim() != p.N)
+        sum = GlweCiphertext(p.k, p.N);
+    if (tmp.size() != p.N)
+        tmp = TorusPolynomial(p.N);
+
     for (uint32_t i = 0; i < ubsk.pairs(); ++i) {
-        const uint32_t a = modulusSwitch(ct.a(2 * i), p.N);
-        const uint32_t b = 2 * i + 1 < p.n
-                               ? modulusSwitch(ct.a(2 * i + 1), p.N)
-                               : 0;
+        const uint32_t a = ms(ct.a(2 * i));
+        const uint32_t b = 2 * i + 1 < p.n ? ms(ct.a(2 * i + 1)) : 0;
         if (a == 0 && b == 0)
             continue;
 
@@ -94,19 +107,18 @@ blindRotateUnrolled(GlweCiphertext &acc, const LweCiphertext &ct,
         if (a != 0) {
             for (uint32_t c = 0; c <= p.k; ++c)
                 negacyclicRotateMinusOne(d.poly(c), acc.poly(c), a);
-            ubsk.first(i).externalProduct(prod, d);
+            ubsk.first(i).externalProduct(prod, d, scratch);
             sum.addAssign(prod);
         }
         // t-term: GGSW(t) [*] (X^b - 1) acc
         if (b != 0) {
             for (uint32_t c = 0; c <= p.k; ++c)
                 negacyclicRotateMinusOne(d.poly(c), acc.poly(c), b);
-            ubsk.second(i).externalProduct(prod, d);
+            ubsk.second(i).externalProduct(prod, d, scratch);
             sum.addAssign(prod);
         }
         // st-term: GGSW(s*t) [*] (X^a - 1)(X^b - 1) acc
         if (a != 0 && b != 0) {
-            TorusPolynomial tmp(p.N);
             for (uint32_t c = 0; c <= p.k; ++c) {
                 // X^{a+b} acc - X^a acc - X^b acc + acc
                 negacyclicRotate(d.poly(c), acc.poly(c),
@@ -117,11 +129,33 @@ blindRotateUnrolled(GlweCiphertext &acc, const LweCiphertext &ct,
                 d.poly(c).subAssign(tmp);
                 d.poly(c).addAssign(acc.poly(c));
             }
-            ubsk.product(i).externalProduct(prod, d);
+            ubsk.product(i).externalProduct(prod, d, scratch);
             sum.addAssign(prod);
         }
         acc.addAssign(sum);
     }
+}
+
+void
+blindRotateUnrolled(GlweCiphertext &acc, const LweCiphertext &ct,
+                    const UnrolledBootstrappingKey &ubsk)
+{
+    PbsScratch scratch;
+    blindRotateUnrolled(acc, ct, ubsk, scratch);
+}
+
+LweCiphertext
+programmableBootstrapUnrolled(const LweCiphertext &ct,
+                              const TorusPolynomial &test_vector,
+                              const UnrolledBootstrappingKey &ubsk,
+                              PbsScratch &scratch)
+{
+    const TfheParams &p = ubsk.params();
+    panicIfNot(test_vector.size() == p.N,
+               "unrolled PBS: test vector size mismatch");
+    GlweCiphertext acc = GlweCiphertext::trivial(p.k, test_vector);
+    blindRotateUnrolled(acc, ct, ubsk, scratch);
+    return sampleExtract(acc, 0);
 }
 
 LweCiphertext
@@ -129,26 +163,31 @@ programmableBootstrapUnrolled(const LweCiphertext &ct,
                               const TorusPolynomial &test_vector,
                               const UnrolledBootstrappingKey &ubsk)
 {
-    const TfheParams &p = ubsk.params();
-    panicIfNot(test_vector.size() == p.N,
-               "unrolled PBS: test vector size mismatch");
-    GlweCiphertext acc = GlweCiphertext::trivial(p.k, test_vector);
-    blindRotateUnrolled(acc, ct, ubsk);
-    return sampleExtract(acc, 0);
+    PbsScratch scratch;
+    return programmableBootstrapUnrolled(ct, test_vector, ubsk, scratch);
+}
+
+ModSwitch::ModSwitch(uint32_t big_n)
+{
+    panicIfNot(big_n != 0 && (big_n & (big_n - 1)) == 0,
+               "modulus switch: ring dim must be a power of two");
+    // log2(2N) <= 32; the loop terminates because 2N is a power of
+    // two (the panic above rules everything else out).
+    uint32_t log_2n = 1;
+    while ((static_cast<uint64_t>(big_n) << 1) >> log_2n != 1)
+        ++log_2n;
+    shift_ = kTorus32Bits - log_2n;
+    mask_ = static_cast<uint32_t>((static_cast<uint64_t>(big_n) << 1) - 1);
+    // Round-half-up bias of half a grid step. When 2N = 2^32 the grid
+    // is the torus itself: no rounding, and a bias of 1 << (shift-1)
+    // would have been the old code's shift-by-minus-one underflow.
+    bias_ = shift_ == 0 ? 0 : uint64_t{1} << (shift_ - 1);
 }
 
 uint32_t
 modulusSwitch(Torus32 a, uint32_t big_n)
 {
-    // Round a in [0, 2^32) to the grid of 2N points. log2(2N) <= 32.
-    uint32_t log_2n = 1;
-    while ((big_n << 1) >> log_2n != 1)
-        ++log_2n;
-    const uint32_t shift = kTorus32Bits - log_2n;
-    // Round-half-up; the result is taken mod 2N via the shift.
-    uint64_t rounded =
-        (static_cast<uint64_t>(a) + (uint64_t{1} << (shift - 1))) >> shift;
-    return static_cast<uint32_t>(rounded) & (2 * big_n - 1);
+    return ModSwitch(big_n)(a);
 }
 
 void
@@ -158,9 +197,10 @@ blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
     const TfheParams &p = bsk.params();
     panicIfNot(ct.dim() == p.n, "blindRotate: ciphertext dim mismatch");
     const uint32_t two_n = 2 * p.N;
+    const ModSwitch ms(p.N);
 
     // Initial rotation by -b~ (Algorithm 1, line 4).
-    const uint32_t b_tilde = modulusSwitch(ct.b(), p.N);
+    const uint32_t b_tilde = ms(ct.b());
     if (b_tilde != 0) {
         GlweCiphertext rotated(p.k, p.N);
         for (uint32_t c = 0; c <= p.k; ++c)
@@ -172,7 +212,7 @@ blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
     // n CMux iterations (lines 5-12); each is one blind-rotation
     // iteration of the Strix PBS cluster.
     for (uint32_t i = 0; i < p.n; ++i) {
-        const uint32_t a_tilde = modulusSwitch(ct.a(i), p.N);
+        const uint32_t a_tilde = ms(ct.a(i));
         if (a_tilde == 0)
             continue; // rotation by X^0 - 1 = 0 contributes nothing
         bsk.bit(i).cmuxRotate(acc, a_tilde, scratch);

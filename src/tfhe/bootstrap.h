@@ -86,8 +86,37 @@ class UnrolledBootstrappingKey
 };
 
 /**
- * Modulus switch one torus scalar to Z_{2N}: round(a * 2N / 2^32)
- * (Algorithm 1, line 3).
+ * Precomputed modulus switch to Z_{2N}: round(a * 2N / 2^32)
+ * (Algorithm 1, line 3). The constructor derives the shift, rounding
+ * bias, and wrap mask once -- it runs n times per blind rotation, so
+ * hot callers hoist one instance out of their loops -- and panics on
+ * a non-power-of-two ring dimension (the old per-call log2 loop spun
+ * forever on one). The big_n = 2^31 edge, where 2N fills the whole
+ * torus and the shift is zero, degenerates to the identity map
+ * instead of the former shift-by-(0-1) underflow.
+ */
+class ModSwitch
+{
+  public:
+    explicit ModSwitch(uint32_t big_n);
+
+    /** Switch one torus scalar: round-half-up, wrapped mod 2N. */
+    uint32_t operator()(Torus32 a) const
+    {
+        return static_cast<uint32_t>(
+                   (static_cast<uint64_t>(a) + bias_) >> shift_) &
+               mask_;
+    }
+
+  private:
+    uint32_t shift_; //!< 32 - log2(2N); 0 when big_n == 2^31
+    uint32_t mask_;  //!< 2N - 1
+    uint64_t bias_;  //!< half a grid step (0 when shift_ == 0)
+};
+
+/**
+ * Modulus switch one torus scalar to Z_{2N}. One-shot convenience
+ * over ModSwitch; loops should hoist a ModSwitch instance instead.
  */
 uint32_t modulusSwitch(Torus32 a, uint32_t big_n);
 
@@ -107,11 +136,26 @@ void blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
 void blindRotate(GlweCiphertext &acc, const LweCiphertext &ct,
                  const BootstrappingKey &bsk);
 
-/** Blind rotation with the 2x-unrolled key: ceil(n/2) iterations. */
+/**
+ * Blind rotation with the 2x-unrolled key: ceil(n/2) iterations.
+ * All working storage (pair difference, external-product output, pair
+ * sum, rotation temporary) lives in @p scratch, so the hot loop is
+ * allocation-free; one scratch per thread parallelizes cleanly.
+ */
+void blindRotateUnrolled(GlweCiphertext &acc, const LweCiphertext &ct,
+                         const UnrolledBootstrappingKey &ubsk,
+                         PbsScratch &scratch);
+
+/** Convenience overload with a throwaway local scratch. */
 void blindRotateUnrolled(GlweCiphertext &acc, const LweCiphertext &ct,
                          const UnrolledBootstrappingKey &ubsk);
 
 /** PBS using the unrolled key (functionally identical to PBS). */
+LweCiphertext programmableBootstrapUnrolled(
+    const LweCiphertext &ct, const TorusPolynomial &test_vector,
+    const UnrolledBootstrappingKey &ubsk, PbsScratch &scratch);
+
+/** Convenience overload with a throwaway local scratch. */
 LweCiphertext programmableBootstrapUnrolled(
     const LweCiphertext &ct, const TorusPolynomial &test_vector,
     const UnrolledBootstrappingKey &ubsk);

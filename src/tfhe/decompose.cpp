@@ -52,6 +52,50 @@ gadgetRecompose(const int32_t *digits, const GadgetParams &g)
     return acc;
 }
 
+namespace {
+
+/**
+ * Hoisted per-level digit extraction shared by both poly decomposers:
+ * all round/offset/mask constants are computed once per call, and one
+ * level() invocation fills one level's digit row. This is the hot
+ * path of every blind-rotation iteration.
+ */
+struct HoistedDecompose
+{
+    explicit HoistedDecompose(const GadgetParams &g)
+        : base_bits(g.base_bits), offset(decompOffset(g)),
+          mask(g.base() - 1), half(static_cast<int32_t>(g.base() / 2))
+    {
+        const uint32_t keep = g.base_bits * g.levels;
+        half_ulp =
+            keep >= 32 ? 0 : (Torus32{1} << (kTorus32Bits - keep - 1));
+        round_mask =
+            keep >= 32 ? ~Torus32{0}
+                       : ~((Torus32{1} << (kTorus32Bits - keep)) - 1);
+    }
+
+    void level(int32_t *dst, const Torus32 *src, size_t n,
+               uint32_t j) const
+    {
+        const uint32_t shift = kTorus32Bits - j * base_bits;
+        for (size_t i = 0; i < n; ++i) {
+            Torus32 shifted =
+                (((src[i] + half_ulp) & round_mask) + offset);
+            dst[i] = static_cast<int32_t>((shifted >> shift) & mask) -
+                     half;
+        }
+    }
+
+    uint32_t base_bits;
+    Torus32 offset;
+    uint32_t mask;
+    int32_t half;
+    Torus32 half_ulp;
+    Torus32 round_mask;
+};
+
+} // namespace
+
 void
 gadgetDecomposePoly(std::vector<IntPolynomial> &out,
                     const TorusPolynomial &poly, const GadgetParams &g)
@@ -60,29 +104,19 @@ gadgetDecomposePoly(std::vector<IntPolynomial> &out,
     if (out.size() != g.levels || out[0].size() != n)
         out.assign(g.levels, IntPolynomial(n));
 
-    // Level-major loops with all constants hoisted: this is the hot
-    // path of every blind-rotation iteration.
-    const Torus32 offset = decompOffset(g);
-    const uint32_t keep = g.base_bits * g.levels;
-    const Torus32 half_ulp =
-        keep >= 32 ? 0 : (Torus32{1} << (kTorus32Bits - keep - 1));
-    const Torus32 round_mask =
-        keep >= 32 ? ~Torus32{0}
-                   : ~((Torus32{1} << (kTorus32Bits - keep)) - 1);
-    const uint32_t mask = g.base() - 1;
-    const auto half = static_cast<int32_t>(g.base() / 2);
+    const HoistedDecompose h(g);
+    for (uint32_t j = 1; j <= g.levels; ++j)
+        h.level(out[j - 1].data(), poly.data(), n, j);
+}
 
-    for (uint32_t j = 1; j <= g.levels; ++j) {
-        const uint32_t shift = kTorus32Bits - j * g.base_bits;
-        int32_t *dst = out[j - 1].data();
-        const Torus32 *src = poly.data();
-        for (size_t i = 0; i < n; ++i) {
-            Torus32 shifted =
-                (((src[i] + half_ulp) & round_mask) + offset);
-            dst[i] = static_cast<int32_t>((shifted >> shift) & mask) -
-                     half;
-        }
-    }
+void
+gadgetDecomposePolyInto(int32_t *out, const TorusPolynomial &poly,
+                        const GadgetParams &g)
+{
+    const size_t n = poly.size();
+    const HoistedDecompose h(g);
+    for (uint32_t j = 1; j <= g.levels; ++j)
+        h.level(out + size_t(j - 1) * n, poly.data(), n, j);
 }
 
 } // namespace strix

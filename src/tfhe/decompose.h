@@ -52,6 +52,16 @@ Torus32 gadgetRecompose(const int32_t *digits, const GadgetParams &g);
 void gadgetDecomposePoly(std::vector<IntPolynomial> &out,
                          const TorusPolynomial &poly, const GadgetParams &g);
 
+/**
+ * Decompose every coefficient of @p poly into a caller-owned
+ * contiguous level-major matrix: out[j*n + i] is digit level j+1 of
+ * coefficient i. @p out must hold g.levels * poly.size() entries.
+ * Digits are identical to gadgetDecomposePoly's; the contiguous
+ * layout is what the batched external-product FFT sweeps in one pass.
+ */
+void gadgetDecomposePolyInto(int32_t *out, const TorusPolynomial &poly,
+                             const GadgetParams &g);
+
 } // namespace strix
 
 #endif // STRIX_TFHE_DECOMPOSE_H

@@ -7,6 +7,8 @@
 
 #include <chrono>
 
+#include "poly/simd.h"
+
 namespace strix {
 
 namespace {
@@ -96,9 +98,10 @@ instrumentedGateBootstrap(const TfheContext &ctx, const LweCiphertext &linear)
     GlweCiphertext acc =
         GlweCiphertext::trivial(p.k, signTestVector(p.N));
 
+    const ModSwitch ms(p.N);
     {
         PhaseTimer t(g_stats.other_pbs_s);
-        const uint32_t b_tilde = modulusSwitch(linear.b(), p.N);
+        const uint32_t b_tilde = ms(linear.b());
         if (b_tilde != 0) {
             GlweCiphertext rotated(p.k, p.N);
             for (uint32_t c = 0; c <= p.k; ++c)
@@ -109,13 +112,17 @@ instrumentedGateBootstrap(const TfheContext &ctx, const LweCiphertext &linear)
     }
 
     // Blind rotation with per-phase timers; computation is identical
-    // to GgswFft::cmuxRotate.
+    // to GgswFft::cmuxRotate, including the batch-fused FFT sweep
+    // over all (k+1)*l decomposition digits.
+    const size_t nrows = (size_t(p.k) + 1) * g.levels;
+    const size_t half_n = size_t(p.N) / 2;
+    const PolyKernels &kernels = activeKernels();
     GlweCiphertext diff(p.k, p.N);
-    std::vector<IntPolynomial> digits;
-    FreqPolynomial fdigit;
+    std::vector<int32_t> digit_coeffs(nrows * p.N);
+    std::vector<Cplx> fdigits(nrows * half_n);
     std::vector<FreqPolynomial> facc(p.k + 1);
     for (uint32_t i = 0; i < p.n; ++i) {
-        const uint32_t a_tilde = modulusSwitch(linear.a(i), p.N);
+        const uint32_t a_tilde = ms(linear.a(i));
         if (a_tilde == 0)
             continue;
         const GgswFft &ggsw = bsk.bit(i);
@@ -127,22 +134,26 @@ instrumentedGateBootstrap(const TfheContext &ctx, const LweCiphertext &linear)
                                          a_tilde);
         }
         for (auto &f : facc)
-            f.assign(p.N / 2, Cplx(0, 0));
-        for (uint32_t comp = 0; comp <= p.k; ++comp) {
-            {
-                PhaseTimer t(g_stats.decompose_s);
-                gadgetDecomposePoly(digits, diff.poly(comp), g);
-            }
-            for (uint32_t level = 0; level < g.levels; ++level) {
-                {
-                    PhaseTimer t(g_stats.fft_s);
-                    eng.forward(fdigit, digits[level]);
-                }
-                PhaseTimer t(g_stats.vecmult_s);
-                size_t r = size_t(comp) * g.levels + level;
+            f.assign(half_n, Cplx(0, 0));
+        {
+            PhaseTimer t(g_stats.decompose_s);
+            for (uint32_t comp = 0; comp <= p.k; ++comp)
+                gadgetDecomposePolyInto(
+                    digit_coeffs.data() + size_t(comp) * g.levels * p.N,
+                    diff.poly(comp), g);
+        }
+        {
+            PhaseTimer t(g_stats.fft_s);
+            eng.forwardBatch(fdigits.data(), digit_coeffs.data(), nrows);
+        }
+        {
+            PhaseTimer t(g_stats.vecmult_s);
+            for (size_t r = 0; r < nrows; ++r) {
+                const Cplx *fdigit = fdigits.data() + r * half_n;
                 for (uint32_t c = 0; c <= p.k; ++c)
-                    NegacyclicFft::mulAccumulate(facc[c], fdigit,
-                                                 ggsw.row(r, c));
+                    kernels.mulAccumulate(facc[c].data(), fdigit,
+                                          ggsw.row(r, c).data(),
+                                          half_n);
             }
         }
         {

@@ -6,6 +6,7 @@
 #include "tfhe/ggsw.h"
 
 #include "common/logging.h"
+#include "poly/simd.h"
 
 namespace strix {
 
@@ -83,10 +84,55 @@ GgswFft::externalProduct(GlweCiphertext &out, const GlweCiphertext &glwe,
     panicIfNot(glwe.k() == k_ && glwe.ringDim() == big_n_,
                "externalProduct(fft): shape mismatch");
     const auto &eng = NegacyclicFft::get(big_n_);
+    const PolyKernels &kernels = activeKernels();
 
-    // Decompose every component (Decomposer unit), transform digits
-    // (FFT unit), multiply-accumulate against bsk rows (VMA unit),
+    // Decompose every component (Decomposer unit) into one contiguous
+    // digit matrix, transform all (k+1)*l digits in a single batched
+    // FFT sweep (FFT unit -- Strix streams the whole decomposition of
+    // a batch through the transform as one schedule, not digit by
+    // digit), multiply-accumulate against bsk rows (VMA unit),
     // inverse-transform each output column (IFFT unit).
+    const size_t nrows = (size_t(k_) + 1) * g_.levels;
+    const size_t m = size_t(big_n_) / 2;
+    std::vector<int32_t> &coeffs = scratch.digit_coeffs;
+    std::vector<Cplx> &fdigits = scratch.fdigits;
+    std::vector<FreqPolynomial> &acc = scratch.acc;
+    coeffs.resize(nrows * big_n_);
+    fdigits.resize(nrows * m);
+    if (acc.size() != size_t(k_) + 1)
+        acc.resize(size_t(k_) + 1);
+    for (auto &col : acc)
+        col.assign(m, Cplx(0, 0));
+
+    for (uint32_t comp = 0; comp <= k_; ++comp)
+        gadgetDecomposePolyInto(
+            coeffs.data() + size_t(comp) * g_.levels * big_n_,
+            glwe.poly(comp), g_);
+    eng.forwardBatch(fdigits.data(), coeffs.data(), nrows, kernels);
+    for (size_t r = 0; r < nrows; ++r) {
+        const Cplx *fdigit = fdigits.data() + r * m;
+        for (uint32_t c = 0; c <= k_; ++c)
+            kernels.mulAccumulate(acc[c].data(), fdigit,
+                                  row(r, c).data(), m);
+    }
+
+    if (out.k() != k_ || out.ringDim() != big_n_)
+        out = GlweCiphertext(k_, big_n_);
+    for (uint32_t c = 0; c <= k_; ++c)
+        eng.inverse(out.poly(c), acc[c], kernels);
+}
+
+void
+GgswFft::externalProductPerPoly(GlweCiphertext &out,
+                                const GlweCiphertext &glwe,
+                                PbsScratch &scratch) const
+{
+    panicIfNot(glwe.k() == k_ && glwe.ringDim() == big_n_,
+               "externalProduct(fft): shape mismatch");
+    const auto &eng = NegacyclicFft::get(big_n_);
+
+    // One transform per digit: the pre-fusion dataflow, kept as the
+    // reference the batched path must match bit for bit.
     std::vector<IntPolynomial> &digits = scratch.digits;
     std::vector<FreqPolynomial> &acc = scratch.acc;
     FreqPolynomial &fdigit = scratch.fdigit;

@@ -68,11 +68,25 @@ void externalProduct(GlweCiphertext &out, const GgswCiphertext &ggsw,
  */
 struct PbsScratch
 {
-    std::vector<IntPolynomial> digits;  //!< gadget digits, l entries
-    FreqPolynomial fdigit;              //!< forward FFT of one digit
+    /**
+     * Contiguous digit matrix for the fused external product:
+     * (k+1)*l rows of N coefficients, decomposed component-major so
+     * row comp*l + level holds digit `level` of GLWE component `comp`
+     * -- exactly the bsk row order.
+     */
+    std::vector<int32_t> digit_coeffs;
+    /**
+     * Frequency images of every digit row, (k+1)*l rows of N/2 points,
+     * produced by one NegacyclicFft::forwardBatch sweep.
+     */
+    std::vector<Cplx> fdigits;
     std::vector<FreqPolynomial> acc;    //!< per-column freq accumulators
     GlweCiphertext diff;                //!< CMux rotate-minus-one input
     GlweCiphertext prod;                //!< external-product output
+    GlweCiphertext sum;                 //!< unrolled-PBS pair accumulator
+    TorusPolynomial rot_tmp;            //!< unrolled-PBS rotation scratch
+    std::vector<IntPolynomial> digits;  //!< per-poly reference path digits
+    FreqPolynomial fdigit;              //!< per-poly reference digit FFT
 };
 
 /**
@@ -105,6 +119,13 @@ class GgswFft
      * PBS-cluster dataflow (Rotator output -> Decomposer -> FFT ->
      * VMA -> IFFT -> Accumulator). All working storage comes from
      * @p scratch (one instance per thread).
+     *
+     * The FFT stage is batch-fused: all (k+1)*l decomposition digits
+     * land in one contiguous scratch matrix and go through a single
+     * NegacyclicFft::forwardBatch sweep (Strix's streaming-FFT batch
+     * schedule) instead of (k+1)*l isolated transforms. Results are
+     * bit-identical to externalProductPerPoly, the per-transform
+     * reference kept for tests and A/B benchmarks.
      */
     void externalProduct(GlweCiphertext &out, const GlweCiphertext &glwe,
                          PbsScratch &scratch) const;
@@ -112,6 +133,16 @@ class GgswFft
     /** Convenience overload with a throwaway local scratch. */
     void externalProduct(GlweCiphertext &out,
                          const GlweCiphertext &glwe) const;
+
+    /**
+     * Reference external product transforming one digit at a time
+     * through NegacyclicFft::forward. Semantics (and bits) match
+     * externalProduct exactly; kept as the A/B target the batched
+     * path is tested and benchmarked against.
+     */
+    void externalProductPerPoly(GlweCiphertext &out,
+                                const GlweCiphertext &glwe,
+                                PbsScratch &scratch) const;
 
     /**
      * Fused CMux used by blind rotation:

@@ -37,6 +37,57 @@ TEST(ModSwitch, PreservesEncodingProportion)
     }
 }
 
+TEST(ModSwitch, PrecomputedHelperMatchesOneShot)
+{
+    // The hoisted ModSwitch (one instance per blind rotation) and the
+    // one-shot helper must agree everywhere.
+    Rng rng(404);
+    for (uint32_t n : {4u, 64u, 1024u, 16384u, 1u << 30}) {
+        const ModSwitch ms(n);
+        for (int i = 0; i < 200; ++i) {
+            Torus32 a = rng.uniformTorus32();
+            EXPECT_EQ(ms(a), modulusSwitch(a, n)) << "n=" << n;
+        }
+        // Boundary values.
+        EXPECT_EQ(ms(0), modulusSwitch(0, n));
+        EXPECT_EQ(ms(0xFFFFFFFFu), modulusSwitch(0xFFFFFFFFu, n));
+    }
+}
+
+TEST(ModSwitch, HalfTorusRingDimIsIdentity)
+{
+    // big_n = 2^31 makes 2N = 2^32: the target grid is the torus
+    // itself, so the switch is the identity (no rounding bias). The
+    // old implementation shifted by -1 here (undefined behavior).
+    const uint32_t n = 1u << 31;
+    EXPECT_EQ(modulusSwitch(0, n), 0u);
+    EXPECT_EQ(modulusSwitch(1, n), 1u);
+    EXPECT_EQ(modulusSwitch(123456789u, n), 123456789u);
+    EXPECT_EQ(modulusSwitch(0x80000000u, n), 0x80000000u);
+    EXPECT_EQ(modulusSwitch(0xFFFFFFFFu, n), 0xFFFFFFFFu);
+}
+
+TEST(ModSwitch, RoundsHalfUpAtEveryGridBoundary)
+{
+    // For 2N = 32, step = 2^27: a = step*g + step/2 rounds up to g+1,
+    // one less rounds down to g; the top cell wraps to 0.
+    const uint32_t n = 16;
+    const uint32_t step = 1u << 27;
+    for (uint32_t g = 0; g < 32; ++g) {
+        EXPECT_EQ(modulusSwitch(step * g + step / 2, n), (g + 1) % 32);
+        EXPECT_EQ(modulusSwitch(step * g + step / 2 - 1, n), g);
+    }
+}
+
+TEST(ModSwitchDeathTest, PanicsOnNonPowerOfTwoRingDim)
+{
+    // The old log2 loop never terminated on these; now they are a
+    // loud invariant violation before any looping.
+    EXPECT_DEATH(modulusSwitch(0, 1000), "power of two");
+    EXPECT_DEATH(modulusSwitch(0, 0), "power of two");
+    EXPECT_DEATH(ModSwitch ms(3), "power of two");
+}
+
 /**
  * Zero-noise fixture with tiny parameters: blind rotation must behave
  * as the exact negacyclic rotation by the phase.

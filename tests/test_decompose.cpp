@@ -59,8 +59,15 @@ TEST_P(GadgetSweep, ErrorBoundEq3Holds)
     const GadgetParams g{GetParam().base_bits, GetParam().levels};
     Rng rng(3);
     std::vector<int32_t> digits(g.levels);
+    // keep == 32 decomposes the full torus word: the bound q/(2B^l)
+    // is half an integer ulp, so the error must be exactly zero (the
+    // unguarded shift here was a shift-by-minus-one, the same UB
+    // family the asan-ubsan CI leg exists to catch).
+    const uint32_t keep = g.base_bits * g.levels;
     const uint64_t bound =
-        uint64_t{1} << (kTorus32Bits - g.base_bits * g.levels - 1);
+        keep >= static_cast<uint32_t>(kTorus32Bits)
+            ? 0
+            : uint64_t{1} << (kTorus32Bits - keep - 1);
     for (int trial = 0; trial < 2000; ++trial) {
         Torus32 a = rng.uniformTorus32();
         gadgetDecompose(digits.data(), a, g);

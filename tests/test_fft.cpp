@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/random.h"
 #include "poly/complex_fft.h"
@@ -234,8 +236,10 @@ TEST(SimdDispatch, ScalarTableIsAlwaysAvailable)
     const PolyKernels &s = scalarKernels();
     EXPECT_STREQ(s.name, "scalar");
     EXPECT_NE(s.fftForward, nullptr);
+    EXPECT_NE(s.fftForwardBatch, nullptr);
     EXPECT_NE(s.fftInverse, nullptr);
     EXPECT_NE(s.twist, nullptr);
+    EXPECT_NE(s.twistBatch, nullptr);
     EXPECT_NE(s.untwist, nullptr);
     EXPECT_NE(s.mulAccumulate, nullptr);
 }
@@ -399,6 +403,156 @@ TEST_P(NegacyclicKernelCrossCheck, ProductMatchesExactKaratsuba)
 
 INSTANTIATE_TEST_SUITE_P(RingDims, NegacyclicKernelCrossCheck,
                          ::testing::ValuesIn(kRingDims));
+
+// ---------------------------------------------------------------------------
+// Batched transforms: the fused stage sweep must be BIT-identical to
+// per-member transforms -- same table, element by element -- not just
+// ULP-close. These sweeps run on every CI leg: with STRIX_SIMD=OFF
+// only the scalar table is exercised; with STRIX_FORCE_SCALAR=1 the
+// `active` leg pins to scalar while the explicit avx2 leg still runs.
+
+/** Batch sizes covering 1, odd, the PBS digit counts, and >1 chunk. */
+const size_t kBatchSizes[] = {1, 2, 3, 4, 6, 8};
+
+/** Every kernel table reachable in this process, with a tag. */
+std::vector<std::pair<const char *, const PolyKernels *>>
+allKernelTables()
+{
+    std::vector<std::pair<const char *, const PolyKernels *>> tables{
+        {"scalar", &scalarKernels()}, {"active", &activeKernels()}};
+    if (const PolyKernels *avx2 = avx2Kernels())
+        tables.emplace_back("avx2", avx2);
+    return tables;
+}
+
+class FftBatchExactness : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(FftBatchExactness, ForwardBatchBitIdenticalToSingle)
+{
+    const size_t m = GetParam();
+    const FftPlan &plan = FftPlan::get(m);
+    for (const auto &[tag, kernels] : allKernelTables()) {
+        for (size_t batch : kBatchSizes) {
+            Rng rng(m + 101 * batch);
+            std::vector<Cplx> fused(m * batch), single(m * batch);
+            for (auto &c : fused)
+                c = Cplx(rng.uniformDouble() - 0.5,
+                         rng.uniformDouble() - 0.5);
+            single = fused;
+            plan.forwardBatch(fused.data(), batch, *kernels);
+            for (size_t b = 0; b < batch; ++b)
+                plan.forward(single.data() + b * m, *kernels);
+            for (size_t i = 0; i < m * batch; ++i) {
+                ASSERT_EQ(fused[i].real(), single[i].real())
+                    << tag << " m=" << m << " batch=" << batch
+                    << " i=" << i;
+                ASSERT_EQ(fused[i].imag(), single[i].imag())
+                    << tag << " m=" << m << " batch=" << batch
+                    << " i=" << i;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PlanSizes, FftBatchExactness,
+                         ::testing::ValuesIn(kPlanSizes));
+
+class NegacyclicFftBatch : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(NegacyclicFftBatch, ForwardBatchBitIdenticalToPerPoly)
+{
+    // Digit-like inputs (the external product's actual feed): small
+    // signed coefficients, contiguous rows.
+    const size_t n = GetParam();
+    const auto &eng = NegacyclicFft::get(n);
+    const size_t m = n / 2;
+    for (const auto &[tag, kernels] : allKernelTables()) {
+        for (size_t batch : {size_t{1}, size_t{4}, size_t{6}}) {
+            Rng rng(n + 13 * batch);
+            std::vector<int32_t> coeffs(n * batch);
+            for (auto &c : coeffs)
+                c = static_cast<int32_t>(rng.uniformBelow(1024)) - 512;
+            std::vector<Cplx> fused(m * batch);
+            eng.forwardBatch(fused.data(), coeffs.data(), batch,
+                             *kernels);
+            for (size_t b = 0; b < batch; ++b) {
+                IntPolynomial row(n);
+                std::copy(coeffs.begin() + b * n,
+                          coeffs.begin() + (b + 1) * n, row.data());
+                FreqPolynomial ref;
+                eng.forward(ref, row, *kernels);
+                for (size_t j = 0; j < m; ++j) {
+                    ASSERT_EQ(fused[b * m + j].real(), ref[j].real())
+                        << tag << " n=" << n << " b=" << b
+                        << " j=" << j;
+                    ASSERT_EQ(fused[b * m + j].imag(), ref[j].imag())
+                        << tag << " n=" << n << " b=" << b
+                        << " j=" << j;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(NegacyclicFftBatch, DispatchedForwardBatchMatchesPerPoly)
+{
+    // Same comparison through the default (activeKernels) overloads:
+    // whatever backend the dispatcher latched, fused == per-poly.
+    const size_t n = GetParam();
+    const auto &eng = NegacyclicFft::get(n);
+    const size_t m = n / 2;
+    const size_t batch = 5;
+    Rng rng(n + 77);
+    std::vector<int32_t> coeffs(n * batch);
+    for (auto &c : coeffs)
+        c = static_cast<int32_t>(rng.uniformBelow(64)) - 32;
+    std::vector<Cplx> fused(m * batch);
+    eng.forwardBatch(fused.data(), coeffs.data(), batch);
+    for (size_t b = 0; b < batch; ++b) {
+        IntPolynomial row(n);
+        std::copy(coeffs.begin() + b * n, coeffs.begin() + (b + 1) * n,
+                  row.data());
+        FreqPolynomial ref;
+        eng.forward(ref, row);
+        for (size_t j = 0; j < m; ++j) {
+            ASSERT_EQ(fused[b * m + j], ref[j])
+                << "n=" << n << " b=" << b << " j=" << j;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingDims, NegacyclicFftBatch,
+                         ::testing::ValuesIn(kRingDims));
+
+TEST(NegacyclicFft, MulAccumulatePanicsOnAccumulatorShapeMismatch)
+{
+    const size_t n = 64;
+    Rng rng(31);
+    IntPolynomial a(n);
+    TorusPolynomial x(n);
+    for (size_t i = 0; i < n; ++i) {
+        a[i] = static_cast<int32_t>(rng.uniformBelow(17)) - 8;
+        x[i] = rng.uniformTorus32();
+    }
+    const auto &eng = NegacyclicFft::get(n);
+    FreqPolynomial fa, fx;
+    eng.forward(fa, a);
+    eng.forward(fx, x);
+
+    // Empty accumulator still auto-sizes...
+    FreqPolynomial acc;
+    NegacyclicFft::mulAccumulate(acc, fa, fx);
+    EXPECT_EQ(acc.size(), n / 2);
+    // ...but a wrong-sized one is a caller shape bug, not a request
+    // to throw away the partial sum.
+    FreqPolynomial wrong(n / 4, Cplx(0, 0));
+    EXPECT_DEATH(NegacyclicFft::mulAccumulate(wrong, fa, fx),
+                 "accumulator size mismatch");
+}
 
 } // namespace
 } // namespace strix

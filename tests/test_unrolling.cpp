@@ -81,6 +81,34 @@ TEST(Unrolling, EvenDimensionAlsoWorks)
               2);
 }
 
+TEST(Unrolling, ExplicitScratchMatchesThrowawayAcrossReuse)
+{
+    // The scratch-threaded unrolled PBS (hot loop allocation-free)
+    // must be bit-identical to the throwaway-scratch overload, and a
+    // scratch reused across calls -- including after serving the
+    // regular PBS path -- must not leak state between them.
+    UnrollFixture f;
+    const uint64_t space = 8;
+    TorusPolynomial tv = makeIntTestVector(
+        f.params.N, space, [](int64_t x) { return (x * 5 + 2) % 8; });
+
+    PbsScratch scratch;
+    for (int64_t m : {0, 3, 7, 1}) {
+        auto ct = lweEncrypt(f.lwe_key, encodeLut(m, space), 0.0, f.rng);
+        auto with_scratch =
+            programmableBootstrapUnrolled(ct, tv, f.ubsk, scratch);
+        auto throwaway = programmableBootstrapUnrolled(ct, tv, f.ubsk);
+        EXPECT_TRUE(with_scratch.raw() == throwaway.raw()) << "m=" << m;
+        // Interleave a regular PBS through the same scratch.
+        auto regular = programmableBootstrap(ct, tv, f.bsk, scratch);
+        EXPECT_EQ(decodeLut(lwePhase(f.glwe_key.extractedLweKey(),
+                                     regular),
+                            space),
+                  (m * 5 + 2) % 8)
+            << "m=" << m;
+    }
+}
+
 TEST(Unrolling, SimulatorHalvesIterationsTriplesWork)
 {
     StrixConfig plain = StrixConfig::paperDefault();
