@@ -10,7 +10,7 @@
  * cost, quantifying the paper's choice PLP=2, CoLP=2.
  *
  * A final measured section runs the software substrate's own
- * ciphertext-level parallelism -- TfheContext::bootstrapBatch across
+ * ciphertext-level parallelism -- ServerContext::bootstrapBatch across
  * worker counts -- so the hardware ablation sits next to what a CPU
  * actually achieves by batching whole ciphertexts.
  */
@@ -23,7 +23,8 @@
 #include "strix/accelerator.h"
 #include "strix/area_model.h"
 #include "strix/noc.h"
-#include "tfhe/context.h"
+#include "tfhe/client_keyset.h"
+#include "tfhe/server_context.h"
 
 using namespace strix;
 
@@ -86,8 +87,9 @@ main(int argc, char **argv)
 
     std::printf("=== Measured software ciphertext-level parallelism "
                 "(bootstrapBatch, set I) ===\n\n");
-    TfheContext ctx(paramsSetI(), 777);
-    bool ok = runBatchPbsSweep(ctx, smoke);
+    ClientKeyset client(paramsSetI(), 777);
+    ServerContext server(client.evalKeys());
+    bool ok = runBatchPbsSweep(client, server, smoke);
     std::printf("\nSoftware CLP parallelizes across whole ciphertexts "
                 "only -- the per-PBS critical path is untouched, which "
                 "is exactly the limitation Strix's PLP/CoLP attack "

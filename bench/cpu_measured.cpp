@@ -24,7 +24,8 @@
 #include "bench_flags.h"
 #include "pbs_sweep.h"
 #include "poly/simd.h"
-#include "tfhe/context.h"
+#include "tfhe/client_keyset.h"
+#include "tfhe/server_context.h"
 
 using namespace strix;
 
@@ -47,21 +48,22 @@ main(int argc, char **argv)
                 "(parameter set I) ===\n\n");
     std::printf("FFT kernel backend: %s\n\n", activeKernels().name);
 
-    TfheContext ctx(paramsSetI(), 4242);
+    ClientKeyset client(paramsSetI(), 4242);
+    ServerContext server(client.evalKeys());
     const uint64_t space = 4;
     TorusPolynomial tv = makeIntTestVector(
-        ctx.params().N, space, [](int64_t x) { return x; });
-    LweCiphertext input = ctx.encryptInt(1, space);
+        server.params().N, space, [](int64_t x) { return x; });
+    LweCiphertext input = client.encryptInt(1, space);
 
     using Clock = std::chrono::steady_clock;
 
     // Single-thread latency.
     const int warm = smoke ? 0 : 2, reps = smoke ? 1 : 8;
     for (int i = 0; i < warm; ++i)
-        ctx.bootstrap(input, tv);
+        server.bootstrap(input, tv);
     auto t0 = Clock::now();
     for (int i = 0; i < reps; ++i)
-        ctx.bootstrap(input, tv);
+        server.bootstrap(input, tv);
     double lat_ms =
         std::chrono::duration<double>(Clock::now() - t0).count() /
         reps * 1e3;
@@ -69,12 +71,12 @@ main(int argc, char **argv)
                 "(Concrete on Xeon: 14 ms)\n\n",
                 lat_ms);
 
-    // Thread scaling through TfheContext::bootstrapBatch. Each worker
+    // Thread scaling through ServerContext::bootstrapBatch. Each worker
     // still bootstraps one message at a time -- throughput scales
     // with workers, never within a bootstrap, the 'no ciphertext
     // packing' property that motivates Strix's batching architecture.
     std::vector<PbsSweepRow> rows;
-    bool ok = runBatchPbsSweep(ctx, smoke, &rows);
+    bool ok = runBatchPbsSweep(client, server, smoke, &rows);
 
     if (!json_path.empty()) {
         std::FILE *f = std::fopen(json_path.c_str(), "w");

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "tfhe/client_keyset.h"
 #include "tfhe/gates.h"
 
 using namespace strix;
@@ -23,21 +24,22 @@ main()
     std::printf("=== Fig. 1: TFHE gate workload breakdown on CPU "
                 "(measured on our software TFHE, parameter set I) ===\n\n");
 
-    TfheContext ctx(paramsSetI(), 2024);
+    ClientKeyset client(paramsSetI(), 2024);
+    ServerContext server(client.evalKeys());
 
     gateStatsReset();
     gateStatsEnable(true);
     // A mix of bootstrapped gates, as in a gate-level workload.
     const int kGates = 12;
-    auto a = ctx.encryptBit(true);
-    auto b = ctx.encryptBit(false);
+    auto a = client.encryptBit(true);
+    auto b = client.encryptBit(false);
     LweCiphertext out = a;
     for (int i = 0; i < kGates; ++i) {
         switch (i % 4) {
-          case 0: out = gateNand(ctx, a, b); break;
-          case 1: out = gateAnd(ctx, out, a); break;
-          case 2: out = gateOr(ctx, out, b); break;
-          default: out = gateXor(ctx, out, a); break;
+          case 0: out = gateNand(server, a, b); break;
+          case 1: out = gateAnd(server, out, a); break;
+          case 2: out = gateOr(server, out, b); break;
+          default: out = gateXor(server, out, a); break;
         }
     }
     gateStatsEnable(false);

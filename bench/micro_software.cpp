@@ -22,18 +22,26 @@
 
 #include "bench_flags.h"
 #include "poly/simd.h"
+#include "tfhe/context_cache.h"
 #include "tfhe/gates.h"
 
 using namespace strix;
 
 namespace {
 
-/** Shared set-I context (keygen is expensive; build once). */
-TfheContext &
-ctxI()
+/** Shared set-I split keyset (keygen is expensive; build once). */
+struct KeysI
 {
-    static TfheContext ctx(paramsSetI(), 77);
-    return ctx;
+    KeysI() : client(paramsSetI(), 77), server(client.evalKeys()) {}
+    ClientKeyset client;
+    ServerContext server;
+};
+
+KeysI &
+keysI()
+{
+    static KeysI keys;
+    return keys;
 }
 
 void
@@ -189,12 +197,12 @@ BENCHMARK(BM_ExternalProductFftPerPoly);
 void
 BM_ProgrammableBootstrap(benchmark::State &state)
 {
-    auto &ctx = ctxI();
-    auto ct = ctx.encryptInt(2, 4);
-    TorusPolynomial tv = makeIntTestVector(ctx.params().N, 4,
+    auto &keys = keysI();
+    auto ct = keys.client.encryptInt(2, 4);
+    TorusPolynomial tv = makeIntTestVector(keys.server.params().N, 4,
                                            [](int64_t x) { return x; });
     for (auto _ : state) {
-        auto out = programmableBootstrap(ct, tv, ctx.bsk());
+        auto out = programmableBootstrap(ct, tv, keys.server.bsk());
         benchmark::DoNotOptimize(&out);
     }
     state.SetLabel("parameter set I");
@@ -205,13 +213,13 @@ BENCHMARK(BM_ProgrammableBootstrap)->Unit(benchmark::kMillisecond)
 void
 BM_KeySwitch(benchmark::State &state)
 {
-    auto &ctx = ctxI();
-    auto ct = ctx.encryptInt(2, 4);
-    TorusPolynomial tv = makeIntTestVector(ctx.params().N, 4,
+    auto &keys = keysI();
+    auto ct = keys.client.encryptInt(2, 4);
+    TorusPolynomial tv = makeIntTestVector(keys.server.params().N, 4,
                                            [](int64_t x) { return x; });
-    auto big = programmableBootstrap(ct, tv, ctx.bsk());
+    auto big = programmableBootstrap(ct, tv, keys.server.bsk());
     for (auto _ : state) {
-        auto out = keySwitch(big, ctx.ksk());
+        auto out = keySwitch(big, keys.server.ksk());
         benchmark::DoNotOptimize(&out);
     }
 }
@@ -220,11 +228,11 @@ BENCHMARK(BM_KeySwitch)->Unit(benchmark::kMillisecond);
 void
 BM_GateNand(benchmark::State &state)
 {
-    auto &ctx = ctxI();
-    auto a = ctx.encryptBit(true);
-    auto b = ctx.encryptBit(false);
+    auto &keys = keysI();
+    auto a = keys.client.encryptBit(true);
+    auto b = keys.client.encryptBit(false);
     for (auto _ : state) {
-        auto out = gateNand(ctx, a, b);
+        auto out = gateNand(keys.server, a, b);
         benchmark::DoNotOptimize(&out);
     }
     state.SetLabel("bootstrapped NAND, set I");
@@ -270,6 +278,49 @@ BM_FftForwardBatchKernel(benchmark::State &state,
     state.SetItemsProcessed(state.iterations() * int64_t(m) *
                             int64_t(batch));
 }
+
+/**
+ * Keygen-amortization A/B: BM_KeygenCold generates a full keyset from
+ * scratch (a fresh seed each iteration so nothing ages into warmth),
+ * BM_ContextCacheHit looks the same shape up in a primed
+ * ContextCache. The recorded ratio is the claim the service layer
+ * makes: repeated sessions pay a lookup, not a keygen (expected
+ * >= 100x; typically far more). The paper sets would inflate the
+ * ratio further but make the cold rows minutes long, so both rows use
+ * the small-but-real PBS shape the unit tests bootstrap with
+ * (n=48, N=512, k=1, l=3).
+ */
+const TfheParams &
+cacheBenchParams()
+{
+    static const TfheParams p = testParams(48, 512, 1, 3, 8, 0.0);
+    return p;
+}
+
+void
+BM_KeygenCold(benchmark::State &state)
+{
+    uint64_t seed = 0x5eed;
+    for (auto _ : state) {
+        ClientKeyset keyset(cacheBenchParams(), seed++);
+        benchmark::DoNotOptimize(&keyset);
+    }
+    state.SetLabel("full keygen, n=48 N=512");
+}
+BENCHMARK(BM_KeygenCold)->Unit(benchmark::kMillisecond);
+
+void
+BM_ContextCacheHit(benchmark::State &state)
+{
+    static ContextCache cache;
+    cache.getOrCreate(cacheBenchParams(), 0x5eed); // prime: one miss
+    for (auto _ : state) {
+        auto keys = cache.getOrCreate(cacheBenchParams(), 0x5eed);
+        benchmark::DoNotOptimize(keys.get());
+    }
+    state.SetLabel("cached EvalKeys lookup");
+}
+BENCHMARK(BM_ContextCacheHit);
 
 void
 registerKernelBenchmarks()

@@ -17,7 +17,8 @@
 #include <vector>
 
 #include "common/table.h"
-#include "tfhe/context.h"
+#include "tfhe/client_keyset.h"
+#include "tfhe/server_context.h"
 
 namespace strix {
 
@@ -31,19 +32,21 @@ struct PbsSweepRow
 };
 
 /**
- * Print the threads/batch/PBS-per-second/scaling table for @p ctx.
+ * Print the threads/batch/PBS-per-second/scaling table for the
+ * @p client / @p server pair (the server must stand on the client's
+ * EvalKeys bundle).
  * @param rows_out when non-null, receives one PbsSweepRow per printed
  *        row (used by cpu_measured --json).
  * @return false if any decrypted batch output mismatches (the caller
  *         should exit nonzero).
  */
 inline bool
-runBatchPbsSweep(TfheContext &ctx, bool smoke,
-                 std::vector<PbsSweepRow> *rows_out = nullptr)
+runBatchPbsSweep(const ClientKeyset &client, ServerContext &server,
+                 bool smoke, std::vector<PbsSweepRow> *rows_out = nullptr)
 {
     const uint64_t space = 4;
     TorusPolynomial tv = makeIntTestVector(
-        ctx.params().N, space, [](int64_t x) { return x; });
+        server.params().N, space, [](int64_t x) { return x; });
 
     unsigned hw = std::thread::hardware_concurrency();
     std::vector<unsigned> counts{1u, 2u, 4u, std::max(4u, hw)};
@@ -51,13 +54,12 @@ runBatchPbsSweep(TfheContext &ctx, bool smoke,
         counts = {1u, 2u};
     counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 
-    // Encryption advances the context RNG and is the one part of the
-    // thread-safety contract that must stay on this thread; encrypt
-    // once for the widest row.
+    // Encrypt once for the widest row (client-side work; the sweep
+    // below is pure server evaluation).
     const size_t per_worker = smoke ? 2 : 4;
     std::vector<LweCiphertext> inputs;
     for (size_t i = 0; i < per_worker * counts.back(); ++i)
-        inputs.push_back(ctx.encryptInt(int64_t(i % space), space));
+        inputs.push_back(client.encryptInt(int64_t(i % space), space));
 
     using Clock = std::chrono::steady_clock;
     TextTable t;
@@ -65,15 +67,15 @@ runBatchPbsSweep(TfheContext &ctx, bool smoke,
     double tp1 = 0.0;
     bool ok = true;
     for (unsigned n : counts) {
-        ctx.setBatchThreads(n);
+        server.setBatchThreads(n);
         const size_t batch = per_worker * n;
         auto t0 = Clock::now();
         std::vector<LweCiphertext> outs =
-            ctx.bootstrapBatch(inputs.data(), batch, tv);
+            server.bootstrapBatch(inputs.data(), batch, tv);
         double secs =
             std::chrono::duration<double>(Clock::now() - t0).count();
         for (size_t i = 0; i < outs.size(); ++i)
-            ok &= ctx.decryptInt(outs[i], space) == int64_t(i % space);
+            ok &= client.decryptInt(outs[i], space) == int64_t(i % space);
         double tp = double(outs.size()) / secs;
         if (n == 1)
             tp1 = tp;

@@ -46,9 +46,12 @@ int
 main()
 {
     // Part 1: run a 3-bit adder fully encrypted (real bootstraps,
-    // parameter set I with real noise).
+    // parameter set I with real noise). The netlist is evaluated
+    // against the ServerContext half of the split API -- the circuit
+    // engine only ever sees public evaluation keys.
     std::printf("== Encrypted 3-bit adder (set I, real noise) ==\n");
-    TfheContext ctx(paramsSetI(), 31415);
+    ClientKeyset client(paramsSetI(), 31415);
+    ServerContext server(client.evalKeys());
     Circuit adder = buildAdder(3);
     std::printf("gates: %llu bootstraps, depth %u\n",
                 static_cast<unsigned long long>(adder.pbsCount()),
@@ -59,7 +62,7 @@ main()
         auto in = toBits(a, 3);
         auto bb = toBits(b, 3);
         in.insert(in.end(), bb.begin(), bb.end());
-        uint64_t got = fromBits(adder.evalEncrypted(ctx, in));
+        uint64_t got = fromBits(adder.evalEncrypted(client, server, in));
         std::printf("  %d + %d = %llu (expect %d) %s\n", a, b,
                     static_cast<unsigned long long>(got), a + b,
                     got == uint64_t(a + b) ? "ok" : "MISMATCH");

@@ -18,7 +18,8 @@
 #include "baselines/cpu_model.h"
 #include "baselines/gpu_model.h"
 #include "strix/accelerator.h"
-#include "tfhe/context.h"
+#include "tfhe/client_keyset.h"
+#include "tfhe/server_context.h"
 #include "workloads/deepnn.h"
 
 using namespace strix;
@@ -79,7 +80,8 @@ main()
     // 1/(4*space) bucket margin to stay several sigma wide: space=16
     // gives ~5 sigma, space=32 would fail ~1% of bootstraps.
     const uint64_t space = 16;
-    TfheContext ctx(paramsSetI(), 555);
+    ClientKeyset client(paramsSetI(), 555);
+    ServerContext server(client.evalKeys());
     TinyMlp mlp;
 
     const int64_t inputs[4] = {3, 1, 2, 4};
@@ -102,7 +104,7 @@ main()
     // Encrypted evaluation.
     std::vector<LweCiphertext> enc_in;
     for (int64_t v : inputs)
-        enc_in.push_back(ctx.encryptInt(v, space));
+        enc_in.push_back(client.encryptInt(v, space));
 
     // All three hidden neurons share the ReLU LUT, so the layer is one
     // bootstrapBatch call: the linear parts are computed first, then
@@ -111,11 +113,11 @@ main()
     std::vector<LweCiphertext> hidden_lin;
     for (int j = 0; j < 3; ++j)
         hidden_lin.push_back(
-            linearCombo(enc_in, mlp.w1[j], 4, ctx.params().n, space));
+            linearCombo(enc_in, mlp.w1[j], 4, server.params().n, space));
     // PBS ReLU over centered small signed values: inputs in
     // [0, space) with the upper half representing negatives.
     std::vector<LweCiphertext> enc_hidden =
-        ctx.applyLutBatch(hidden_lin, space, [&](int64_t v) {
+        server.applyLutBatch(hidden_lin, space, [&](int64_t v) {
             int64_t centered =
                 v < int64_t(space) / 2 ? v : v - int64_t(space);
             return TinyMlp::relu(centered);
@@ -124,7 +126,7 @@ main()
     bool ok = true;
     std::printf("  hidden (after PBS ReLU): ");
     for (int j = 0; j < 3; ++j) {
-        int64_t got = ctx.decryptInt(enc_hidden[j], space);
+        int64_t got = client.decryptInt(enc_hidden[j], space);
         std::printf("%lld(%lld) ", static_cast<long long>(got),
                     static_cast<long long>(hidden_ref[j]));
         ok &= got == hidden_ref[j];
@@ -132,8 +134,8 @@ main()
     std::printf("\n  outputs (linear only)  : ");
     for (int j = 0; j < 2; ++j) {
         auto lin = linearCombo(enc_hidden, mlp.w2[j], 3,
-                               ctx.params().n, space);
-        int64_t got = ctx.decryptInt(lin, space);
+                               server.params().n, space);
+        int64_t got = client.decryptInt(lin, space);
         int64_t want = (out_ref[j] % int64_t(space) + space) %
                        int64_t(space);
         std::printf("%lld(%lld) ", static_cast<long long>(got),

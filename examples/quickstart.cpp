@@ -2,58 +2,75 @@
  * @file
  * Quickstart: the 5-minute tour of the library.
  *
- *  1. Generate TFHE keys (paper parameter set I, 110-bit).
- *  2. Encrypt bits, evaluate bootstrapped gates, decrypt.
- *  3. Encrypt a small integer and evaluate a function homomorphically
- *     with programmable bootstrapping (PBS).
- *  4. Ask the Strix simulator what the same workload costs on the
+ *  1. Client-side key generation (paper parameter set I, 110-bit):
+ *     a ClientKeyset owns the secrets, its EvalKeys bundle is the
+ *     public material a server evaluates with.
+ *  2. Ship the EvalKeys over a (simulated) wire and stand up a
+ *     ServerContext on the deserialized bundle -- the server never
+ *     sees a secret key, and the type system keeps it that way.
+ *  3. Encrypt bits client-side, evaluate bootstrapped gates on the
+ *     server, decrypt client-side.
+ *  4. Programmable bootstrapping of an integer function (PBS).
+ *  5. Ask the Strix simulator what the same workload costs on the
  *     accelerator.
  *
  * Build & run:  ./build/examples/quickstart
  */
 
 #include <cstdio>
+#include <sstream>
 
 #include "strix/accelerator.h"
 #include "tfhe/gates.h"
+#include "tfhe/serialize.h"
 
 using namespace strix;
 
 int
 main()
 {
-    std::printf("-- 1. key generation (parameter set %s, lambda = "
-                "%d bits)\n",
+    std::printf("-- 1. client-side key generation (parameter set %s, "
+                "lambda = %d bits)\n",
                 paramsSetI().name.c_str(), paramsSetI().lambda);
-    TfheContext ctx(paramsSetI(), /*seed=*/42);
+    ClientKeyset client(paramsSetI(), /*seed=*/42);
 
-    std::printf("-- 2. bootstrapped boolean gates\n");
-    auto a = ctx.encryptBit(true);
-    auto b = ctx.encryptBit(false);
+    std::printf("-- 2. ship the evaluation keys to the server\n");
+    std::stringstream wire;
+    serialize(wire, *client.evalKeys());
+    std::printf("   EvalKeys frame: %.1f MiB (BSK + KSK, no secret "
+                "key inside)\n",
+                double(wire.tellp()) / (1024.0 * 1024.0));
+    // The server stands on the deserialized public bundle alone.
+    ServerContext server(deserializeEvalKeys(wire));
+
+    std::printf("-- 3. bootstrapped boolean gates (evaluated server-"
+                "side)\n");
+    auto a = client.encryptBit(true);
+    auto b = client.encryptBit(false);
     std::printf("   NAND(1,0) = %d   (expect 1)\n",
-                ctx.decryptBit(gateNand(ctx, a, b)));
+                client.decryptBit(gateNand(server, a, b)));
     std::printf("   AND(1,0)  = %d   (expect 0)\n",
-                ctx.decryptBit(gateAnd(ctx, a, b)));
+                client.decryptBit(gateAnd(server, a, b)));
     std::printf("   XOR(1,0)  = %d   (expect 1)\n",
-                ctx.decryptBit(gateXor(ctx, a, b)));
-    auto m = gateMux(ctx, a, b, ctx.encryptBit(true));
+                client.decryptBit(gateXor(server, a, b)));
+    auto m = gateMux(server, a, b, client.encryptBit(true));
     std::printf("   MUX(1,0,1) = %d  (expect 0: selects b)\n",
-                ctx.decryptBit(m));
+                client.decryptBit(m));
 
-    std::printf("-- 3. programmable bootstrapping: f(x) = x^2 mod 8 "
+    std::printf("-- 4. programmable bootstrapping: f(x) = x^2 mod 8 "
                 "on an encrypted x\n");
     const uint64_t space = 8;
     for (int64_t x : {2, 3, 5}) {
-        auto ct = ctx.encryptInt(x, space);
-        auto ct2 = ctx.applyLut(
+        auto ct = client.encryptInt(x, space);
+        auto ct2 = server.applyLut(
             ct, space, [](int64_t v) { return (v * v) % 8; });
         std::printf("   x = %lld -> f(x) = %lld (expect %lld)\n",
                     static_cast<long long>(x),
-                    static_cast<long long>(ctx.decryptInt(ct2, space)),
+                    static_cast<long long>(client.decryptInt(ct2, space)),
                     static_cast<long long>((x * x) % 8));
     }
 
-    std::printf("-- 4. the same ops on the Strix accelerator model\n");
+    std::printf("-- 5. the same ops on the Strix accelerator model\n");
     StrixAccelerator strix;
     PbsPerf perf = strix.evaluatePbs(paramsSetI());
     std::printf("   PBS latency   : %.3f ms\n", perf.latency_ms);

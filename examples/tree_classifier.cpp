@@ -37,22 +37,27 @@ main()
     tree.setLeaf(2, 2);     // high income, short hist-> class 2
     tree.setLeaf(3, 3);     // high income, long hist -> class 3
 
-    TfheContext ctx(testParams(48, 512, 1, 3, 8, 0.0), 777);
-    IntegerOps ops(ctx);
+    // The roles are explicit in the types: the clients encrypt and
+    // decrypt with the ClientKeyset; the tree evaluates on a
+    // ServerContext that holds only the public EvalKeys bundle.
+    ClientKeyset client(testParams(48, 512, 1, 3, 8, 0.0), 777);
+    ServerContext server(client.evalKeys());
+    IntegerOps ops(server);
 
-    struct Client
+    struct ClientQuery
     {
         const char *name;
         std::vector<uint64_t> features;
     };
-    for (const Client &c :
-         {Client{"alice", {11, 2, 12}}, Client{"bob", {3, 9, 1}},
-          Client{"carol", {9, 0, 4}}}) {
+    for (const ClientQuery &c :
+         {ClientQuery{"alice", {11, 2, 12}},
+          ClientQuery{"bob", {3, 9, 1}},
+          ClientQuery{"carol", {9, 0, 4}}}) {
         std::vector<EncryptedUint> enc;
         for (uint64_t f : c.features)
-            enc.push_back(ops.encrypt(f, 2));
+            enc.push_back(ops.encrypt(client, f, 2));
         auto label = tree.predictEncrypted(ops, enc);
-        uint64_t got = ctx.decryptInt(label, ops.space());
+        uint64_t got = client.decryptInt(label, ops.space());
         uint64_t want = tree.predictPlain(c.features);
         std::printf("  %-6s -> class %llu (expected %llu) %s\n",
                     c.name, static_cast<unsigned long long>(got),

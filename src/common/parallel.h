@@ -2,7 +2,7 @@
  * @file
  * Small persistent worker pool for data-parallel loops.
  *
- * The pool backs the batched PBS path: one TfheContext owns one pool
+ * The pool backs the batched PBS path: one ServerContext owns one pool
  * and fans blind rotations of a ciphertext batch out across it. It is
  * deliberately minimal -- a single parallel-for primitive -- rather
  * than a general task system; everything the batching seam needs is

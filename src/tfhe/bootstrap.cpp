@@ -30,6 +30,24 @@ BootstrappingKey::generate(const LweKey &lwe_key, const GlweKey &glwe_key,
     return bsk;
 }
 
+BootstrappingKey
+BootstrappingKey::fromBits(const TfheParams &params,
+                           std::vector<GgswFft> bits)
+{
+    panicIfNot(bits.size() == params.n, "bsk: bit count mismatch");
+    const GadgetParams g{params.bg_bits, params.l_bsk};
+    for (const GgswFft &ggsw : bits) {
+        panicIfNot(ggsw.k() == params.k && ggsw.ringDim() == params.N &&
+                       ggsw.gadget().base_bits == g.base_bits &&
+                       ggsw.gadget().levels == g.levels,
+                   "bsk: GGSW shape mismatch");
+    }
+    BootstrappingKey bsk;
+    bsk.params_ = params;
+    bsk.ggsw_fft_ = std::move(bits);
+    return bsk;
+}
+
 UnrolledBootstrappingKey
 UnrolledBootstrappingKey::generate(const LweKey &lwe_key,
                                    const GlweKey &glwe_key,

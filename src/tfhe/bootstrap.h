@@ -34,6 +34,14 @@ class BootstrappingKey
                                      const GlweKey &glwe_key,
                                      const TfheParams &params, Rng &rng);
 
+    /**
+     * Rebuild from pre-transformed per-bit GGSWs (deserialization).
+     * bits.size() must equal params.n and every GGSW must match the
+     * parameter shape; panics on mismatch.
+     */
+    static BootstrappingKey fromBits(const TfheParams &params,
+                                     std::vector<GgswFft> bits);
+
   private:
     std::vector<GgswFft> ggsw_fft_;
     TfheParams params_;

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ClientKeyset implementation: keygen and secret-key operations.
+ */
+
+#include "tfhe/client_keyset.h"
+
+#include "poly/negacyclic_fft.h"
+
+namespace strix {
+
+ClientKeyset::FftPrewarm::FftPrewarm(const TfheParams &p)
+{
+    NegacyclicFft::prewarm(p.N);
+}
+
+ClientKeyset::ClientKeyset(const TfheParams &params, uint64_t seed)
+    : params_(params),
+      fft_prewarm_(params_),
+      rng_(seed),
+      lwe_key_(params.n, rng_),
+      glwe_key_(params.k, params.N, rng_),
+      extracted_key_(glwe_key_.extractedLweKey())
+{
+    // Sequenced statements, not constructor arguments: both generate()
+    // calls advance rng_, and the BSK must consume the stream first to
+    // keep the key material bit-identical to the historical layout.
+    BootstrappingKey bsk =
+        BootstrappingKey::generate(lwe_key_, glwe_key_, params_, rng_);
+    KeySwitchKey ksk =
+        KeySwitchKey::generate(extracted_key_, lwe_key_, params_, rng_);
+    eval_keys_ = std::make_shared<const EvalKeys>(
+        params_, std::move(bsk), std::move(ksk));
+}
+
+LweCiphertext
+ClientKeyset::encryptBit(bool bit) const
+{
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    return encryptBit(bit, rng_);
+}
+
+LweCiphertext
+ClientKeyset::encryptBit(bool bit, Rng &rng) const
+{
+    Torus32 mu = encodeMessage(bit ? 1 : -1, 8); // +-1/8
+    return lweEncrypt(lwe_key_, mu, params_.lwe_noise, rng);
+}
+
+LweCiphertext
+ClientKeyset::encryptInt(int64_t m, uint64_t msg_space) const
+{
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    return encryptInt(m, msg_space, rng_);
+}
+
+LweCiphertext
+ClientKeyset::encryptInt(int64_t m, uint64_t msg_space, Rng &rng) const
+{
+    return lweEncrypt(lwe_key_, encodeLut(m, msg_space),
+                      params_.lwe_noise, rng);
+}
+
+bool
+ClientKeyset::decryptBit(const LweCiphertext &ct) const
+{
+    Torus32 phase = lwePhase(lwe_key_, ct);
+    return static_cast<int32_t>(phase) > 0;
+}
+
+int64_t
+ClientKeyset::decryptInt(const LweCiphertext &ct, uint64_t msg_space) const
+{
+    return decodeLut(lwePhase(lwe_key_, ct), msg_space);
+}
+
+} // namespace strix

@@ -1,163 +1,133 @@
 /**
  * @file
- * TfheContext: full key material plus high-level encrypt/decrypt and
- * bootstrap entry points. This is the main user-facing handle of the
- * software TFHE library.
+ * TfheContext: a thin single-process facade over the split API.
+ *
+ * DEPRECATED in docs: new code should use the split types directly --
+ * `ClientKeyset` (secret keys + encryption, client side), `EvalKeys`
+ * (the shareable public BSK/KSK bundle), and `ServerContext`
+ * (evaluation over a shared bundle) -- optionally amortizing keygen
+ * through `ContextCache`. See README "Client/server key separation"
+ * for the migration table. This facade simply composes a ClientKeyset
+ * with a ServerContext built on its EvalKeys, for quick experiments
+ * and single-process demos where role separation is noise.
  *
  * Thread-safety contract
  * ----------------------
- * All const members (decrypt*, bootstrap, applyLut, bootstrapBatch,
- * applyLutBatch, accessors) are safe to call concurrently from any
- * number of threads on one shared context: key material is immutable
- * after construction, the FFT plan caches are prewarmed at
- * construction and lock-free to read, and every bootstrap carries its
- * own scratch buffers. The non-const members -- encryptBit/encryptInt
- * (they advance the context RNG), rng(), and setBatchThreads -- are
- * NOT thread-safe and must be externally serialized.
+ * Every member is safe to call concurrently on one shared context:
+ * key material is immutable after construction, encryptBit/encryptInt
+ * serialize the encryption RNG internally (see ClientKeyset), and
+ * setBatchThreads publishes pool replacements without disturbing
+ * in-flight batches (see ServerContext).
  */
 
 #ifndef STRIX_TFHE_CONTEXT_H
 #define STRIX_TFHE_CONTEXT_H
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
-#include "common/parallel.h"
-#include "tfhe/bootstrap.h"
-#include "tfhe/keyswitch.h"
+#include "tfhe/client_keyset.h"
+#include "tfhe/server_context.h"
 
 namespace strix {
 
-/**
- * Key bundle for one TFHE instance: LWE key (dim n), GLWE key, the
- * extracted LWE key (dim k*N), bootstrapping key, keyswitching key.
- */
+/** ClientKeyset + ServerContext in one handle (single-process use). */
 class TfheContext
 {
   public:
     /**
      * Generate all keys for @p params deterministically from @p seed
-     * and prewarm the FFT plan caches for this ring dimension. The
-     * batch worker pool spins up lazily on the first batch call
-     * (size: ThreadPool's default, overridable via STRIX_THREADS or
-     * setBatchThreads), so sequential users never pay for idle
-     * threads.
+     * (see ClientKeyset) and stand up an evaluation context on the
+     * resulting EvalKeys bundle.
      */
-    TfheContext(const TfheParams &params, uint64_t seed = 0xC0DEC0DEULL);
-
-    const TfheParams &params() const { return params_; }
-    const LweKey &lweKey() const { return lwe_key_; }
-    const GlweKey &glweKey() const { return glwe_key_; }
-    const LweKey &extractedKey() const { return extracted_key_; }
-    const BootstrappingKey &bsk() const { return bsk_; }
-    const KeySwitchKey &ksk() const { return ksk_; }
-    Rng &rng() { return rng_; }
-
-    /** Encrypt a boolean as mu = +-1/8 under the dim-n key. */
-    LweCiphertext encryptBit(bool bit);
-
-    /** Decrypt a boolean (sign of the phase). */
-    bool decryptBit(const LweCiphertext &ct) const;
-
-    /**
-     * Encrypt an integer in [0, msg_space) with centered LUT encoding
-     * (padding bit) under the dim-n key.
-     */
-    LweCiphertext encryptInt(int64_t m, uint64_t msg_space);
-
-    /** Decrypt an integer with centered LUT encoding. */
-    int64_t decryptInt(const LweCiphertext &ct, uint64_t msg_space) const;
-
-    /**
-     * Bootstrap @p ct against @p test_vector and keyswitch back to
-     * dimension n -- the PBS+KS node every workload graph is made of.
-     */
-    LweCiphertext bootstrap(const LweCiphertext &ct,
-                            const TorusPolynomial &test_vector) const;
-
-    /**
-     * Programmable bootstrapping of an integer function f over
-     * [0, msg_space): returns an encryption of f(m) (centered
-     * encoding), keyswitched to dimension n.
-     */
-    LweCiphertext applyLut(const LweCiphertext &ct, uint64_t msg_space,
-                           const std::function<int64_t(int64_t)> &f) const;
-
-    /**
-     * Batched PBS+KS: bootstrap @p count ciphertexts against one
-     * shared test vector, parallelized across ciphertexts on the
-     * context's worker pool with one scratch buffer per worker.
-     * out[i] always corresponds to cts[i] and is bit-identical to
-     * bootstrap(cts[i], test_vector) at any thread count -- the
-     * software seam for Strix-style ciphertext batching.
-     */
-    std::vector<LweCiphertext>
-    bootstrapBatch(const LweCiphertext *cts, size_t count,
-                   const TorusPolynomial &test_vector) const;
-
-    /** Convenience overload over a vector batch. */
-    std::vector<LweCiphertext>
-    bootstrapBatch(const std::vector<LweCiphertext> &cts,
-                   const TorusPolynomial &test_vector) const;
-
-    /**
-     * Batched applyLut: builds the test vector for @p f once and
-     * evaluates it over the whole batch via bootstrapBatch.
-     */
-    std::vector<LweCiphertext>
-    applyLutBatch(const std::vector<LweCiphertext> &cts, uint64_t msg_space,
-                  const std::function<int64_t(int64_t)> &f) const;
-
-    /**
-     * Resize the batch worker pool to @p threads workers (0 restores
-     * the default). Must not race with in-flight batch calls.
-     */
-    void setBatchThreads(unsigned threads);
-
-    /**
-     * Batch worker count the next batch call will use (>= 1,
-     * including the caller). Pure query: does not spin up the pool.
-     */
-    unsigned batchThreads() const
+    explicit TfheContext(const TfheParams &params,
+                         uint64_t seed = 0xC0DEC0DEULL)
+        : client_(params, seed), server_(client_.evalKeys())
     {
-        return batch_threads_ != 0 ? batch_threads_
-                                   : ThreadPool::defaultThreadCount();
     }
 
-  private:
-    TfheParams params_;
+    /** The client half: secret keys, encryption, decryption. */
+    const ClientKeyset &client() const { return client_; }
+
+    /** The server half: evaluation over the shared EvalKeys. */
+    ServerContext &server() { return server_; }
+    const ServerContext &server() const { return server_; }
 
     /**
-     * Populates the FFT plan caches for this ring dimension. Members
-     * initialize in declaration order, so the caches are published
-     * before any key material is generated and every later lookup --
-     * including concurrent bootstraps -- is a lock-free read.
+     * Implicit view as the evaluation context, so facade handles pass
+     * directly to eval-side APIs (gates, IntegerOps, workloads) that
+     * compile against ServerContext alone.
      */
-    struct FftPrewarm
+    operator const ServerContext &() const { return server_; }
+
+    // --- delegated client API ----------------------------------------
+    const TfheParams &params() const { return client_.params(); }
+    const LweKey &lweKey() const { return client_.lweKey(); }
+    const GlweKey &glweKey() const { return client_.glweKey(); }
+    const LweKey &extractedKey() const { return client_.extractedKey(); }
+
+    LweCiphertext encryptBit(bool bit) const
     {
-        explicit FftPrewarm(const TfheParams &p);
-    };
-    FftPrewarm fft_prewarm_;
+        return client_.encryptBit(bit);
+    }
+    bool decryptBit(const LweCiphertext &ct) const
+    {
+        return client_.decryptBit(ct);
+    }
+    LweCiphertext encryptInt(int64_t m, uint64_t msg_space) const
+    {
+        return client_.encryptInt(m, msg_space);
+    }
+    int64_t decryptInt(const LweCiphertext &ct, uint64_t msg_space) const
+    {
+        return client_.decryptInt(ct, msg_space);
+    }
 
-    Rng rng_;
-    LweKey lwe_key_;
-    GlweKey glwe_key_;
-    LweKey extracted_key_;
-    BootstrappingKey bsk_;
-    KeySwitchKey ksk_;
+    // --- delegated server API ----------------------------------------
+    const BootstrappingKey &bsk() const { return server_.bsk(); }
+    const KeySwitchKey &ksk() const { return server_.ksk(); }
+    const std::shared_ptr<const EvalKeys> &evalKeys() const
+    {
+        return server_.evalKeys();
+    }
 
-    /**
-     * Lazily created so the dominant sequential use case never spawns
-     * idle workers; call_once makes the first concurrent batch calls
-     * safe. setBatchThreads records the requested size (0 = default)
-     * and replaces an already-built pool outside the once path
-     * (documented as not racing with batch calls).
-     */
-    ThreadPool &pool() const;
-    unsigned batch_threads_ = 0;
-    mutable std::once_flag pool_once_;
-    mutable std::unique_ptr<ThreadPool> pool_;
+    LweCiphertext bootstrap(const LweCiphertext &ct,
+                            const TorusPolynomial &test_vector) const
+    {
+        return server_.bootstrap(ct, test_vector);
+    }
+    LweCiphertext applyLut(const LweCiphertext &ct, uint64_t msg_space,
+                           const std::function<int64_t(int64_t)> &f) const
+    {
+        return server_.applyLut(ct, msg_space, f);
+    }
+    std::vector<LweCiphertext>
+    bootstrapBatch(const LweCiphertext *cts, size_t count,
+                   const TorusPolynomial &test_vector) const
+    {
+        return server_.bootstrapBatch(cts, count, test_vector);
+    }
+    std::vector<LweCiphertext>
+    bootstrapBatch(const std::vector<LweCiphertext> &cts,
+                   const TorusPolynomial &test_vector) const
+    {
+        return server_.bootstrapBatch(cts, test_vector);
+    }
+    std::vector<LweCiphertext>
+    applyLutBatch(const std::vector<LweCiphertext> &cts, uint64_t msg_space,
+                  const std::function<int64_t(int64_t)> &f) const
+    {
+        return server_.applyLutBatch(cts, msg_space, f);
+    }
+    void setBatchThreads(unsigned threads)
+    {
+        server_.setBatchThreads(threads);
+    }
+    unsigned batchThreads() const { return server_.batchThreads(); }
+
+  private:
+    ClientKeyset client_;
+    ServerContext server_;
 };
 
 } // namespace strix

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ContextCache: a keygen-amortizing service layer over the split API.
+ *
+ * Key generation dominates setup cost in every example and benchmark
+ * (seconds at the paper parameter sets, vs microseconds for the work
+ * a short session actually does). Since this library's keygen is
+ * deterministic in (parameter set, seed), repeated sessions over the
+ * same pair can share one keyset: getOrCreate() returns a cached
+ * `shared_ptr<const EvalKeys>` and getOrCreateKeyset() the full
+ * ClientKeyset it came from, generating each distinct (params, seed)
+ * bundle exactly once no matter how many threads ask concurrently.
+ *
+ * Trust model: the cache holds ClientKeysets -- secret keys -- so it
+ * lives on the key-owning side (a client runtime, a test/bench
+ * harness, a trusted session broker). An evaluation-only server never
+ * needs it: servers receive EvalKeys bundles, shared in-process or
+ * deserialized off the wire.
+ *
+ * Synchronization follows the PR 2 plan-cache discipline: lookups of
+ * an already-built entry take a shared (reader) lock on the index --
+ * never the keygen path -- and first touch is double-checked: the
+ * entry slot is claimed under the exclusive lock, but the keygen
+ * itself runs under a per-entry once-flag *outside* the index lock,
+ * so building set-IV keys for one tenant never blocks cache hits for
+ * another.
+ */
+
+#ifndef STRIX_TFHE_CONTEXT_CACHE_H
+#define STRIX_TFHE_CONTEXT_CACHE_H
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "tfhe/client_keyset.h"
+
+namespace strix {
+
+/** Process-wide cache of deterministic (params, seed) keysets. */
+class ContextCache
+{
+  public:
+    ContextCache() = default;
+
+    ContextCache(const ContextCache &) = delete;
+    ContextCache &operator=(const ContextCache &) = delete;
+
+    /** The process-wide instance the examples and benches share. */
+    static ContextCache &global();
+
+    /**
+     * The cached evaluation-key bundle for (params, seed), generating
+     * it (exactly once, even under concurrent first touch) on a miss.
+     * All callers get pointer-identical bundles, so any number of
+     * ServerContexts built from them share one BSK/KSK copy.
+     */
+    std::shared_ptr<const EvalKeys> getOrCreate(const TfheParams &params,
+                                                uint64_t seed);
+
+    /**
+     * The cached full keyset for (params, seed) -- secret keys
+     * included, for callers that also encrypt/decrypt. Its
+     * ->evalKeys() is the same pointer getOrCreate() returns.
+     */
+    std::shared_ptr<const ClientKeyset>
+    getOrCreateKeyset(const TfheParams &params, uint64_t seed);
+
+    /** Entries resident (built or being built). */
+    size_t size() const;
+
+    /** Cold key generations performed so far (misses). */
+    uint64_t keygenCount() const { return keygens_.load(); }
+
+    /**
+     * Drop every cached entry. Outstanding shared_ptrs stay valid;
+     * later lookups regenerate. Intended for tests and memory-
+     * pressure hooks, not steady-state serving.
+     */
+    void clear();
+
+  private:
+    /**
+     * One cache slot. The once-flag serializes keygen per entry;
+     * `keyset` is written exactly once under it and is safe to read
+     * without the index lock afterwards (call_once publishes).
+     */
+    struct Entry
+    {
+        std::once_flag once;
+        std::shared_ptr<const ClientKeyset> keyset;
+    };
+
+    std::shared_ptr<Entry> entryFor(const std::string &key);
+
+    mutable std::shared_mutex index_mutex_;
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
+    std::atomic<uint64_t> keygens_{0};
+};
+
+} // namespace strix
+
+#endif // STRIX_TFHE_CONTEXT_CACHE_H

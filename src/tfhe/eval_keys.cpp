@@ -1,0 +1,33 @@
+/**
+ * @file
+ * EvalKeys shape validation.
+ */
+
+#include "tfhe/eval_keys.h"
+
+#include "common/logging.h"
+
+namespace strix {
+
+EvalKeys::EvalKeys(TfheParams params, BootstrappingKey bsk,
+                   KeySwitchKey ksk)
+    : params_(std::move(params)), bsk_(std::move(bsk)), ksk_(std::move(ksk))
+{
+    panicIfNot(bsk_.n() == params_.n,
+               "EvalKeys: bsk dimension does not match params");
+    panicIfNot(bsk_.params().N == params_.N &&
+                   bsk_.params().k == params_.k,
+               "EvalKeys: bsk ring shape does not match params");
+    panicIfNot(bsk_.params().bg_bits == params_.bg_bits &&
+                   bsk_.params().l_bsk == params_.l_bsk,
+               "EvalKeys: bsk gadget does not match params");
+    panicIfNot(ksk_.inDim() == params_.extractedDim(),
+               "EvalKeys: ksk input dimension does not match params");
+    panicIfNot(ksk_.outDim() == params_.n,
+               "EvalKeys: ksk output dimension does not match params");
+    panicIfNot(ksk_.gadget().base_bits == params_.ks_base_bits &&
+                   ksk_.gadget().levels == params_.l_ksk,
+               "EvalKeys: ksk gadget does not match params");
+}
+
+} // namespace strix

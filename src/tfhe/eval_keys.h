@@ -1,0 +1,68 @@
+/**
+ * @file
+ * EvalKeys: the public evaluation-key bundle a client ships to a
+ * server.
+ *
+ * A TFHE deployment separates two roles (the paper's Fig. 1): the
+ * *client* owns the secret keys and encrypts/decrypts; the *server*
+ * evaluates PBS streams holding only public key material -- the
+ * bootstrapping key (BSK) and the keyswitching key (KSK). EvalKeys is
+ * exactly that server-side bundle: parameters + BSK + KSK, immutable
+ * after construction, shared by `std::shared_ptr` so any number of
+ * ServerContexts (and the ContextCache) reference one copy with zero
+ * key duplication.
+ *
+ * EvalKeys contains no secret key and no RNG; code that only sees an
+ * EvalKeys (or a ServerContext built on one) provably cannot decrypt.
+ * Bundles serialize through the framing in serialize.h
+ * (`serialize(os, keys)` / `deserializeEvalKeys(is)`), so a client
+ * can export its evaluation keys to a remote server byte-exactly:
+ * the frequency-domain BSK rows round-trip bit-for-bit, making
+ * evaluation under a deserialized bundle bit-identical to evaluation
+ * under the original.
+ */
+
+#ifndef STRIX_TFHE_EVAL_KEYS_H
+#define STRIX_TFHE_EVAL_KEYS_H
+
+#include <memory>
+
+#include "tfhe/bootstrap.h"
+#include "tfhe/keyswitch.h"
+
+namespace strix {
+
+/**
+ * Immutable public evaluation-key bundle: parameters, bootstrapping
+ * key, keyswitching key. Thread-safe by construction (all accessors
+ * are const and the state never changes after the constructor).
+ */
+class EvalKeys
+{
+  public:
+    /**
+     * Bundle @p bsk and @p ksk generated for @p params. Panics if the
+     * key shapes do not match the parameter set (a mismatched bundle
+     * would silently produce garbage ciphertexts).
+     */
+    EvalKeys(TfheParams params, BootstrappingKey bsk, KeySwitchKey ksk);
+
+    const TfheParams &params() const { return params_; }
+    const BootstrappingKey &bsk() const { return bsk_; }
+    const KeySwitchKey &ksk() const { return ksk_; }
+
+    /** Approximate in-memory bundle size (time-domain equivalent). */
+    uint64_t bytes() const
+    {
+        return params_.bskBytes() + params_.kskBytes();
+    }
+
+  private:
+    TfheParams params_;
+    BootstrappingKey bsk_;
+    KeySwitchKey ksk_;
+};
+
+} // namespace strix
+
+#endif // STRIX_TFHE_EVAL_KEYS_H

@@ -52,7 +52,7 @@ signTestVector(uint32_t big_n)
 
 /** linear combo -> sign bootstrap -> keyswitch. */
 LweCiphertext
-signBootstrap(const TfheContext &ctx, const LweCiphertext &linear)
+signBootstrap(const ServerContext &ctx, const LweCiphertext &linear)
 {
     if (g_stats_on)
         return instrumentedGateBootstrap(ctx, linear);
@@ -87,7 +87,7 @@ gateStats()
 }
 
 LweCiphertext
-instrumentedGateBootstrap(const TfheContext &ctx, const LweCiphertext &linear)
+instrumentedGateBootstrap(const ServerContext &ctx, const LweCiphertext &linear)
 {
     const TfheParams &p = ctx.params();
     const BootstrappingKey &bsk = ctx.bsk();
@@ -176,7 +176,7 @@ instrumentedGateBootstrap(const TfheContext &ctx, const LweCiphertext &linear)
 }
 
 LweCiphertext
-gateNand(const TfheContext &ctx, const LweCiphertext &a,
+gateNand(const ServerContext &ctx, const LweCiphertext &a,
          const LweCiphertext &b)
 {
     LweCiphertext lin =
@@ -190,7 +190,7 @@ gateNand(const TfheContext &ctx, const LweCiphertext &a,
 }
 
 LweCiphertext
-gateAnd(const TfheContext &ctx, const LweCiphertext &a,
+gateAnd(const ServerContext &ctx, const LweCiphertext &a,
         const LweCiphertext &b)
 {
     LweCiphertext lin =
@@ -201,7 +201,7 @@ gateAnd(const TfheContext &ctx, const LweCiphertext &a,
 }
 
 LweCiphertext
-gateOr(const TfheContext &ctx, const LweCiphertext &a,
+gateOr(const ServerContext &ctx, const LweCiphertext &a,
        const LweCiphertext &b)
 {
     LweCiphertext lin =
@@ -212,7 +212,7 @@ gateOr(const TfheContext &ctx, const LweCiphertext &a,
 }
 
 LweCiphertext
-gateNor(const TfheContext &ctx, const LweCiphertext &a,
+gateNor(const ServerContext &ctx, const LweCiphertext &a,
         const LweCiphertext &b)
 {
     LweCiphertext lin =
@@ -223,7 +223,7 @@ gateNor(const TfheContext &ctx, const LweCiphertext &a,
 }
 
 LweCiphertext
-gateXor(const TfheContext &ctx, const LweCiphertext &a,
+gateXor(const ServerContext &ctx, const LweCiphertext &a,
         const LweCiphertext &b)
 {
     LweCiphertext lin =
@@ -236,7 +236,7 @@ gateXor(const TfheContext &ctx, const LweCiphertext &a,
 }
 
 LweCiphertext
-gateXnor(const TfheContext &ctx, const LweCiphertext &a,
+gateXnor(const ServerContext &ctx, const LweCiphertext &a,
          const LweCiphertext &b)
 {
     LweCiphertext lin =
@@ -249,7 +249,7 @@ gateXnor(const TfheContext &ctx, const LweCiphertext &a,
 }
 
 LweCiphertext
-gateAndNY(const TfheContext &ctx, const LweCiphertext &a,
+gateAndNY(const ServerContext &ctx, const LweCiphertext &a,
           const LweCiphertext &b)
 {
     LweCiphertext lin =
@@ -260,7 +260,7 @@ gateAndNY(const TfheContext &ctx, const LweCiphertext &a,
 }
 
 LweCiphertext
-gateAndYN(const TfheContext &ctx, const LweCiphertext &a,
+gateAndYN(const ServerContext &ctx, const LweCiphertext &a,
           const LweCiphertext &b)
 {
     LweCiphertext lin =
@@ -271,7 +271,7 @@ gateAndYN(const TfheContext &ctx, const LweCiphertext &a,
 }
 
 LweCiphertext
-gateOrNY(const TfheContext &ctx, const LweCiphertext &a,
+gateOrNY(const ServerContext &ctx, const LweCiphertext &a,
          const LweCiphertext &b)
 {
     LweCiphertext lin =
@@ -282,7 +282,7 @@ gateOrNY(const TfheContext &ctx, const LweCiphertext &a,
 }
 
 LweCiphertext
-gateOrYN(const TfheContext &ctx, const LweCiphertext &a,
+gateOrYN(const ServerContext &ctx, const LweCiphertext &a,
          const LweCiphertext &b)
 {
     LweCiphertext lin =
@@ -301,7 +301,7 @@ gateNot(const LweCiphertext &a)
 }
 
 LweCiphertext
-gateMux(const TfheContext &ctx, const LweCiphertext &a,
+gateMux(const ServerContext &ctx, const LweCiphertext &a,
         const LweCiphertext &b, const LweCiphertext &c)
 {
     const TfheParams &p = ctx.params();

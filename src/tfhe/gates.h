@@ -6,49 +6,53 @@
  * linear combination whose phase sign encodes the result, then runs a
  * *sign bootstrap* (constant test vector 1/8) followed by keyswitching
  * -- the PBS + KS pipeline the paper's Fig. 1 breaks down.
+ *
+ * Gates evaluate against a ServerContext (public evaluation keys
+ * only): the type system guarantees gate evaluation never touches a
+ * secret key. A TfheContext facade converts implicitly.
  */
 
 #ifndef STRIX_TFHE_GATES_H
 #define STRIX_TFHE_GATES_H
 
-#include "tfhe/context.h"
+#include "tfhe/server_context.h"
 
 namespace strix {
 
 /** Bootstrapped NAND. */
-LweCiphertext gateNand(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateNand(const ServerContext &ctx, const LweCiphertext &a,
                        const LweCiphertext &b);
 /** Bootstrapped AND. */
-LweCiphertext gateAnd(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateAnd(const ServerContext &ctx, const LweCiphertext &a,
                       const LweCiphertext &b);
 /** Bootstrapped OR. */
-LweCiphertext gateOr(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateOr(const ServerContext &ctx, const LweCiphertext &a,
                      const LweCiphertext &b);
 /** Bootstrapped NOR. */
-LweCiphertext gateNor(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateNor(const ServerContext &ctx, const LweCiphertext &a,
                       const LweCiphertext &b);
 /** Bootstrapped XOR. */
-LweCiphertext gateXor(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateXor(const ServerContext &ctx, const LweCiphertext &a,
                       const LweCiphertext &b);
 /** Bootstrapped XNOR. */
-LweCiphertext gateXnor(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateXnor(const ServerContext &ctx, const LweCiphertext &a,
                        const LweCiphertext &b);
 /** Bootstrapped ANDNY: (not a) and b. */
-LweCiphertext gateAndNY(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateAndNY(const ServerContext &ctx, const LweCiphertext &a,
                         const LweCiphertext &b);
 /** Bootstrapped ANDYN: a and (not b). */
-LweCiphertext gateAndYN(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateAndYN(const ServerContext &ctx, const LweCiphertext &a,
                         const LweCiphertext &b);
 /** Bootstrapped ORNY: (not a) or b. */
-LweCiphertext gateOrNY(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateOrNY(const ServerContext &ctx, const LweCiphertext &a,
                        const LweCiphertext &b);
 /** Bootstrapped ORYN: a or (not b). */
-LweCiphertext gateOrYN(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateOrYN(const ServerContext &ctx, const LweCiphertext &a,
                        const LweCiphertext &b);
 /** NOT: free (negation), no bootstrap. */
 LweCiphertext gateNot(const LweCiphertext &a);
 /** MUX(a, b, c) = a ? b : c. Two bootstraps plus one keyswitch. */
-LweCiphertext gateMux(const TfheContext &ctx, const LweCiphertext &a,
+LweCiphertext gateMux(const ServerContext &ctx, const LweCiphertext &a,
                       const LweCiphertext &b, const LweCiphertext &c);
 
 /**
@@ -86,7 +90,7 @@ const GateStats &gateStats();
  * Instrumented gate bootstrap used by the Fig. 1 bench: identical
  * computation to blindRotate/keySwitch but with per-phase timers.
  */
-LweCiphertext instrumentedGateBootstrap(const TfheContext &ctx,
+LweCiphertext instrumentedGateBootstrap(const ServerContext &ctx,
                                         const LweCiphertext &linear);
 
 } // namespace strix

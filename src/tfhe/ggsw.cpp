@@ -77,6 +77,25 @@ GgswFft::GgswFft(const GgswCiphertext &ggsw)
                         ggsw.row(r).poly(c));
 }
 
+GgswFft
+GgswFft::fromRawRows(uint32_t k, uint32_t big_n, const GadgetParams &g,
+                     std::vector<FreqPolynomial> rows)
+{
+    const size_t expect_rows =
+        size_t(k + 1) * g.levels * (size_t(k) + 1);
+    panicIfNot(rows.size() == expect_rows,
+               "GgswFft::fromRawRows: row count mismatch");
+    for (const FreqPolynomial &row : rows)
+        panicIfNot(row.size() == size_t(big_n) / 2,
+                   "GgswFft::fromRawRows: row size mismatch");
+    GgswFft out;
+    out.k_ = k;
+    out.big_n_ = big_n;
+    out.g_ = g;
+    out.rows_ = std::move(rows);
+    return out;
+}
+
 void
 GgswFft::externalProduct(GlweCiphertext &out, const GlweCiphertext &glwe,
                          PbsScratch &scratch) const

@@ -21,26 +21,28 @@ trivialZero(uint32_t dim, uint64_t space)
 } // namespace
 
 EncryptedUint
-IntegerOps::encrypt(uint64_t value, uint32_t num_digits)
+IntegerOps::encrypt(const ClientKeyset &client, uint64_t value,
+                    uint32_t num_digits) const
 {
     EncryptedUint out;
     out.digit_bits = digit_bits_;
     out.digits.reserve(num_digits);
     for (uint32_t i = 0; i < num_digits; ++i) {
         out.digits.push_back(
-            ctx_.encryptInt(int64_t(value % base()), space()));
+            client.encryptInt(int64_t(value % base()), space()));
         value /= base();
     }
     return out;
 }
 
 uint64_t
-IntegerOps::decrypt(const EncryptedUint &x) const
+IntegerOps::decrypt(const ClientKeyset &client,
+                    const EncryptedUint &x) const
 {
     uint64_t value = 0;
     for (uint32_t i = x.numDigits(); i-- > 0;) {
         value = value * base() +
-                uint64_t(ctx_.decryptInt(x.digits[i], space()));
+                uint64_t(client.decryptInt(x.digits[i], space()));
     }
     return value;
 }
@@ -71,17 +73,17 @@ IntegerOps::add(const EncryptedUint &a, const EncryptedUint &b) const
     EncryptedUint out;
     out.digit_bits = digit_bits_;
     out.digits.reserve(n);
-    LweCiphertext carry = trivialZero(ctx_.params().n, p);
+    LweCiphertext carry = trivialZero(server_.params().n, p);
     for (uint32_t i = 0; i < n; ++i) {
         LweCiphertext s = a.digits[i];
         s.addAssign(b.digits[i]);
         s.addAssign(carry);
         s = recenter(std::move(s), 3);
         // s in [0, 2B-1]: split into digit and carry with two PBS.
-        out.digits.push_back(ctx_.applyLut(
+        out.digits.push_back(server_.applyLut(
             s, p, [b_val](int64_t v) { return v % b_val; }));
         if (i + 1 < n) {
-            carry = ctx_.applyLut(
+            carry = server_.applyLut(
                 s, p, [b_val](int64_t v) { return v / b_val; });
         }
     }
@@ -100,7 +102,7 @@ IntegerOps::sub(const EncryptedUint &a, const EncryptedUint &b) const
     EncryptedUint out;
     out.digit_bits = digit_bits_;
     out.digits.reserve(n);
-    LweCiphertext borrow = trivialZero(ctx_.params().n, p);
+    LweCiphertext borrow = trivialZero(server_.params().n, p);
     for (uint32_t i = 0; i < n; ++i) {
         // t = a - b - borrow + B, in [0, 2B-1].
         LweCiphertext t = a.digits[i];
@@ -111,10 +113,10 @@ IntegerOps::sub(const EncryptedUint &a, const EncryptedUint &b) const
         LweCiphertext shift = LweCiphertext::trivial(
             t.dim(), encodeMessage(2 * b_val, int64_t(4 * p)));
         t.addAssign(shift);
-        out.digits.push_back(ctx_.applyLut(
+        out.digits.push_back(server_.applyLut(
             t, p, [b_val](int64_t v) { return v % b_val; }));
         if (i + 1 < n) {
-            borrow = ctx_.applyLut(
+            borrow = server_.applyLut(
                 t, p, [b_val](int64_t v) { return v < b_val ? 1 : 0; });
         }
     }
@@ -126,7 +128,7 @@ IntegerOps::addScalar(const EncryptedUint &a, uint64_t value) const
 {
     EncryptedUint b;
     b.digit_bits = digit_bits_;
-    const uint32_t dim = ctx_.params().n;
+    const uint32_t dim = server_.params().n;
     for (uint32_t i = 0; i < a.numDigits(); ++i) {
         b.digits.push_back(LweCiphertext::trivial(
             dim, encodeLut(int64_t(value % base()), space())));
@@ -148,7 +150,7 @@ IntegerOps::equal(const EncryptedUint &a, const EncryptedUint &b) const
 
     // Per digit: d = a - b + B in [1, 2B-1]; eq <=> d == B. Sum the
     // per-digit indicators and compare against the digit count.
-    LweCiphertext acc = trivialZero(ctx_.params().n, p);
+    LweCiphertext acc = trivialZero(server_.params().n, p);
     for (uint32_t i = 0; i < a.numDigits(); ++i) {
         LweCiphertext d = a.digits[i];
         d.subAssign(b.digits[i]);
@@ -156,13 +158,13 @@ IntegerOps::equal(const EncryptedUint &a, const EncryptedUint &b) const
         LweCiphertext shift = LweCiphertext::trivial(
             d.dim(), encodeMessage(2 * b_val, int64_t(4 * p)));
         d.addAssign(shift);
-        LweCiphertext eq = ctx_.applyLut(
+        LweCiphertext eq = server_.applyLut(
             d, p, [b_val](int64_t v) { return v == b_val ? 1 : 0; });
         acc.addAssign(eq);
     }
     acc = recenter(std::move(acc),
                    static_cast<uint32_t>(a.numDigits() + 1));
-    return ctx_.applyLut(acc, p,
+    return server_.applyLut(acc, p,
                          [n](int64_t v) { return v == n ? 1 : 0; });
 }
 
@@ -182,7 +184,7 @@ IntegerOps::notBit(const LweCiphertext &b) const
 LweCiphertext
 IntegerOps::trivialDigit(uint64_t value) const
 {
-    return LweCiphertext::trivial(ctx_.params().n,
+    return LweCiphertext::trivial(server_.params().n,
                                   encodeLut(int64_t(value % base()),
                                             space()));
 }
@@ -210,10 +212,10 @@ IntegerOps::selectDigit(const LweCiphertext &sel, const LweCiphertext &hi,
     };
 
     // hi-half: keep x when sel = 1; lo-half: keep x when sel = 0.
-    LweCiphertext keep_hi = ctx_.applyLut(
+    LweCiphertext keep_hi = server_.applyLut(
         pack(hi), p,
         [b_val](int64_t v) { return v >= b_val ? v - b_val : 0; });
-    LweCiphertext keep_lo = ctx_.applyLut(
+    LweCiphertext keep_lo = server_.applyLut(
         pack(lo), p,
         [b_val](int64_t v) { return v < b_val ? v : 0; });
     keep_hi.addAssign(keep_lo);
@@ -229,7 +231,7 @@ IntegerOps::lessThan(const EncryptedUint &a, const EncryptedUint &b) const
     const int64_t b_val = base();
 
     // Borrow chain of a - b: the final borrow is 1 iff a < b.
-    LweCiphertext borrow = trivialZero(ctx_.params().n, p);
+    LweCiphertext borrow = trivialZero(server_.params().n, p);
     for (uint32_t i = 0; i < a.numDigits(); ++i) {
         LweCiphertext t = a.digits[i];
         t.subAssign(b.digits[i]);
@@ -238,7 +240,7 @@ IntegerOps::lessThan(const EncryptedUint &a, const EncryptedUint &b) const
         LweCiphertext shift = LweCiphertext::trivial(
             t.dim(), encodeMessage(2 * b_val, int64_t(4 * p)));
         t.addAssign(shift);
-        borrow = ctx_.applyLut(
+        borrow = server_.applyLut(
             t, p, [b_val](int64_t v) { return v < b_val ? 1 : 0; });
     }
     return borrow;

@@ -17,9 +17,12 @@
 
 #include <vector>
 
-#include "tfhe/context.h"
+#include "tfhe/client_keyset.h"
+#include "tfhe/server_context.h"
 
 namespace strix {
+
+class TfheContext;
 
 /** Little-endian encrypted unsigned integer. */
 struct EncryptedUint
@@ -34,26 +37,46 @@ struct EncryptedUint
 };
 
 /**
- * Integer arithmetic engine bound to a TfheContext. digit_bits = 2
- * (base-4 digits) is a good fit for 32-bit-torus parameter sets.
+ * Integer arithmetic engine bound to a ServerContext (public
+ * evaluation keys only -- arithmetic provably cannot decrypt its
+ * operands). Encryption and decryption are client-side operations and
+ * take the ClientKeyset explicitly. digit_bits = 2 (base-4 digits) is
+ * a good fit for 32-bit-torus parameter sets. A TfheContext facade
+ * converts implicitly to the ServerContext argument.
  */
 class IntegerOps
 {
   public:
-    explicit IntegerOps(TfheContext &ctx, uint32_t digit_bits = 2)
-        : ctx_(ctx), digit_bits_(digit_bits)
+    explicit IntegerOps(const ServerContext &server,
+                        uint32_t digit_bits = 2)
+        : server_(server), digit_bits_(digit_bits)
     {
     }
+
+    /**
+     * The engine stores a reference: @p server must outlive it.
+     * Binding a temporary -- a ServerContext directly, or a
+     * TfheContext facade about to convert -- is rejected at compile
+     * time (it would dangle after the full expression).
+     */
+    explicit IntegerOps(const ServerContext &&, uint32_t = 2) = delete;
+    explicit IntegerOps(TfheContext &&, uint32_t = 2) = delete;
 
     uint32_t base() const { return 1u << digit_bits_; }
     /** Message space per digit PBS (one headroom bit). */
     uint64_t space() const { return uint64_t(base()) * 2; }
 
-    /** Encrypt @p value as @p num_digits base-2^digit_bits digits. */
-    EncryptedUint encrypt(uint64_t value, uint32_t num_digits);
+    /**
+     * Encrypt @p value as @p num_digits base-2^digit_bits digits
+     * under @p client's secret key (which must match the server's
+     * evaluation keys).
+     */
+    EncryptedUint encrypt(const ClientKeyset &client, uint64_t value,
+                          uint32_t num_digits) const;
 
     /** Decrypt to a uint64 (mod base^num_digits). */
-    uint64_t decrypt(const EncryptedUint &x) const;
+    uint64_t decrypt(const ClientKeyset &client,
+                     const EncryptedUint &x) const;
 
     /**
      * Homomorphic addition modulo base^n: ripple carry, two PBS per
@@ -76,9 +99,10 @@ class IntegerOps
                            const EncryptedUint &b) const;
 
     /** Decrypt an encrypted bit produced by equal()/lessThan(). */
-    bool decryptBit(const LweCiphertext &ct) const
+    bool decryptBit(const ClientKeyset &client,
+                    const LweCiphertext &ct) const
     {
-        return ctx_.decryptInt(ct, space()) != 0;
+        return client.decryptInt(ct, space()) != 0;
     }
 
     /** Encrypted NOT of a 0/1 digit (linear, no PBS). */
@@ -113,7 +137,7 @@ class IntegerOps
      */
     LweCiphertext recenter(LweCiphertext sum, uint32_t terms) const;
 
-    TfheContext &ctx_;
+    const ServerContext &server_;
     uint32_t digit_bits_;
 };
 

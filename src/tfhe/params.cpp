@@ -13,8 +13,8 @@
 // thread. They and the FFT plan caches (poly/complex_fft.cpp,
 // poly/negacyclic_fft.cpp, synchronized + lock-free reads) are the
 // only process-wide state in src/poly + src/tfhe; everything else
-// reachable from TfheContext::bootstrap() const works on per-call or
-// per-scratch storage.
+// reachable from ServerContext::bootstrap() const works on per-call
+// or per-scratch storage.
 
 namespace strix {
 

@@ -288,6 +288,176 @@ deserializeKeySwitchKey(std::istream &is)
     return KeySwitchKey::fromRows(in_dim, out_dim, g, std::move(rows));
 }
 
+namespace {
+
+/** Little-endian encode @p bits at @p out (8 bytes). */
+void
+putU64Le(unsigned char *out, uint64_t bits)
+{
+    for (int b = 0; b < 8; ++b)
+        out[b] = static_cast<unsigned char>(bits >> (8 * b));
+}
+
+/** Little-endian decode 8 bytes at @p in. */
+uint64_t
+getU64Le(const unsigned char *in)
+{
+    uint64_t bits = 0;
+    for (int b = 0; b < 8; ++b)
+        bits |= uint64_t(in[b]) << (8 * b);
+    return bits;
+}
+
+} // namespace
+
+void
+serialize(std::ostream &os, const BootstrappingKey &bsk)
+{
+    // Shape is written once (every per-bit GGSW shares it); rows are
+    // the frequency-domain images, bit-exact via the double framing.
+    // The frame is tens of MiB at the paper sets, so each row is
+    // staged into one buffer and written with a single os.write
+    // instead of ~15M per-word stream calls (byte layout identical to
+    // writeDouble's little-endian framing).
+    writeHeader(os, SerialTag::BootstrapKey);
+    const TfheParams &p = bsk.params();
+    writeU32(os, bsk.n());
+    writeU32(os, p.k);
+    writeU32(os, p.N);
+    writeU32(os, p.bg_bits);
+    writeU32(os, p.l_bsk);
+    std::vector<unsigned char> buf;
+    for (uint32_t i = 0; i < bsk.n(); ++i) {
+        for (const FreqPolynomial &row : bsk.bit(i).rawRows()) {
+            buf.resize(row.size() * 16);
+            for (size_t j = 0; j < row.size(); ++j) {
+                uint64_t re_bits, im_bits;
+                const double re = row[j].real(), im = row[j].imag();
+                std::memcpy(&re_bits, &re, sizeof(re_bits));
+                std::memcpy(&im_bits, &im, sizeof(im_bits));
+                putU64Le(buf.data() + j * 16, re_bits);
+                putU64Le(buf.data() + j * 16 + 8, im_bits);
+            }
+            os.write(reinterpret_cast<const char *>(buf.data()),
+                     static_cast<std::streamsize>(buf.size()));
+        }
+    }
+}
+
+namespace {
+
+/**
+ * Body of the BSK frame after the header. When @p expect is non-null
+ * (the EvalKeys reader), the shape fields are cross-checked against
+ * that parameter frame *before* committing to the large row read, and
+ * the key is bound to it; otherwise a minimal shape-consistent
+ * parameter set is synthesized.
+ */
+BootstrappingKey
+readBootstrappingKeyBody(std::istream &is, const TfheParams *expect)
+{
+    uint32_t n = readU32(is);
+    uint32_t k = readU32(is);
+    uint32_t big_n = readU32(is);
+    GadgetParams g{readU32(is), readU32(is)};
+    if (expect &&
+        (n != expect->n || k != expect->k || big_n != expect->N ||
+         g.base_bits != expect->bg_bits || g.levels != expect->l_bsk))
+        throw std::runtime_error(
+            "serialize: eval-keys bsk/params mismatch");
+    // Same plausibility caps as the LWE/GLWE key readers, plus
+    // power-of-two N: the FFT engine panics (aborts) on other sizes,
+    // and hostile input must throw, never abort.
+    if (n == 0 || n > (1u << 24) || k == 0 || k > 16 ||
+        big_n < 2 || big_n > (1u << 20) ||
+        (big_n & (big_n - 1)) != 0 || g.levels == 0 || g.levels > 64 ||
+        g.base_bits == 0 || g.base_bits > 32)
+        throw std::runtime_error("serialize: implausible bsk shape");
+
+    const size_t rows_per_bit = size_t(k + 1) * g.levels * (k + 1);
+    const size_t half_n = size_t(big_n) / 2;
+    std::vector<GgswFft> bits;
+    // Same discipline as readU32Vector: grow with the bytes actually
+    // present instead of trusting the length field with one eager
+    // allocation (n can claim 2^24 bits on a 60-byte hostile frame).
+    bits.reserve(std::min<size_t>(n, 4096));
+    std::vector<unsigned char> buf(half_n * 16);
+    for (uint32_t i = 0; i < n; ++i) {
+        std::vector<FreqPolynomial> rows(rows_per_bit);
+        for (FreqPolynomial &row : rows) {
+            // Bulk-read the row (the write side's layout) in one call;
+            // a short read throws like readU32's truncation path.
+            is.read(reinterpret_cast<char *>(buf.data()),
+                    static_cast<std::streamsize>(buf.size()));
+            if (!is)
+                throw std::runtime_error("serialize: truncated stream");
+            row.resize(half_n);
+            for (size_t j = 0; j < half_n; ++j) {
+                uint64_t re_bits = getU64Le(buf.data() + j * 16);
+                uint64_t im_bits = getU64Le(buf.data() + j * 16 + 8);
+                double re, im;
+                std::memcpy(&re, &re_bits, sizeof(re));
+                std::memcpy(&im, &im_bits, sizeof(im));
+                row[j] = Cplx(re, im);
+            }
+        }
+        bits.push_back(
+            GgswFft::fromRawRows(k, big_n, g, std::move(rows)));
+    }
+
+    if (expect)
+        return BootstrappingKey::fromBits(*expect, std::move(bits));
+    // fromBits() panics on mismatch, so hand it params that are
+    // consistent by construction.
+    TfheParams p{};
+    p.name = "deserialized-bsk";
+    p.n = n;
+    p.N = big_n;
+    p.k = k;
+    p.bg_bits = g.base_bits;
+    p.l_bsk = g.levels;
+    return BootstrappingKey::fromBits(p, std::move(bits));
+}
+
+} // namespace
+
+BootstrappingKey
+deserializeBootstrappingKey(std::istream &is)
+{
+    expectHeader(is, SerialTag::BootstrapKey, "bootstrapping key");
+    return readBootstrappingKeyBody(is, nullptr);
+}
+
+void
+serialize(std::ostream &os, const EvalKeys &keys)
+{
+    writeHeader(os, SerialTag::EvalKeys);
+    serialize(os, keys.params());
+    serialize(os, keys.bsk());
+    serialize(os, keys.ksk());
+}
+
+std::shared_ptr<const EvalKeys>
+deserializeEvalKeys(std::istream &is)
+{
+    expectHeader(is, SerialTag::EvalKeys, "eval keys");
+    TfheParams p = deserializeParams(is);
+    expectHeader(is, SerialTag::BootstrapKey, "bootstrapping key");
+    // Cross-validation against the parameter frame happens inside the
+    // body reader (and below for the KSK): EvalKeys panics on shape
+    // mismatch (internal invariant), while a corrupt or hostile
+    // stream must throw.
+    BootstrappingKey bsk = readBootstrappingKeyBody(is, &p);
+    KeySwitchKey ksk = deserializeKeySwitchKey(is);
+    if (uint64_t(ksk.inDim()) != uint64_t(p.k) * p.N ||
+        ksk.outDim() != p.n || ksk.gadget().levels != p.l_ksk ||
+        ksk.gadget().base_bits != p.ks_base_bits)
+        throw std::runtime_error(
+            "serialize: eval-keys ksk/params mismatch");
+    return std::make_shared<const EvalKeys>(p, std::move(bsk),
+                                            std::move(ksk));
+}
+
 void
 serialize(std::ostream &os, const EncryptedUint &x)
 {

@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 
+#include "tfhe/eval_keys.h"
 #include "tfhe/integer.h"
 #include "tfhe/keyswitch.h"
 #include "tfhe/params.h"
@@ -35,6 +37,8 @@ enum class SerialTag : uint32_t
     TorusPoly = 0x54504C59,     // "TPLY"
     KeySwitchKey = 0x4B534B31,  // "KSK1"
     EncryptedUint = 0x45554931, // "EUI1"
+    BootstrapKey = 0x42534B31,  // "BSK1"
+    EvalKeys = 0x45564B31,      // "EVK1"
 };
 
 // --- writers ---------------------------------------------------------
@@ -45,6 +49,9 @@ void serialize(std::ostream &os, const GlweKey &key);
 void serialize(std::ostream &os, const TorusPolynomial &poly);
 void serialize(std::ostream &os, const KeySwitchKey &ksk);
 void serialize(std::ostream &os, const EncryptedUint &x);
+void serialize(std::ostream &os, const BootstrappingKey &bsk);
+/** One frame bundling params + BSK + KSK: the shippable server keyset. */
+void serialize(std::ostream &os, const EvalKeys &keys);
 
 // --- readers (throw std::runtime_error on malformed input) -----------
 TfheParams deserializeParams(std::istream &is);
@@ -54,6 +61,16 @@ GlweKey deserializeGlweKey(std::istream &is);
 TorusPolynomial deserializeTorusPolynomial(std::istream &is);
 KeySwitchKey deserializeKeySwitchKey(std::istream &is);
 EncryptedUint deserializeEncryptedUint(std::istream &is);
+BootstrappingKey deserializeBootstrappingKey(std::istream &is);
+/**
+ * Read an EvalKeys bundle, cross-validating the BSK and KSK shapes
+ * against the embedded parameter frame (mismatches throw rather than
+ * yielding a bundle that silently evaluates garbage). Returned behind
+ * shared_ptr, ready to hand to any number of ServerContexts. The
+ * frequency-domain BSK rows round-trip bit-exactly, so evaluation
+ * under the deserialized bundle is bit-identical to the original.
+ */
+std::shared_ptr<const EvalKeys> deserializeEvalKeys(std::istream &is);
 
 } // namespace strix
 

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * ServerContext implementation.
+ */
+
+#include "tfhe/server_context.h"
+
+#include "common/logging.h"
+#include "poly/negacyclic_fft.h"
+
+namespace strix {
+
+namespace {
+
+const TfheParams &
+checkedParams(const std::shared_ptr<const EvalKeys> &keys)
+{
+    panicIfNot(keys != nullptr, "ServerContext: null EvalKeys bundle");
+    return keys->params();
+}
+
+} // namespace
+
+ServerContext::FftPrewarm::FftPrewarm(const TfheParams &p)
+{
+    NegacyclicFft::prewarm(p.N);
+}
+
+ServerContext::ServerContext(std::shared_ptr<const EvalKeys> keys)
+    : keys_(std::move(keys)), fft_prewarm_(checkedParams(keys_))
+{
+}
+
+std::shared_ptr<ThreadPool>
+ServerContext::pool() const
+{
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_)
+        pool_ = std::make_shared<ThreadPool>(batch_threads_);
+    return pool_;
+}
+
+void
+ServerContext::setBatchThreads(unsigned threads)
+{
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    batch_threads_ = threads;
+    if (pool_) // already spun up: publish a replacement at the new size
+        pool_ = std::make_shared<ThreadPool>(threads);
+}
+
+unsigned
+ServerContext::batchThreads() const
+{
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    return batch_threads_ != 0 ? batch_threads_
+                               : ThreadPool::defaultThreadCount();
+}
+
+LweCiphertext
+ServerContext::bootstrap(const LweCiphertext &ct,
+                         const TorusPolynomial &test_vector) const
+{
+    LweCiphertext big =
+        programmableBootstrap(ct, test_vector, keys_->bsk());
+    return keySwitch(big, keys_->ksk());
+}
+
+LweCiphertext
+ServerContext::applyLut(const LweCiphertext &ct, uint64_t msg_space,
+                        const std::function<int64_t(int64_t)> &f) const
+{
+    TorusPolynomial tv = makeIntTestVector(params().N, msg_space, f);
+    return bootstrap(ct, tv);
+}
+
+std::vector<LweCiphertext>
+ServerContext::bootstrapBatch(const LweCiphertext *cts, size_t count,
+                              const TorusPolynomial &test_vector) const
+{
+    std::shared_ptr<ThreadPool> pool = this->pool();
+    std::vector<LweCiphertext> out(count);
+    // One scratch per worker: blind rotation allocates nothing and
+    // shares nothing, so workers never touch common mutable state.
+    std::vector<PbsScratch> scratch(pool->threads());
+    pool->parallelFor(count, [&](size_t i, unsigned worker) {
+        LweCiphertext big = programmableBootstrap(
+            cts[i], test_vector, keys_->bsk(), scratch[worker]);
+        out[i] = keySwitch(big, keys_->ksk());
+    });
+    return out;
+}
+
+std::vector<LweCiphertext>
+ServerContext::bootstrapBatch(const std::vector<LweCiphertext> &cts,
+                              const TorusPolynomial &test_vector) const
+{
+    return bootstrapBatch(cts.data(), cts.size(), test_vector);
+}
+
+std::vector<LweCiphertext>
+ServerContext::applyLutBatch(const std::vector<LweCiphertext> &cts,
+                             uint64_t msg_space,
+                             const std::function<int64_t(int64_t)> &f) const
+{
+    TorusPolynomial tv = makeIntTestVector(params().N, msg_space, f);
+    return bootstrapBatch(cts, tv);
+}
+
+} // namespace strix

@@ -155,9 +155,9 @@ Circuit::evalPlain(const std::vector<bool> &inputs) const
     return out;
 }
 
-std::vector<bool>
-Circuit::evalEncrypted(TfheContext &ctx,
-                       const std::vector<bool> &inputs) const
+std::vector<LweCiphertext>
+Circuit::evalEncrypted(const ServerContext &server,
+                       const std::vector<LweCiphertext> &inputs) const
 {
     panicIfNot(inputs.size() == inputs_.size(),
                "evalEncrypted: wrong input count");
@@ -168,38 +168,63 @@ Circuit::evalEncrypted(TfheContext &ctx,
         const Node &n = nodes_[i];
         switch (n.op) {
           case GateOp::Input:
-            val[i] = ctx.encryptBit(inputs[next_input++]);
+            val[i] = inputs[next_input++];
             break;
           case GateOp::Const:
             val[i] = LweCiphertext::trivial(
-                ctx.params().n, n.const_value ? mu : 0u - mu);
+                server.params().n, n.const_value ? mu : 0u - mu);
             break;
-          case GateOp::And: val[i] = gateAnd(ctx, val[n.a], val[n.b]); break;
-          case GateOp::Or: val[i] = gateOr(ctx, val[n.a], val[n.b]); break;
-          case GateOp::Xor: val[i] = gateXor(ctx, val[n.a], val[n.b]); break;
+          case GateOp::And:
+            val[i] = gateAnd(server, val[n.a], val[n.b]);
+            break;
+          case GateOp::Or:
+            val[i] = gateOr(server, val[n.a], val[n.b]);
+            break;
+          case GateOp::Xor:
+            val[i] = gateXor(server, val[n.a], val[n.b]);
+            break;
           case GateOp::Nand:
-            val[i] = gateNand(ctx, val[n.a], val[n.b]);
+            val[i] = gateNand(server, val[n.a], val[n.b]);
             break;
-          case GateOp::Nor: val[i] = gateNor(ctx, val[n.a], val[n.b]); break;
+          case GateOp::Nor:
+            val[i] = gateNor(server, val[n.a], val[n.b]);
+            break;
           case GateOp::Xnor:
-            val[i] = gateXnor(ctx, val[n.a], val[n.b]);
+            val[i] = gateXnor(server, val[n.a], val[n.b]);
             break;
           case GateOp::AndNY:
-            val[i] = gateAndNY(ctx, val[n.a], val[n.b]);
+            val[i] = gateAndNY(server, val[n.a], val[n.b]);
             break;
           case GateOp::AndYN:
-            val[i] = gateAndYN(ctx, val[n.a], val[n.b]);
+            val[i] = gateAndYN(server, val[n.a], val[n.b]);
             break;
           case GateOp::Not: val[i] = gateNot(val[n.a]); break;
           case GateOp::Mux:
-            val[i] = gateMux(ctx, val[n.a], val[n.b], val[n.c]);
+            val[i] = gateMux(server, val[n.a], val[n.b], val[n.c]);
             break;
         }
     }
-    std::vector<bool> out;
+    std::vector<LweCiphertext> out;
     out.reserve(outputs_.size());
     for (Wire w : outputs_)
-        out.push_back(ctx.decryptBit(val[w]));
+        out.push_back(val[w]);
+    return out;
+}
+
+std::vector<bool>
+Circuit::evalEncrypted(const ClientKeyset &client,
+                       const ServerContext &server,
+                       const std::vector<bool> &inputs) const
+{
+    std::vector<LweCiphertext> enc;
+    enc.reserve(inputs.size());
+    for (bool bit : inputs)
+        enc.push_back(client.encryptBit(bit));
+    std::vector<LweCiphertext> enc_out = evalEncrypted(server, enc);
+    std::vector<bool> out;
+    out.reserve(enc_out.size());
+    for (const LweCiphertext &ct : enc_out)
+        out.push_back(client.decryptBit(ct));
     return out;
 }
 

@@ -7,8 +7,9 @@
  * library:
  *
  *   - functional evaluation in cleartext (reference);
- *   - homomorphic evaluation on a TfheContext (every 2-input gate is
- *     one PBS + KS, MUX is two PBS + one KS, NOT is free);
+ *   - homomorphic evaluation on a ServerContext (every 2-input gate
+ *     is one PBS + KS, MUX is two PBS + one KS, NOT is free), with a
+ *     client+server convenience wrapper for single-process use;
  *   - lowering to a WorkloadGraph: gates are levelized by dependency
  *     depth and each level becomes one batchable layer, which is how
  *     a gate workload is scheduled on Strix or a GPU.
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "strix/graph.h"
+#include "tfhe/client_keyset.h"
 #include "tfhe/gates.h"
 
 namespace strix {
@@ -95,10 +97,23 @@ class Circuit
     std::vector<bool> evalPlain(const std::vector<bool> &inputs) const;
 
     /**
-     * Evaluate homomorphically: encrypt inputs under @p ctx, run all
-     * gates with gate bootstrapping, decrypt outputs.
+     * Evaluate homomorphically on the server: @p inputs are encrypted
+     * bit ciphertexts in primary-input order; the returned vector
+     * holds the encrypted primary outputs. Compiles against
+     * ServerContext alone -- the evaluation path cannot touch a
+     * secret key by construction.
      */
-    std::vector<bool> evalEncrypted(TfheContext &ctx,
+    std::vector<LweCiphertext>
+    evalEncrypted(const ServerContext &server,
+                  const std::vector<LweCiphertext> &inputs) const;
+
+    /**
+     * End-to-end convenience for single-process use: encrypt @p
+     * inputs under @p client, evaluate on @p server, decrypt the
+     * outputs with @p client.
+     */
+    std::vector<bool> evalEncrypted(const ClientKeyset &client,
+                                    const ServerContext &server,
                                     const std::vector<bool> &inputs) const;
 
     /**

@@ -34,7 +34,7 @@ DecisionTree::predictPlain(const std::vector<uint64_t> &features) const
 
 LweCiphertext
 DecisionTree::predictEncrypted(
-    IntegerOps &ops, const std::vector<EncryptedUint> &features) const
+    const IntegerOps &ops, const std::vector<EncryptedUint> &features) const
 {
     panicIfNot(features.size() == num_features_,
                "tree: wrong encrypted feature count");

@@ -10,7 +10,8 @@
  * selection network of encrypted multiplexers so the server learns
  * neither the path nor the result.
  *
- * Provides functional evaluation on a TfheContext plus lowering to a
+ * Provides functional evaluation on a ServerContext-backed IntegerOps
+ * (the server never sees a secret key) plus lowering to a
  * WorkloadGraph for the accelerator models.
  */
 
@@ -68,7 +69,7 @@ class DecisionTree
      * network run homomorphically.
      */
     LweCiphertext
-    predictEncrypted(IntegerOps &ops,
+    predictEncrypted(const IntegerOps &ops,
                      const std::vector<EncryptedUint> &features) const;
 
     /**

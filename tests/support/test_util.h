@@ -15,7 +15,9 @@
 
 #include "common/random.h"
 #include "poly/polynomial.h"
+#include "tfhe/client_keyset.h"
 #include "tfhe/params.h"
+#include "tfhe/server_context.h"
 
 namespace strix {
 namespace test {
@@ -50,9 +52,28 @@ TfheParams fastParams();
 TfheParams midParams();
 
 /**
+ * Split-API fixture: one deterministic ClientKeyset and a
+ * ServerContext sharing its EvalKeys bundle, the pair most suites
+ * need. Members are public on purpose -- tests read `client` for
+ * encrypt/decrypt and `server` for evaluation, which keeps each call
+ * site explicit about the role it exercises.
+ */
+struct TestKeys
+{
+    explicit TestKeys(const TfheParams &params, uint64_t seed)
+        : client(params, seed), server(client.evalKeys())
+    {
+    }
+
+    ClientKeyset client;
+    ServerContext server;
+};
+
+/**
  * Deterministic per-suite context seeds. Each test file that builds a
- * shared TfheContext uses its own seed so suites stay independent;
- * keeping them here documents that they are arbitrary but pinned.
+ * shared TestKeys/TfheContext uses its own seed so suites stay
+ * independent; keeping them here documents that they are arbitrary
+ * but pinned.
  */
 enum Seed : uint64_t {
     kSeedGates = 1234,
@@ -62,6 +83,8 @@ enum Seed : uint64_t {
     kSeedIntegration = 60606,
     kSeedBootstrap = 99,
     kSeedParallel = 7777,
+    kSeedContextCache = 31337,
+    kSeedSerialize = 90210,
 };
 
 } // namespace test

@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "tfhe/bootstrap.h"
-#include "tfhe/context.h"
+#include "tfhe/server_context.h"
 #include "support/test_util.h"
 
 namespace strix {
@@ -100,21 +100,23 @@ class BootstrapExact : public ::testing::Test
 
     BootstrapExact()
         : params_(testParams(kLweDim, kN, 1, 3, 8, 0.0)),
-          ctx_(params_, test::kSeedBootstrap)
+          keys_(params_, test::kSeedBootstrap)
     {
     }
 
     TfheParams params_;
-    TfheContext ctx_;
+    test::TestKeys keys_;
+    const ClientKeyset &client() { return keys_.client; }
+    const ServerContext &server() { return keys_.server; }
 };
 
 TEST_F(BootstrapExact, LutIdentityFunction)
 {
     const uint64_t p = 8;
     for (int64_t m = 0; m < static_cast<int64_t>(p); ++m) {
-        auto ct = ctx_.encryptInt(m, p);
-        auto out = ctx_.applyLut(ct, p, [](int64_t x) { return x; });
-        EXPECT_EQ(ctx_.decryptInt(out, p), m) << "m=" << m;
+        auto ct = client().encryptInt(m, p);
+        auto out = server().applyLut(ct, p, [](int64_t x) { return x; });
+        EXPECT_EQ(client().decryptInt(out, p), m) << "m=" << m;
     }
 }
 
@@ -122,10 +124,10 @@ TEST_F(BootstrapExact, LutSquareMod8)
 {
     const uint64_t p = 8;
     for (int64_t m = 0; m < 8; ++m) {
-        auto ct = ctx_.encryptInt(m, p);
+        auto ct = client().encryptInt(m, p);
         auto out =
-            ctx_.applyLut(ct, p, [](int64_t x) { return (x * x) % 8; });
-        EXPECT_EQ(ctx_.decryptInt(out, p), (m * m) % 8) << "m=" << m;
+            server().applyLut(ct, p, [](int64_t x) { return (x * x) % 8; });
+        EXPECT_EQ(client().decryptInt(out, p), (m * m) % 8) << "m=" << m;
     }
 }
 
@@ -135,9 +137,9 @@ TEST_F(BootstrapExact, LutRelu)
     const uint64_t p = 16;
     auto relu = [](int64_t x) { return x < 8 ? x : 0; };
     for (int64_t m = 0; m < 16; ++m) {
-        auto ct = ctx_.encryptInt(m, p);
-        auto out = ctx_.applyLut(ct, p, relu);
-        EXPECT_EQ(ctx_.decryptInt(out, p), relu(m)) << "m=" << m;
+        auto ct = client().encryptInt(m, p);
+        auto out = server().applyLut(ct, p, relu);
+        EXPECT_EQ(client().decryptInt(out, p), relu(m)) << "m=" << m;
     }
 }
 
@@ -146,8 +148,8 @@ TEST_F(BootstrapExact, BootstrapRefreshesToIndependentNoise)
     // Even with zero fresh noise, the PBS output must decrypt to the
     // same message after an additive chain that would otherwise grow.
     const uint64_t p = 8;
-    auto c1 = ctx_.encryptInt(2, p);
-    auto out = ctx_.applyLut(c1, p, [](int64_t x) { return x; });
+    auto c1 = client().encryptInt(2, p);
+    auto out = server().applyLut(c1, p, [](int64_t x) { return x; });
     // Output dimension must be back to n after keyswitch.
     EXPECT_EQ(out.dim(), params_.n);
 }
@@ -155,12 +157,12 @@ TEST_F(BootstrapExact, BootstrapRefreshesToIndependentNoise)
 TEST_F(BootstrapExact, PbsOutputDimensionIsExtracted)
 {
     const uint64_t p = 8;
-    auto ct = ctx_.encryptInt(3, p);
+    auto ct = client().encryptInt(3, p);
     TorusPolynomial tv =
         makeIntTestVector(params_.N, p, [](int64_t x) { return x; });
-    auto big = programmableBootstrap(ct, tv, ctx_.bsk());
+    auto big = programmableBootstrap(ct, tv, server().bsk());
     EXPECT_EQ(big.dim(), params_.k * params_.N);
-    LweKey extracted = ctx_.glweKey().extractedLweKey();
+    LweKey extracted = client().glweKey().extractedLweKey();
     EXPECT_EQ(decodeLut(lwePhase(extracted, big), p), 3);
 }
 
@@ -179,13 +181,14 @@ TEST(BootstrapNoise, FullParameterSetI)
 {
     // End-to-end PBS at the paper's parameter set I with real noise.
     // Slow (key generation dominates); kept to a handful of messages.
-    TfheContext ctx(paramsSetI(), 7);
+    test::TestKeys keys(paramsSetI(), 7);
     const uint64_t p = 4;
     for (int64_t m = 0; m < 4; ++m) {
-        auto ct = ctx.encryptInt(m, p);
-        auto out =
-            ctx.applyLut(ct, p, [](int64_t x) { return (x + 1) % 4; });
-        EXPECT_EQ(ctx.decryptInt(out, p), (m + 1) % 4) << "m=" << m;
+        auto ct = keys.client.encryptInt(m, p);
+        auto out = keys.server.applyLut(
+            ct, p, [](int64_t x) { return (x + 1) % 4; });
+        EXPECT_EQ(keys.client.decryptInt(out, p), (m + 1) % 4)
+            << "m=" << m;
     }
 }
 

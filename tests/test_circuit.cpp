@@ -13,12 +13,12 @@
 namespace strix {
 namespace {
 
-/** Fast zero-noise context for encrypted circuit evaluation. */
-TfheContext &
-exactCtx()
+/** Fast zero-noise split keyset for encrypted circuit evaluation. */
+test::TestKeys &
+exactKeys()
 {
-    static TfheContext ctx(test::fastParams(), test::kSeedCircuit);
-    return ctx;
+    static test::TestKeys keys(test::fastParams(), test::kSeedCircuit);
+    return keys;
 }
 
 std::vector<bool>
@@ -100,24 +100,44 @@ TEST(Circuit, AdderEncryptedMatchesPlain)
 {
     const uint32_t bits = 2;
     Circuit c = buildAdder(bits);
-    auto &ctx = exactCtx();
+    test::TestKeys &keys = exactKeys();
     for (uint64_t a = 0; a < 4; ++a)
         for (uint64_t b = 0; b < 4; ++b) {
             auto in = concat(toBits(a, bits), toBits(b, bits));
-            EXPECT_EQ(fromBits(c.evalEncrypted(ctx, in)), a + b)
+            EXPECT_EQ(fromBits(c.evalEncrypted(keys.client, keys.server, in)), a + b)
                 << a << "+" << b;
         }
+}
+
+TEST(Circuit, ServerOnlyEvalMatchesConvenienceWrapper)
+{
+    // The ciphertext-in/ciphertext-out overload is the pure server
+    // path (no secret key in scope); it must agree with the
+    // encrypt-eval-decrypt wrapper.
+    const uint32_t bits = 2;
+    Circuit c = buildAdder(bits);
+    test::TestKeys &keys = exactKeys();
+    auto in = concat(toBits(2, bits), toBits(3, bits));
+    std::vector<LweCiphertext> enc;
+    for (bool bit : in)
+        enc.push_back(keys.client.encryptBit(bit));
+    std::vector<LweCiphertext> enc_out =
+        c.evalEncrypted(keys.server, enc);
+    std::vector<bool> out;
+    for (const auto &ct : enc_out)
+        out.push_back(keys.client.decryptBit(ct));
+    EXPECT_EQ(fromBits(out), 5u);
 }
 
 TEST(Circuit, LessThanEncrypted)
 {
     const uint32_t bits = 2;
     Circuit c = buildLessThan(bits);
-    auto &ctx = exactCtx();
+    test::TestKeys &keys = exactKeys();
     for (uint64_t a = 0; a < 4; ++a)
         for (uint64_t b = 0; b < 4; ++b) {
             auto in = concat(toBits(a, bits), toBits(b, bits));
-            EXPECT_EQ(c.evalEncrypted(ctx, in)[0], a < b)
+            EXPECT_EQ(c.evalEncrypted(keys.client, keys.server, in)[0], a < b)
                 << a << "<" << b;
         }
 }
@@ -130,9 +150,9 @@ TEST(Circuit, MuxAndConstEncrypted)
     Wire f = c.constant(false);
     c.output(c.mux(s, t, f)); // == s
     c.output(c.mux(s, f, t)); // == !s
-    auto &ctx = exactCtx();
+    test::TestKeys &keys = exactKeys();
     for (bool s_val : {false, true}) {
-        auto out = c.evalEncrypted(ctx, {s_val});
+        auto out = c.evalEncrypted(keys.client, keys.server, {s_val});
         EXPECT_EQ(out[0], s_val);
         EXPECT_EQ(out[1], !s_val);
     }

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * ContextCache: keygen amortization and the concurrent first-touch
+ * contract (N threads x one key -> exactly one keygen,
+ * pointer-identical bundles), plus the split-API invariants the cache
+ * rests on -- ServerContext null-keys panic and end-to-end evaluation
+ * under a cached bundle. Runs under the STRIX_TSAN CI leg (label
+ * `unit`), which is what makes the double-checked index trustworthy.
+ */
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/test_util.h"
+#include "tfhe/context_cache.h"
+#include "tfhe/server_context.h"
+
+namespace strix {
+namespace {
+
+using namespace strix::test;
+
+TEST(ContextCache, MissThenHitReturnsPointerIdenticalBundle)
+{
+    ContextCache cache;
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.keygenCount(), 0u);
+
+    auto first = cache.getOrCreate(fastParams(), kSeedContextCache);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.keygenCount(), 1u);
+
+    auto second = cache.getOrCreate(fastParams(), kSeedContextCache);
+    EXPECT_EQ(second.get(), first.get());
+    EXPECT_EQ(cache.keygenCount(), 1u) << "hit must not re-run keygen";
+}
+
+TEST(ContextCache, KeysetAndEvalKeysViewsShareOneGeneration)
+{
+    ContextCache cache;
+    auto keyset =
+        cache.getOrCreateKeyset(fastParams(), kSeedContextCache);
+    auto keys = cache.getOrCreate(fastParams(), kSeedContextCache);
+    EXPECT_EQ(keys.get(), keyset->evalKeys().get());
+    EXPECT_EQ(cache.keygenCount(), 1u);
+}
+
+TEST(ContextCache, DifferentSeedsAndParamsGetDistinctBundles)
+{
+    ContextCache cache;
+    auto a = cache.getOrCreate(fastParams(), 1);
+    auto b = cache.getOrCreate(fastParams(), 2);
+    auto c = cache.getOrCreate(midParams(), 1);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_NE(b.get(), c.get());
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.keygenCount(), 3u);
+}
+
+TEST(ContextCache, ClearKeepsOutstandingBundlesValid)
+{
+    ContextCache cache;
+    auto keys = cache.getOrCreate(fastParams(), kSeedContextCache);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    // The dropped entry must stay usable through our reference.
+    ServerContext server(keys);
+    EXPECT_EQ(server.params().N, fastParams().N);
+    // And a later lookup regenerates (a distinct allocation).
+    auto again = cache.getOrCreate(fastParams(), kSeedContextCache);
+    EXPECT_NE(again.get(), keys.get());
+    EXPECT_EQ(cache.keygenCount(), 2u);
+}
+
+TEST(ContextCache, GlobalIsOneInstance)
+{
+    EXPECT_EQ(&ContextCache::global(), &ContextCache::global());
+}
+
+/**
+ * The ISSUE's first-touch stress: many threads race getOrCreate on
+ * the same previously-unseen key. Exactly one keygen may run, and
+ * every thread must get the same published bundle. Distinct seeds
+ * raced concurrently must still come out distinct.
+ */
+TEST(ContextCache, ConcurrentFirstTouchRunsKeygenExactlyOnce)
+{
+    constexpr int kThreads = 8;
+    ContextCache cache;
+    std::atomic<int> ready{0};
+    std::vector<std::shared_ptr<const EvalKeys>> seen(kThreads);
+    std::vector<std::shared_ptr<const EvalKeys>> seen_other(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            ready.fetch_add(1);
+            while (ready.load() < kThreads) {
+            } // start barrier: maximize first-touch overlap
+            seen[t] = cache.getOrCreate(fastParams(), 42);
+            seen_other[t] =
+                cache.getOrCreate(fastParams(), 43 + uint64_t(t) % 2);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[t].get(), seen[0].get()) << "thread " << t;
+    EXPECT_NE(seen_other[0].get(), seen[0].get());
+    // seed 42 + seeds {43, 44}: exactly three cold generations.
+    EXPECT_EQ(cache.keygenCount(), 3u);
+    EXPECT_EQ(cache.size(), 3u);
+}
+
+/** A cached bundle must actually evaluate: end-to-end PBS round. */
+TEST(ContextCache, CachedBundleEvaluatesEndToEnd)
+{
+    auto keyset = ContextCache::global().getOrCreateKeyset(
+        fastParams(), kSeedContextCache);
+    ServerContext server(
+        ContextCache::global().getOrCreate(fastParams(),
+                                           kSeedContextCache));
+    const uint64_t space = 8;
+    for (int64_t m = 0; m < 4; ++m) {
+        auto ct = keyset->encryptInt(m, space);
+        auto out = server.applyLut(
+            ct, space, [](int64_t v) { return (v + 1) % 8; });
+        EXPECT_EQ(keyset->decryptInt(out, space), (m + 1) % 8);
+    }
+}
+
+TEST(ContextCacheDeathTest, ServerContextRejectsNullBundle)
+{
+    EXPECT_DEATH(ServerContext(nullptr),
+                 "ServerContext: null EvalKeys bundle");
+}
+
+} // namespace
+} // namespace strix

@@ -13,11 +13,18 @@
 namespace strix {
 namespace {
 
-TfheContext &
-exactCtx()
+test::TestKeys &
+exactKeys()
 {
-    static TfheContext ctx(test::fastParams(), test::kSeedDecisionTree);
-    return ctx;
+    static test::TestKeys keys(test::fastParams(),
+                               test::kSeedDecisionTree);
+    return keys;
+}
+
+const ClientKeyset &
+exactClient()
+{
+    return exactKeys().client;
 }
 
 /** Hand-built depth-2 tree over two features in [0,16). */
@@ -49,14 +56,14 @@ TEST(DecisionTree, PlainPredictionPaths)
 TEST(DecisionTree, EncryptedMatchesPlainSmallTree)
 {
     DecisionTree t = smallTree();
-    IntegerOps ops(exactCtx());
+    IntegerOps ops(exactKeys().server);
     for (auto f : {std::vector<uint64_t>{0, 0}, {0, 5}, {9, 0}, {9, 13},
                    {8, 4}, {7, 11}, {15, 15}}) {
         std::vector<EncryptedUint> enc;
         for (uint64_t v : f)
-            enc.push_back(ops.encrypt(v, 2)); // 2 base-4 digits
+            enc.push_back(ops.encrypt(exactClient(), v, 2)); // 2 base-4 digits
         auto out = t.predictEncrypted(ops, enc);
-        EXPECT_EQ(uint64_t(exactCtx().decryptInt(out, ops.space())),
+        EXPECT_EQ(uint64_t(exactClient().decryptInt(out, ops.space())),
                   t.predictPlain(f))
             << "f=(" << f[0] << "," << f[1] << ")";
     }
@@ -65,7 +72,7 @@ TEST(DecisionTree, EncryptedMatchesPlainSmallTree)
 TEST(DecisionTree, EncryptedMatchesPlainRandomized)
 {
     // Property sweep: random depth-3 trees, random feature vectors.
-    IntegerOps ops(exactCtx());
+    IntegerOps ops(exactKeys().server);
     Rng rng(24680);
     for (int trial = 0; trial < 3; ++trial) {
         DecisionTree t = randomTree(3, 4, 16, 1000 + trial);
@@ -74,9 +81,9 @@ TEST(DecisionTree, EncryptedMatchesPlainRandomized)
             v = rng.uniformBelow(16);
         std::vector<EncryptedUint> enc;
         for (uint64_t v : f)
-            enc.push_back(ops.encrypt(v, 2));
+            enc.push_back(ops.encrypt(exactClient(), v, 2));
         auto out = t.predictEncrypted(ops, enc);
-        EXPECT_EQ(uint64_t(exactCtx().decryptInt(out, ops.space())),
+        EXPECT_EQ(uint64_t(exactClient().decryptInt(out, ops.space())),
                   t.predictPlain(f))
             << "trial " << trial;
     }
@@ -107,24 +114,24 @@ TEST(DecisionTree, RandomTreeIsWithinBounds)
 
 TEST(DecisionTree, SelectDigitHelper)
 {
-    IntegerOps ops(exactCtx());
+    IntegerOps ops(exactKeys().server);
     auto hi = ops.trivialDigit(3);
     auto lo = ops.trivialDigit(1);
     auto one = ops.trivialDigit(1);
     auto zero = ops.trivialDigit(0);
-    EXPECT_EQ(exactCtx().decryptInt(ops.selectDigit(one, hi, lo),
+    EXPECT_EQ(exactClient().decryptInt(ops.selectDigit(one, hi, lo),
                                     ops.space()),
               3);
-    EXPECT_EQ(exactCtx().decryptInt(ops.selectDigit(zero, hi, lo),
+    EXPECT_EQ(exactClient().decryptInt(ops.selectDigit(zero, hi, lo),
                                     ops.space()),
               1);
 }
 
 TEST(DecisionTree, NotBitHelper)
 {
-    IntegerOps ops(exactCtx());
-    EXPECT_FALSE(ops.decryptBit(ops.notBit(ops.trivialDigit(1))));
-    EXPECT_TRUE(ops.decryptBit(ops.notBit(ops.trivialDigit(0))));
+    IntegerOps ops(exactKeys().server);
+    EXPECT_FALSE(ops.decryptBit(exactClient(), ops.notBit(ops.trivialDigit(1))));
+    EXPECT_TRUE(ops.decryptBit(exactClient(), ops.notBit(ops.trivialDigit(0))));
 }
 
 } // namespace

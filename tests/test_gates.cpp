@@ -8,20 +8,21 @@
 #include <gtest/gtest.h>
 
 #include "support/test_util.h"
+#include "tfhe/context.h"
 #include "tfhe/gates.h"
 
 namespace strix {
 namespace {
 
-/** Fast zero-noise context shared by the truth-table tests. */
-TfheContext &
-exactCtx()
+/** Fast zero-noise split keyset shared by the truth-table tests. */
+test::TestKeys &
+exactKeys()
 {
-    static TfheContext ctx(test::fastParams(), test::kSeedGates);
-    return ctx;
+    static test::TestKeys keys(test::fastParams(), test::kSeedGates);
+    return keys;
 }
 
-using GateFn = LweCiphertext (*)(const TfheContext &,
+using GateFn = LweCiphertext (*)(const ServerContext &,
                                  const LweCiphertext &,
                                  const LweCiphertext &);
 
@@ -38,14 +39,15 @@ class GateTruthTable : public ::testing::TestWithParam<GateCase>
 
 TEST_P(GateTruthTable, MatchesTruthTable)
 {
-    auto &ctx = exactCtx();
+    const ClientKeyset &client = exactKeys().client;
+    const ServerContext &server = exactKeys().server;
     const GateCase &gc = GetParam();
     for (int a = 0; a < 2; ++a) {
         for (int b = 0; b < 2; ++b) {
-            auto ca = ctx.encryptBit(a);
-            auto cb = ctx.encryptBit(b);
-            auto out = gc.fn(ctx, ca, cb);
-            EXPECT_EQ(ctx.decryptBit(out), gc.truth[a * 2 + b])
+            auto ca = client.encryptBit(a);
+            auto cb = client.encryptBit(b);
+            auto out = gc.fn(server, ca, cb);
+            EXPECT_EQ(client.decryptBit(out), gc.truth[a * 2 + b])
                 << gc.name << "(" << a << "," << b << ")";
         }
     }
@@ -70,60 +72,64 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Gates, NotIsFreeAndCorrect)
 {
-    auto &ctx = exactCtx();
+    // No server here on purpose: NOT is linear, no bootstrap at all.
+    const ClientKeyset &client = exactKeys().client;
     for (int a = 0; a < 2; ++a) {
-        auto ca = ctx.encryptBit(a);
-        EXPECT_EQ(ctx.decryptBit(gateNot(ca)), !a);
+        auto ca = client.encryptBit(a);
+        EXPECT_EQ(client.decryptBit(gateNot(ca)), !a);
     }
 }
 
 TEST(Gates, MuxSelects)
 {
-    auto &ctx = exactCtx();
+    const ClientKeyset &client = exactKeys().client;
+    const ServerContext &server = exactKeys().server;
     for (int a = 0; a < 2; ++a)
         for (int b = 0; b < 2; ++b)
             for (int c = 0; c < 2; ++c) {
-                auto out = gateMux(ctx, ctx.encryptBit(a),
-                                   ctx.encryptBit(b), ctx.encryptBit(c));
-                EXPECT_EQ(ctx.decryptBit(out), a ? b : c)
+                auto out = gateMux(server, client.encryptBit(a),
+                                   client.encryptBit(b), client.encryptBit(c));
+                EXPECT_EQ(client.decryptBit(out), a ? b : c)
                     << a << b << c;
             }
 }
 
 TEST(Gates, DoubleNandIsAnd)
 {
-    auto &ctx = exactCtx();
+    const ClientKeyset &client = exactKeys().client;
+    const ServerContext &server = exactKeys().server;
     for (int a = 0; a < 2; ++a)
         for (int b = 0; b < 2; ++b) {
-            auto nand = gateNand(ctx, ctx.encryptBit(a),
-                                 ctx.encryptBit(b));
-            auto and2 = gateNand(ctx, nand, nand);
-            EXPECT_EQ(ctx.decryptBit(and2), a && b);
+            auto nand = gateNand(server, client.encryptBit(a),
+                                 client.encryptBit(b));
+            auto and2 = gateNand(server, nand, nand);
+            EXPECT_EQ(client.decryptBit(and2), a && b);
         }
 }
 
 /** 2-bit ripple-carry adder built from bootstrapped gates. */
 TEST(Gates, TwoBitRippleAdder)
 {
-    auto &ctx = exactCtx();
+    const ClientKeyset &client = exactKeys().client;
+    const ServerContext &server = exactKeys().server;
     auto add2 = [&](int x, int y) {
-        LweCiphertext x0 = ctx.encryptBit(x & 1);
-        LweCiphertext x1 = ctx.encryptBit((x >> 1) & 1);
-        LweCiphertext y0 = ctx.encryptBit(y & 1);
-        LweCiphertext y1 = ctx.encryptBit((y >> 1) & 1);
+        LweCiphertext x0 = client.encryptBit(x & 1);
+        LweCiphertext x1 = client.encryptBit((x >> 1) & 1);
+        LweCiphertext y0 = client.encryptBit(y & 1);
+        LweCiphertext y1 = client.encryptBit((y >> 1) & 1);
 
         // bit 0
-        auto s0 = gateXor(ctx, x0, y0);
-        auto c0 = gateAnd(ctx, x0, y0);
+        auto s0 = gateXor(server, x0, y0);
+        auto c0 = gateAnd(server, x0, y0);
         // bit 1
-        auto t = gateXor(ctx, x1, y1);
-        auto s1 = gateXor(ctx, t, c0);
-        auto carry1 = gateAnd(ctx, x1, y1);
-        auto carry2 = gateAnd(ctx, t, c0);
-        auto c1 = gateOr(ctx, carry1, carry2);
+        auto t = gateXor(server, x1, y1);
+        auto s1 = gateXor(server, t, c0);
+        auto carry1 = gateAnd(server, x1, y1);
+        auto carry2 = gateAnd(server, t, c0);
+        auto c1 = gateOr(server, carry1, carry2);
 
-        int result = ctx.decryptBit(s0) | (ctx.decryptBit(s1) << 1) |
-                     (ctx.decryptBit(c1) << 2);
+        int result = client.decryptBit(s0) | (client.decryptBit(s1) << 1) |
+                     (client.decryptBit(c1) << 2);
         return result;
     };
 
@@ -134,7 +140,8 @@ TEST(Gates, TwoBitRippleAdder)
 
 TEST(Gates, NoisyNandAtParameterSetI)
 {
-    // End-to-end with the paper's 110-bit parameters and real noise.
+    // End-to-end with the paper's 110-bit parameters and real noise,
+    // exercising the TfheContext facade (implicit ServerContext view).
     TfheContext ctx(paramsSetI(), 321);
     for (int a = 0; a < 2; ++a)
         for (int b = 0; b < 2; ++b) {
@@ -146,12 +153,13 @@ TEST(Gates, NoisyNandAtParameterSetI)
 
 TEST(Gates, StatsInstrumentationAccumulates)
 {
-    auto &ctx = exactCtx();
+    const ClientKeyset &client = exactKeys().client;
+    const ServerContext &server = exactKeys().server;
     gateStatsReset();
     gateStatsEnable(true);
-    auto out = gateNand(ctx, ctx.encryptBit(true), ctx.encryptBit(false));
+    auto out = gateNand(server, client.encryptBit(true), client.encryptBit(false));
     gateStatsEnable(false);
-    EXPECT_TRUE(ctx.decryptBit(out));
+    EXPECT_TRUE(client.decryptBit(out));
     const GateStats &s = gateStats();
     EXPECT_GT(s.total(), 0.0);
     EXPECT_GT(s.fft_s, 0.0);

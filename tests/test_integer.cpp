@@ -7,111 +7,118 @@
 #include <gtest/gtest.h>
 
 #include "support/test_util.h"
+#include "tfhe/context.h"
 #include "tfhe/integer.h"
 
 namespace strix {
 namespace {
 
-TfheContext &
-exactCtx()
+test::TestKeys &
+exactKeys()
 {
-    static TfheContext ctx(test::fastParams(), test::kSeedInteger);
-    return ctx;
+    static test::TestKeys keys(test::fastParams(), test::kSeedInteger);
+    return keys;
+}
+
+const ClientKeyset &
+exactClient()
+{
+    return exactKeys().client;
 }
 
 TEST(Integer, EncryptDecryptRoundTrip)
 {
-    IntegerOps ops(exactCtx());
+    IntegerOps ops(exactKeys().server);
     for (uint64_t v : {0ull, 1ull, 37ull, 255ull}) {
-        auto x = ops.encrypt(v, 4); // 4 base-4 digits = 8 bits
-        EXPECT_EQ(ops.decrypt(x), v) << v;
+        auto x = ops.encrypt(exactClient(), v, 4); // 4 base-4 digits = 8 bits
+        EXPECT_EQ(ops.decrypt(exactClient(), x), v) << v;
     }
 }
 
 TEST(Integer, DecryptReducesModuloRange)
 {
-    IntegerOps ops(exactCtx());
-    auto x = ops.encrypt(300, 4); // 300 mod 256 = 44
-    EXPECT_EQ(ops.decrypt(x), 44u);
+    IntegerOps ops(exactKeys().server);
+    auto x = ops.encrypt(exactClient(), 300, 4); // 300 mod 256 = 44
+    EXPECT_EQ(ops.decrypt(exactClient(), x), 44u);
 }
 
 TEST(Integer, AdditionExhaustiveOneDigit)
 {
-    IntegerOps ops(exactCtx());
+    IntegerOps ops(exactKeys().server);
     for (uint64_t a = 0; a < 4; ++a)
         for (uint64_t b = 0; b < 4; ++b) {
-            auto ea = ops.encrypt(a, 1);
-            auto eb = ops.encrypt(b, 1);
-            EXPECT_EQ(ops.decrypt(ops.add(ea, eb)), (a + b) % 4)
+            auto ea = ops.encrypt(exactClient(), a, 1);
+            auto eb = ops.encrypt(exactClient(), b, 1);
+            EXPECT_EQ(ops.decrypt(exactClient(), ops.add(ea, eb)), (a + b) % 4)
                 << a << "+" << b;
         }
 }
 
 TEST(Integer, AdditionWithCarriesAcrossDigits)
 {
-    IntegerOps ops(exactCtx());
+    IntegerOps ops(exactKeys().server);
     struct Case
     {
         uint64_t a, b;
     };
     for (auto [a, b] : {Case{13, 7}, Case{63, 1}, Case{42, 42},
                         Case{255, 255}, Case{0, 0}, Case{170, 85}}) {
-        auto ea = ops.encrypt(a, 4);
-        auto eb = ops.encrypt(b, 4);
-        EXPECT_EQ(ops.decrypt(ops.add(ea, eb)), (a + b) % 256)
+        auto ea = ops.encrypt(exactClient(), a, 4);
+        auto eb = ops.encrypt(exactClient(), b, 4);
+        EXPECT_EQ(ops.decrypt(exactClient(), ops.add(ea, eb)), (a + b) % 256)
             << a << "+" << b;
     }
 }
 
 TEST(Integer, SubtractionWithBorrows)
 {
-    IntegerOps ops(exactCtx());
+    IntegerOps ops(exactKeys().server);
     struct Case
     {
         uint64_t a, b;
     };
     for (auto [a, b] : {Case{13, 7}, Case{7, 13}, Case{0, 1},
                         Case{255, 254}, Case{128, 64}}) {
-        auto ea = ops.encrypt(a, 4);
-        auto eb = ops.encrypt(b, 4);
-        EXPECT_EQ(ops.decrypt(ops.sub(ea, eb)), (a - b) & 0xFF)
+        auto ea = ops.encrypt(exactClient(), a, 4);
+        auto eb = ops.encrypt(exactClient(), b, 4);
+        EXPECT_EQ(ops.decrypt(exactClient(), ops.sub(ea, eb)), (a - b) & 0xFF)
             << a << "-" << b;
     }
 }
 
 TEST(Integer, AddScalar)
 {
-    IntegerOps ops(exactCtx());
-    auto x = ops.encrypt(100, 4);
-    EXPECT_EQ(ops.decrypt(ops.addScalar(x, 55)), 155u);
-    EXPECT_EQ(ops.decrypt(ops.addScalar(x, 200)), (100u + 200u) % 256);
+    IntegerOps ops(exactKeys().server);
+    auto x = ops.encrypt(exactClient(), 100, 4);
+    EXPECT_EQ(ops.decrypt(exactClient(), ops.addScalar(x, 55)), 155u);
+    EXPECT_EQ(ops.decrypt(exactClient(), ops.addScalar(x, 200)), (100u + 200u) % 256);
 }
 
 TEST(Integer, EqualityBit)
 {
-    IntegerOps ops(exactCtx());
-    auto a = ops.encrypt(170, 4);
-    auto b = ops.encrypt(170, 4);
-    auto c = ops.encrypt(169, 4);
-    EXPECT_TRUE(ops.decryptBit(ops.equal(a, b)));
-    EXPECT_FALSE(ops.decryptBit(ops.equal(a, c)));
+    IntegerOps ops(exactKeys().server);
+    auto a = ops.encrypt(exactClient(), 170, 4);
+    auto b = ops.encrypt(exactClient(), 170, 4);
+    auto c = ops.encrypt(exactClient(), 169, 4);
+    EXPECT_TRUE(ops.decryptBit(exactClient(), ops.equal(a, b)));
+    EXPECT_FALSE(ops.decryptBit(exactClient(), ops.equal(a, c)));
     // Differ only in the most-significant digit.
-    auto d = ops.encrypt(170 ^ 0xC0, 4);
-    EXPECT_FALSE(ops.decryptBit(ops.equal(a, d)));
+    auto d = ops.encrypt(exactClient(), 170 ^ 0xC0, 4);
+    EXPECT_FALSE(ops.decryptBit(exactClient(), ops.equal(a, d)));
 }
 
 TEST(Integer, LessThan)
 {
-    IntegerOps ops(exactCtx());
+    IntegerOps ops(exactKeys().server);
     struct Case
     {
         uint64_t a, b;
     };
     for (auto [a, b] : {Case{3, 5}, Case{5, 3}, Case{7, 7}, Case{0, 255},
                         Case{255, 0}, Case{128, 129}}) {
-        auto ea = ops.encrypt(a, 4);
-        auto eb = ops.encrypt(b, 4);
-        EXPECT_EQ(ops.decryptBit(ops.lessThan(ea, eb)), a < b)
+        auto ea = ops.encrypt(exactClient(), a, 4);
+        auto eb = ops.encrypt(exactClient(), b, 4);
+        EXPECT_EQ(ops.decryptBit(exactClient(), ops.lessThan(ea, eb)), a < b)
             << a << "<" << b;
     }
 }
@@ -120,12 +127,12 @@ TEST(Integer, ChainedArithmeticStaysCorrect)
 {
     // (a + b) - c + 9, all encrypted: PBS refreshes noise at every
     // digit, so chains of any depth stay exact.
-    IntegerOps ops(exactCtx());
-    auto a = ops.encrypt(99, 4);
-    auto b = ops.encrypt(120, 4);
-    auto c = ops.encrypt(33, 4);
+    IntegerOps ops(exactKeys().server);
+    auto a = ops.encrypt(exactClient(), 99, 4);
+    auto b = ops.encrypt(exactClient(), 120, 4);
+    auto c = ops.encrypt(exactClient(), 33, 4);
     auto r = ops.addScalar(ops.sub(ops.add(a, b), c), 9);
-    EXPECT_EQ(ops.decrypt(r), (99u + 120 - 33 + 9) % 256);
+    EXPECT_EQ(ops.decrypt(exactClient(), r), (99u + 120 - 33 + 9) % 256);
 }
 
 TEST(Integer, PbsCostModel)
@@ -136,12 +143,14 @@ TEST(Integer, PbsCostModel)
 
 TEST(Integer, NoisyAdditionAtSetI)
 {
-    // Real noise spot check: one 8-bit addition at parameter set I.
+    // Real noise spot check: one 8-bit addition at parameter set I,
+    // through the TfheContext facade (client() + implicit server view).
     TfheContext ctx(paramsSetI(), 8642);
     IntegerOps ops(ctx);
-    auto a = ops.encrypt(173, 4);
-    auto b = ops.encrypt(91, 4);
-    EXPECT_EQ(ops.decrypt(ops.add(a, b)), (173u + 91u) % 256);
+    auto a = ops.encrypt(ctx.client(), 173, 4);
+    auto b = ops.encrypt(ctx.client(), 91, 4);
+    EXPECT_EQ(ops.decrypt(ctx.client(), ops.add(a, b)),
+              (173u + 91u) % 256);
 }
 
 } // namespace

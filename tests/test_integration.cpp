@@ -22,53 +22,74 @@
 namespace strix {
 namespace {
 
-TfheContext &
-exactCtx()
+test::TestKeys &
+exactKeys()
 {
-    static TfheContext ctx(test::fastParams(), test::kSeedIntegration);
-    return ctx;
+    static test::TestKeys keys(test::fastParams(),
+                               test::kSeedIntegration);
+    return keys;
 }
 
 TEST(Integration, ClientServerRoundTrip)
 {
-    // Client encrypts, serializes; "server" deserializes, computes a
-    // homomorphic LUT, serializes the result; client decrypts.
-    auto &ctx = exactCtx();
+    // Client encrypts, serializes; the server deserializes, computes
+    // a homomorphic LUT, serializes the result; client decrypts. The
+    // server block sees only ServerContext -- no secret key in scope.
+    const ClientKeyset &client = exactKeys().client;
+    const ServerContext &server = exactKeys().server;
     const uint64_t space = 8;
 
     std::stringstream wire;
     {
-        auto ct = ctx.encryptInt(5, space);
+        auto ct = client.encryptInt(5, space);
         serialize(wire, ct);
     }
     std::stringstream back;
     {
         // Server side: only the ciphertext and public keys.
         LweCiphertext ct = deserializeLweCiphertext(wire);
-        auto out = ctx.applyLut(
+        auto out = server.applyLut(
             ct, space, [](int64_t x) { return (7 - x) % 8; });
         serialize(back, out);
     }
     LweCiphertext result = deserializeLweCiphertext(back);
-    EXPECT_EQ(ctx.decryptInt(result, space), 2);
+    EXPECT_EQ(client.decryptInt(result, space), 2);
+}
+
+TEST(Integration, EvalKeysShipAcrossTheWire)
+{
+    // The full key-export flow: the client serializes its EvalKeys
+    // bundle, a fresh remote ServerContext stands on the deserialized
+    // copy and answers a LUT query the client can decrypt.
+    const ClientKeyset &client = exactKeys().client;
+    std::stringstream wire;
+    serialize(wire, *client.evalKeys());
+
+    ServerContext remote(deserializeEvalKeys(wire));
+    const uint64_t space = 8;
+    auto ct = client.encryptInt(3, space);
+    auto out = remote.applyLut(
+        ct, space, [](int64_t x) { return (x * 2) % 8; });
+    EXPECT_EQ(client.decryptInt(out, space), 6);
 }
 
 TEST(Integration, KskShipsAcrossTheWire)
 {
     // Serialize the keyswitching key, rebuild it, and run a full
     // PBS + (deserialized) KS chain.
-    auto &ctx = exactCtx();
+    const ClientKeyset &client = exactKeys().client;
+    const ServerContext &server = exactKeys().server;
     std::stringstream wire;
-    serialize(wire, ctx.ksk());
+    serialize(wire, server.ksk());
     KeySwitchKey ksk = deserializeKeySwitchKey(wire);
 
     const uint64_t space = 8;
-    auto ct = ctx.encryptInt(3, space);
+    auto ct = client.encryptInt(3, space);
     TorusPolynomial tv = makeIntTestVector(
-        ctx.params().N, space, [](int64_t x) { return x * 2 % 8; });
-    auto big = programmableBootstrap(ct, tv, ctx.bsk());
+        server.params().N, space, [](int64_t x) { return x * 2 % 8; });
+    auto big = programmableBootstrap(ct, tv, server.bsk());
     auto out = keySwitch(big, ksk);
-    EXPECT_EQ(ctx.decryptInt(out, space), 6);
+    EXPECT_EQ(client.decryptInt(out, space), 6);
 }
 
 TEST(Integration, CircuitGraphConsistentWithFunctionalCost)

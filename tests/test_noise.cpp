@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "tfhe/context.h"
+#include "support/test_util.h"
 #include "tfhe/noise.h"
 
 namespace strix {
@@ -139,18 +139,18 @@ TEST(Noise, PbsOutputEmpiricalWithinBound)
 {
     // Full end-to-end: bootstrap a known message many times at set I
     // and compare the measured output-phase variance to the bound.
-    TfheContext ctx(paramsSetI(), 19);
+    test::TestKeys keys(paramsSetI(), 19);
     NoiseModel model(paramsSetI());
     const uint64_t space = 4;
-    TorusPolynomial tv = makeIntTestVector(ctx.params().N, space,
-                                           [](int64_t x) { return x; });
+    TorusPolynomial tv = makeIntTestVector(
+        keys.server.params().N, space, [](int64_t x) { return x; });
     NoiseStats stats;
     for (int i = 0; i < 12; ++i) {
-        auto ct = ctx.encryptInt(1, space);
-        auto out = ctx.bootstrap(ct, tv);
+        auto ct = keys.client.encryptInt(1, space);
+        auto out = keys.server.bootstrap(ct, tv);
         Torus32 expected = encodeLut(1, space);
-        stats.add(
-            torus32ToDouble(lwePhase(ctx.lweKey(), out) - expected));
+        stats.add(torus32ToDouble(
+            lwePhase(keys.client.lweKey(), out) - expected));
     }
     stats.finalize();
     EXPECT_LT(stats.worst, std::sqrt(model.pbsOutput()) * 8 + 1.0 / 64);

@@ -9,6 +9,7 @@
  */
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -18,7 +19,7 @@
 #include "poly/complex_fft.h"
 #include "poly/negacyclic_fft.h"
 #include "support/test_util.h"
-#include "tfhe/context.h"
+#include "tfhe/server_context.h"
 
 using namespace strix;
 using namespace strix::test;
@@ -149,7 +150,7 @@ TEST(FftPlanCache, PrewarmPublishesPlan)
 class BatchPbs : public ::testing::Test
 {
   protected:
-    BatchPbs() : ctx_(fastParams(), kSeedParallel) {}
+    BatchPbs() : keys_(fastParams(), kSeedParallel) {}
 
     static constexpr uint64_t kSpace = 8;
 
@@ -158,32 +159,34 @@ class BatchPbs : public ::testing::Test
         std::vector<LweCiphertext> cts;
         for (size_t i = 0; i < count; ++i)
             cts.push_back(
-                ctx_.encryptInt(int64_t(i % kSpace), kSpace));
+                keys_.client.encryptInt(int64_t(i % kSpace), kSpace));
         return cts;
     }
 
-    TfheContext ctx_;
+    TestKeys keys_;
+    const ClientKeyset &client() { return keys_.client; }
+    ServerContext &server() { return keys_.server; }
 };
 
 TEST_F(BatchPbs, BatchMatchesSequentialBitExact)
 {
     auto cts = encryptRange(12);
     TorusPolynomial tv = makeIntTestVector(
-        ctx_.params().N, kSpace,
+        server().params().N, kSpace,
         [](int64_t v) { return (v + 3) % int64_t(kSpace); });
 
     std::vector<LweCiphertext> seq;
     for (const auto &ct : cts)
-        seq.push_back(ctx_.bootstrap(ct, tv));
+        seq.push_back(server().bootstrap(ct, tv));
 
-    ctx_.setBatchThreads(4);
-    ASSERT_EQ(ctx_.batchThreads(), 4u);
-    std::vector<LweCiphertext> batch = ctx_.bootstrapBatch(cts, tv);
+    server().setBatchThreads(4);
+    ASSERT_EQ(server().batchThreads(), 4u);
+    std::vector<LweCiphertext> batch = server().bootstrapBatch(cts, tv);
 
     ASSERT_EQ(batch.size(), seq.size());
     for (size_t i = 0; i < batch.size(); ++i) {
         expectSameCiphertext(batch[i], seq[i], i);
-        EXPECT_EQ(ctx_.decryptInt(batch[i], kSpace),
+        EXPECT_EQ(client().decryptInt(batch[i], kSpace),
                   int64_t((i % kSpace + 3) % kSpace));
     }
 }
@@ -193,26 +196,26 @@ TEST_F(BatchPbs, ApplyLutBatchMatchesApplyLut)
     auto cts = encryptRange(6);
     auto square = [](int64_t v) { return (v * v) % int64_t(kSpace); };
 
-    ctx_.setBatchThreads(3);
+    server().setBatchThreads(3);
     std::vector<LweCiphertext> batch =
-        ctx_.applyLutBatch(cts, kSpace, square);
+        server().applyLutBatch(cts, kSpace, square);
 
     ASSERT_EQ(batch.size(), cts.size());
     for (size_t i = 0; i < cts.size(); ++i)
-        expectSameCiphertext(batch[i], ctx_.applyLut(cts[i], kSpace, square),
-                             i);
+        expectSameCiphertext(
+            batch[i], server().applyLut(cts[i], kSpace, square), i);
 }
 
 TEST_F(BatchPbs, DeterministicAcrossThreadCounts)
 {
     auto cts = encryptRange(9);
     TorusPolynomial tv = makeIntTestVector(
-        ctx_.params().N, kSpace, [](int64_t v) { return v; });
+        server().params().N, kSpace, [](int64_t v) { return v; });
 
-    ctx_.setBatchThreads(1);
-    std::vector<LweCiphertext> one = ctx_.bootstrapBatch(cts, tv);
-    ctx_.setBatchThreads(4);
-    std::vector<LweCiphertext> four = ctx_.bootstrapBatch(cts, tv);
+    server().setBatchThreads(1);
+    std::vector<LweCiphertext> one = server().bootstrapBatch(cts, tv);
+    server().setBatchThreads(4);
+    std::vector<LweCiphertext> four = server().bootstrapBatch(cts, tv);
 
     ASSERT_EQ(one.size(), four.size());
     for (size_t i = 0; i < one.size(); ++i)
@@ -231,12 +234,12 @@ TEST_F(BatchPbs, SharedContextConcurrentBootstrapsMatchSequential)
     constexpr int kPerThread = 3;
     auto cts = encryptRange(kThreads * kPerThread);
     TorusPolynomial tv = makeIntTestVector(
-        ctx_.params().N, kSpace,
+        server().params().N, kSpace,
         [](int64_t v) { return (2 * v) % int64_t(kSpace); });
 
     std::vector<LweCiphertext> seq;
     for (const auto &ct : cts)
-        seq.push_back(ctx_.bootstrap(ct, tv));
+        seq.push_back(server().bootstrap(ct, tv));
 
     std::vector<LweCiphertext> conc(cts.size());
     std::vector<std::thread> threads;
@@ -244,7 +247,7 @@ TEST_F(BatchPbs, SharedContextConcurrentBootstrapsMatchSequential)
         threads.emplace_back([&, t] {
             for (int i = 0; i < kPerThread; ++i) {
                 size_t idx = size_t(t) * kPerThread + i;
-                conc[idx] = ctx_.bootstrap(cts[idx], tv);
+                conc[idx] = server().bootstrap(cts[idx], tv);
             }
         });
     }
@@ -260,16 +263,127 @@ TEST_F(BatchPbs, ConcurrentBatchCallsAreSafe)
 {
     auto cts = encryptRange(4);
     TorusPolynomial tv = makeIntTestVector(
-        ctx_.params().N, kSpace, [](int64_t v) { return v; });
-    ctx_.setBatchThreads(2);
+        server().params().N, kSpace, [](int64_t v) { return v; });
+    server().setBatchThreads(2);
 
     std::vector<LweCiphertext> a, b;
     std::thread other(
-        [&] { a = ctx_.bootstrapBatch(cts, tv); });
-    b = ctx_.bootstrapBatch(cts, tv);
+        [&] { a = server().bootstrapBatch(cts, tv); });
+    b = server().bootstrapBatch(cts, tv);
     other.join();
 
     ASSERT_EQ(a.size(), b.size());
     for (size_t i = 0; i < a.size(); ++i)
         expectSameCiphertext(a[i], b[i], i);
+}
+
+/**
+ * Regression for the setBatchThreads race (documented-but-unchecked
+ * before the split API): resizing the pool while batches are in
+ * flight must be safe and leave every result bit-identical -- each
+ * batch snapshots its pool, so a replacement can never destroy a pool
+ * a running batch still uses. TSan watches this under STRIX_TSAN.
+ */
+TEST_F(BatchPbs, SetBatchThreadsDuringInFlightBatchesIsSafe)
+{
+    auto cts = encryptRange(8);
+    TorusPolynomial tv = makeIntTestVector(
+        server().params().N, kSpace, [](int64_t v) { return v; });
+
+    std::vector<LweCiphertext> expected =
+        server().bootstrapBatch(cts, tv);
+
+    constexpr int kRounds = 6;
+    std::vector<std::vector<LweCiphertext>> results(kRounds);
+    std::atomic<bool> stop{false};
+    std::thread resizer([&] {
+        unsigned next = 1;
+        while (!stop.load()) {
+            server().setBatchThreads(1 + next++ % 4);
+            std::this_thread::yield();
+        }
+    });
+    std::vector<std::thread> batchers;
+    for (int r = 0; r < kRounds; ++r) {
+        batchers.emplace_back([&, r] {
+            results[r] = server().bootstrapBatch(cts, tv);
+        });
+    }
+    for (auto &t : batchers)
+        t.join();
+    stop = true;
+    resizer.join();
+
+    for (int r = 0; r < kRounds; ++r) {
+        ASSERT_EQ(results[r].size(), expected.size()) << "round " << r;
+        for (size_t i = 0; i < expected.size(); ++i)
+            expectSameCiphertext(results[r][i], expected[i], i);
+    }
+}
+
+/**
+ * The zero-duplication sharing contract: any number of ServerContexts
+ * built on one EvalKeys bundle reference the same key material
+ * (pointer-identical bsk/ksk) and evaluate bit-identically, including
+ * concurrently.
+ */
+TEST_F(BatchPbs, ManyServerContextsShareOneEvalKeysBundle)
+{
+    auto cts = encryptRange(6);
+    TorusPolynomial tv = makeIntTestVector(
+        server().params().N, kSpace, [](int64_t v) { return v; });
+    std::vector<LweCiphertext> expected =
+        server().bootstrapBatch(cts, tv);
+
+    constexpr int kContexts = 3;
+    std::vector<std::unique_ptr<ServerContext>> servers;
+    for (int s = 0; s < kContexts; ++s)
+        servers.push_back(
+            std::make_unique<ServerContext>(client().evalKeys()));
+
+    std::vector<std::vector<LweCiphertext>> results(kContexts);
+    std::vector<std::thread> threads;
+    for (int s = 0; s < kContexts; ++s) {
+        EXPECT_EQ(&servers[s]->bsk(), &server().bsk());
+        EXPECT_EQ(&servers[s]->ksk(), &server().ksk());
+        threads.emplace_back([&, s] {
+            servers[s]->setBatchThreads(unsigned(s) + 1);
+            results[s] = servers[s]->bootstrapBatch(cts, tv);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (int s = 0; s < kContexts; ++s) {
+        ASSERT_EQ(results[s].size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i)
+            expectSameCiphertext(results[s][i], expected[i], i);
+    }
+}
+
+/**
+ * The satellite-1 contract: encryptBit/encryptInt are now safe to
+ * call concurrently on one shared keyset (internal RNG mutex); every
+ * resulting ciphertext must decrypt to its message.
+ */
+TEST_F(BatchPbs, ConcurrentEncryptionsAreSafeAndDecrypt)
+{
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 32;
+    std::vector<LweCiphertext> cts(kThreads * kPerThread);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                size_t idx = size_t(t) * kPerThread + i;
+                cts[idx] = client().encryptInt(
+                    int64_t(idx % kSpace), kSpace);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (size_t i = 0; i < cts.size(); ++i)
+        EXPECT_EQ(client().decryptInt(cts[i], kSpace),
+                  int64_t(i % kSpace));
 }

@@ -8,7 +8,7 @@
 
 #include "strix/accelerator.h"
 #include "strix/area_model.h"
-#include "tfhe/context.h"
+#include "support/test_util.h"
 
 namespace strix {
 namespace {
@@ -25,14 +25,14 @@ class PbsShapeSweep : public ::testing::TestWithParam<PbsShape>
 TEST_P(PbsShapeSweep, ExactLutAcrossShapes)
 {
     const PbsShape s = GetParam();
-    TfheContext ctx(testParams(s.n, s.big_n, s.k, s.l, s.bg, 0.0),
-                    7000 + s.n + s.big_n + s.k);
+    test::TestKeys keys(testParams(s.n, s.big_n, s.k, s.l, s.bg, 0.0),
+                        7000 + s.n + s.big_n + s.k);
     const uint64_t space = 8;
     for (int64_t m : {0, 3, 7}) {
-        auto ct = ctx.encryptInt(m, space);
-        auto out = ctx.applyLut(
+        auto ct = keys.client.encryptInt(m, space);
+        auto out = keys.server.applyLut(
             ct, space, [](int64_t x) { return (3 * x + 2) % 8; });
-        EXPECT_EQ(ctx.decryptInt(out, space), (3 * m + 2) % 8)
+        EXPECT_EQ(keys.client.decryptInt(out, space), (3 * m + 2) % 8)
             << "m=" << m << " n=" << s.n << " N=" << s.big_n
             << " k=" << s.k << " l=" << s.l;
     }

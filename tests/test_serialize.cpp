@@ -97,13 +97,13 @@ TEST(Serialize, KeySwitchKeyRoundTripFunctional)
 
 TEST(Serialize, EncryptedUintRoundTrip)
 {
-    TfheContext ctx(testParams(32, 256, 1, 3, 8, 0.0), 99);
-    IntegerOps ops(ctx);
-    EncryptedUint x = ops.encrypt(201, 4);
+    test::TestKeys keys(testParams(32, 256, 1, 3, 8, 0.0), 99);
+    IntegerOps ops(keys.server);
+    EncryptedUint x = ops.encrypt(keys.client, 201, 4);
     std::stringstream ss;
     serialize(ss, x);
     EncryptedUint back = deserializeEncryptedUint(ss);
-    EXPECT_EQ(ops.decrypt(back), 201u);
+    EXPECT_EQ(ops.decrypt(keys.client, back), 201u);
     EXPECT_EQ(back.digit_bits, x.digit_bits);
 }
 
@@ -365,6 +365,180 @@ TEST(SerializeFuzz, ImplausibleVectorLengthRejectedWithoutAllocating)
     std::memcpy(&bytes[8], &capped, sizeof(capped));
     std::stringstream truncated(bytes);
     EXPECT_THROW(deserializeLweCiphertext(truncated), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// EvalKeys bundles: the shipped server keyset gets the same hostile-
+// input hardening as ciphertexts -- functional round-trip, randomized
+// shape sweep, truncation, header bit-flips, payload byte-flips.
+
+/** Tiny bundle the fuzz sweeps can afford to re-serialize often. */
+const EvalKeys &
+tinyEvalKeys()
+{
+    static test::TestKeys keys(testParams(16, 64, 1, 2, 8, 0.0),
+                               test::kSeedSerialize);
+    return *keys.client.evalKeys();
+}
+
+TEST(SerializeEvalKeys, RoundTripEvaluatesBitIdentically)
+{
+    // A server standing on the deserialized bundle must produce
+    // ciphertexts bit-identical to the original context's: the
+    // frequency-domain BSK rows round-trip exactly.
+    test::TestKeys keys(testParams(32, 256, 1, 3, 8, 0.0),
+                        test::kSeedSerialize);
+    std::stringstream wire;
+    serialize(wire, *keys.client.evalKeys());
+
+    std::shared_ptr<const EvalKeys> shipped = deserializeEvalKeys(wire);
+    ASSERT_NE(shipped, nullptr);
+    EXPECT_EQ(shipped->params().N, 256u);
+    ServerContext remote(shipped);
+
+    const uint64_t space = 8;
+    auto square = [](int64_t v) { return (v * v) % 8; };
+    for (int64_t m = 0; m < 4; ++m) {
+        auto ct = keys.client.encryptInt(m, space);
+        LweCiphertext here = keys.server.applyLut(ct, space, square);
+        LweCiphertext there = remote.applyLut(ct, space, square);
+        EXPECT_EQ(here.raw(), there.raw()) << "m=" << m;
+        EXPECT_EQ(keys.client.decryptInt(there, space), (m * m) % 8);
+    }
+}
+
+TEST(SerializeEvalKeys, StandaloneBskFrameRoundTrips)
+{
+    // The BSK frame also reads standalone (no params frame to cross-
+    // check against): the rebuilt key must re-serialize byte-exactly
+    // and carry the shape fields through its synthesized params.
+    const EvalKeys &keys = tinyEvalKeys();
+    const std::string bytes = frameBytes(keys.bsk());
+    std::stringstream ss(bytes);
+    BootstrappingKey back = deserializeBootstrappingKey(ss);
+    EXPECT_EQ(back.n(), keys.bsk().n());
+    EXPECT_EQ(back.params().N, keys.params().N);
+    EXPECT_EQ(back.params().k, keys.params().k);
+    EXPECT_EQ(back.params().l_bsk, keys.params().l_bsk);
+    EXPECT_EQ(frameBytes(back), bytes);
+}
+
+TEST(SerializeEvalKeys, RandomShapeRoundTripSweep)
+{
+    // Re-serializing the deserialized bundle must reproduce the frame
+    // byte-for-byte across random small key shapes.
+    Rng rng(606);
+    for (int iter = 0; iter < 4; ++iter) {
+        uint32_t n = 4 + uint32_t(rng.uniformBelow(12));
+        uint32_t big_n = 16u << rng.uniformBelow(3);
+        uint32_t k = 1 + uint32_t(rng.uniformBelow(2));
+        uint32_t l = 1 + uint32_t(rng.uniformBelow(3));
+        ClientKeyset client(testParams(n, big_n, k, l, 8, 0.0),
+                            1000 + uint64_t(iter));
+
+        const std::string bytes = frameBytes(*client.evalKeys());
+        std::stringstream ss(bytes);
+        std::shared_ptr<const EvalKeys> back = deserializeEvalKeys(ss);
+        EXPECT_EQ(frameBytes(*back), bytes)
+            << "n=" << n << " N=" << big_n << " k=" << k << " l=" << l;
+    }
+}
+
+TEST(SerializeEvalKeys, StrictPrefixSampleThrows)
+{
+    // The frame is ~100 KiB, so (unlike the small-frame sweep above)
+    // cutting at *every* byte is quadratic; sample instead: the whole
+    // header/shape region densely, then strided and random interior
+    // cuts, and the last bytes.
+    const std::string bytes = frameBytes(tinyEvalKeys());
+    ASSERT_GT(bytes.size(), 512u);
+
+    std::vector<size_t> cuts;
+    for (size_t c = 0; c < 256; ++c)
+        cuts.push_back(c);
+    for (size_t c = 256; c < bytes.size(); c += 997)
+        cuts.push_back(c);
+    Rng rng(707);
+    for (int i = 0; i < 64; ++i)
+        cuts.push_back(rng.uniformBelow(bytes.size()));
+    for (size_t back = 1; back <= 16; ++back)
+        cuts.push_back(bytes.size() - back);
+
+    for (size_t cut : cuts) {
+        std::stringstream ss(bytes.substr(0, cut));
+        EXPECT_THROW(deserializeEvalKeys(ss), std::runtime_error)
+            << "cut=" << cut;
+    }
+}
+
+TEST(SerializeEvalKeys, EveryHeaderBitFlipThrows)
+{
+    // The outer header plus the nested params header: any single-bit
+    // corruption must be rejected outright.
+    const std::string bytes = frameBytes(tinyEvalKeys());
+    ASSERT_GE(bytes.size(), 16u);
+    for (size_t bit = 0; bit < 128; ++bit) {
+        std::string corrupted = bytes;
+        corrupted[bit / 8] =
+            static_cast<char>(corrupted[bit / 8] ^ (1 << (bit % 8)));
+        std::stringstream ss(corrupted);
+        EXPECT_THROW(deserializeEvalKeys(ss), std::runtime_error)
+            << "bit " << bit;
+    }
+}
+
+TEST(SerializeEvalKeys, RandomByteFlipsNeverCrash)
+{
+    // Payload corruption may parse (BSK rows are raw doubles: bit
+    // flips there change values, not structure) or throw
+    // std::runtime_error; a crash, hang, abort, or unbounded
+    // allocation is a bug. Shape-field corruption must be caught by
+    // the plausibility caps and the params cross-checks.
+    const std::string base = frameBytes(tinyEvalKeys());
+    Rng rng(808);
+    for (int iter = 0; iter < 60; ++iter) {
+        std::string corrupted = base;
+        size_t flips = 1 + rng.uniformBelow(4);
+        for (size_t f = 0; f < flips; ++f) {
+            size_t pos = rng.uniformBelow(corrupted.size());
+            corrupted[pos] = static_cast<char>(
+                corrupted[pos] ^
+                static_cast<char>(1 + rng.uniformBelow(255)));
+        }
+        std::stringstream ss(corrupted);
+        try {
+            std::shared_ptr<const EvalKeys> back =
+                deserializeEvalKeys(ss);
+            // Parsed: the cross-checks must still have held.
+            ASSERT_NE(back, nullptr);
+            EXPECT_EQ(back->bsk().n(), back->params().n);
+        } catch (const std::runtime_error &) {
+            // Rejected: fine.
+        }
+    }
+}
+
+TEST(SerializeEvalKeys, MismatchedKskIsRejected)
+{
+    // Splice the KSK of a *different* keyset shape into an otherwise
+    // valid bundle: the params cross-check must refuse to assemble a
+    // bundle that would silently evaluate garbage.
+    test::TestKeys keys(testParams(16, 64, 1, 2, 8, 0.0), 11);
+    test::TestKeys other(testParams(24, 128, 1, 2, 8, 0.0), 12);
+
+    std::stringstream spliced;
+    // Hand-assemble the frame: outer header + params + bsk come from
+    // `keys`, the ksk from `other`.
+    serialize(spliced, *keys.client.evalKeys());
+    std::string bytes = spliced.str();
+    std::string good_ksk = frameBytes(keys.client.evalKeys()->ksk());
+    std::string bad_ksk = frameBytes(other.client.evalKeys()->ksk());
+    ASSERT_GT(bytes.size(), good_ksk.size());
+    bytes.resize(bytes.size() - good_ksk.size());
+    bytes += bad_ksk;
+
+    std::stringstream ss(bytes);
+    EXPECT_THROW(deserializeEvalKeys(ss), std::runtime_error);
 }
 
 } // namespace
