@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -35,9 +36,19 @@ unsigned
 ThreadPool::defaultThreadCount()
 {
     if (const char *env = std::getenv("STRIX_THREADS")) {
+        // strtoul accepts a leading minus and wraps the negated value
+        // into unsigned range ("-1" -> ULONG_MAX, and a large negative
+        // can wrap back *inside* [1, 4096] on its way through 2^64),
+        // so a sign must be rejected before parsing, not after.
+        const char *num = env;
+        while (std::isspace(static_cast<unsigned char>(*num)))
+            ++num;
         char *end = nullptr;
-        unsigned long v = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+        unsigned long v = 0;
+        if (*num != '-')
+            v = std::strtoul(num, &end, 10);
+        if (end != num && end != nullptr && *end == '\0' && v >= 1 &&
+            v <= 4096)
             return static_cast<unsigned>(v);
         warn("ignoring invalid STRIX_THREADS value '" +
              std::string(env) + "'");
@@ -96,26 +107,35 @@ ThreadPool::parallelFor(size_t count,
     if (count == 0)
         return;
     std::lock_guard<std::mutex> submit(submit_mutex_);
-    if (workers_.empty() || count == 1) {
-        for (size_t i = 0; i < count; ++i)
-            fn(i, 0);
-        return;
-    }
-    {
-        std::lock_guard<std::mutex> lock(m_);
-        fn_ = &fn;
-        count_ = count;
+    const bool serial = workers_.empty() || count == 1;
+    if (serial) {
+        // The inline fallback runs through the same runShare machinery
+        // as the parallel path so the error contract cannot diverge: a
+        // throwing fn stops the index handout, the first exception is
+        // recorded, and it is rethrown below -- byte-for-byte what a
+        // caller observes at N workers.
         next_.store(0, std::memory_order_relaxed);
         abort_.store(false, std::memory_order_relaxed);
-        busy_ = static_cast<unsigned>(workers_.size());
-        ++generation_;
+        runShare(fn, count, 0);
+    } else {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            fn_ = &fn;
+            count_ = count;
+            next_.store(0, std::memory_order_relaxed);
+            abort_.store(false, std::memory_order_relaxed);
+            busy_ = static_cast<unsigned>(workers_.size());
+            ++generation_;
+        }
+        cv_.notify_all();
+        runShare(fn, count, 0);
     }
-    cv_.notify_all();
-    runShare(fn, count, 0);
 
     std::unique_lock<std::mutex> lock(m_);
-    done_cv_.wait(lock, [&] { return busy_ == 0; });
-    fn_ = nullptr;
+    if (!serial) {
+        done_cv_.wait(lock, [&] { return busy_ == 0; });
+        fn_ = nullptr;
+    }
     if (first_error_) {
         std::exception_ptr e = first_error_;
         first_error_ = nullptr;

@@ -37,9 +37,17 @@ namespace strix {
  *
  * Thread safety: concurrent parallelFor calls from different threads
  * are safe -- submission is internally serialized, so they simply run
- * one after another. If fn throws, the loop stops handing out new
- * indices and the first exception is rethrown on the calling thread
- * (in-flight indices on other workers still complete).
+ * one after another.
+ *
+ * Error contract: if fn throws, the loop stops handing out new
+ * indices, in-flight indices on other workers still complete, and the
+ * *first* exception (in completion order) is rethrown on the calling
+ * thread once the loop has quiesced; later exceptions are dropped.
+ * Indices never handed out are never attempted, and the pool remains
+ * fully usable afterwards. This contract is identical whether the
+ * loop runs inline (a 1-thread pool, or count == 1) or across N
+ * workers -- the inline fallback goes through the same abort/record/
+ * deferred-rethrow machinery, asserted by tests/test_parallel.cpp.
  */
 class ThreadPool
 {
@@ -67,8 +75,11 @@ class ThreadPool
 
     /**
      * Pool size used when the constructor gets 0: the STRIX_THREADS
-     * environment variable if set to a positive integer, otherwise
-     * std::thread::hardware_concurrency() (minimum 1).
+     * environment variable if set to a positive integer in [1, 4096],
+     * otherwise std::thread::hardware_concurrency() (minimum 1).
+     * Anything else -- including negative values, which strtoul would
+     * otherwise silently wrap into the accepted range -- is rejected
+     * with a warning and falls back to the hardware default.
      */
     static unsigned defaultThreadCount();
 

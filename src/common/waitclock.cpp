@@ -1,0 +1,120 @@
+/**
+ * @file
+ * WaitableClock implementations.
+ */
+
+#include "common/waitclock.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace strix {
+
+// ---------------------------------------------------------------- steady
+
+uint64_t
+SteadyWaitableClock::nowMicros() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+}
+
+bool
+SteadyWaitableClock::waitUntil(uint64_t deadline_us)
+{
+    // Wait on a bounded relative duration (re-waiting is the caller's
+    // job on spurious returns, which the contract allows): adding a
+    // "never"-sized deadline to a time_point would overflow the
+    // steady_clock representation and busy-spin.
+    const uint64_t now = nowMicros();
+    uint64_t wait_us = deadline_us > now ? deadline_us - now : 0;
+    wait_us = std::min<uint64_t>(wait_us, 3600u * 1000u * 1000u);
+    std::unique_lock<std::mutex> lock(m_);
+    bool signaled =
+        cv_.wait_for(lock, std::chrono::microseconds(wait_us),
+                     [&] { return signaled_; });
+    signaled_ = false;
+    return signaled;
+}
+
+void
+SteadyWaitableClock::wait()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return signaled_; });
+    signaled_ = false;
+}
+
+void
+SteadyWaitableClock::signal()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        signaled_ = true;
+    }
+    cv_.notify_all();
+}
+
+// ---------------------------------------------------------------- manual
+
+uint64_t
+ManualWaitableClock::nowMicros() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return now_us_;
+}
+
+bool
+ManualWaitableClock::waitUntil(uint64_t deadline_us)
+{
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return signaled_ || now_us_ >= deadline_us; });
+    bool signaled = signaled_;
+    signaled_ = false;
+    return signaled;
+}
+
+void
+ManualWaitableClock::wait()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] { return signaled_; });
+    signaled_ = false;
+}
+
+void
+ManualWaitableClock::signal()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        signaled_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+ManualWaitableClock::advance(uint64_t micros)
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        now_us_ += micros;
+    }
+    cv_.notify_all();
+}
+
+void
+ManualWaitableClock::set(uint64_t micros)
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        panicIfNot(micros >= now_us_,
+                   "ManualWaitableClock: time cannot go backwards");
+        now_us_ = micros;
+    }
+    cv_.notify_all();
+}
+
+} // namespace strix

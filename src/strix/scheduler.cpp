@@ -5,6 +5,10 @@
 
 #include "strix/scheduler.h"
 
+#include <limits>
+
+#include "common/logging.h"
+
 namespace strix {
 
 std::vector<EpochRecord>
@@ -18,7 +22,20 @@ EpochScheduler::schedule(const TfheParams &p, uint64_t num_lwes) const
     const UnitTiming &t = core.timing();
     const uint64_t epoch_batch =
         uint64_t(core.memory().coreBatch()) * cfg_.tvlp;
-    const uint64_t count = (num_lwes + epoch_batch - 1) / epoch_batch;
+    // coreBatch() is always >= 1, so this only trips on tvlp == 0 --
+    // but that zero used to flow straight into a division.
+    panicIfNot(epoch_batch > 0,
+               "EpochScheduler: epoch batch is zero (tvlp must be >= 1)");
+    // Overflow-free ceil division: the textbook (a + b - 1) / b wraps
+    // for num_lwes within epoch_batch of 2^64 and silently returned an
+    // *empty* schedule, dropping every LWE. Also bound the epoch count:
+    // a schedule of more than 2^32 epochs is unrepresentable in memory
+    // and always a caller bug, so fail loudly instead of bad_alloc.
+    const uint64_t count =
+        num_lwes / epoch_batch + (num_lwes % epoch_batch != 0);
+    panicIfNot(count <= (uint64_t(1) << 32),
+               "EpochScheduler: epoch count overflows a representable "
+               "schedule");
     epochs.reserve(count);
 
     uint64_t remaining = num_lwes;
@@ -28,8 +45,16 @@ EpochScheduler::schedule(const TfheParams &p, uint64_t num_lwes) const
         EpochRecord rec{};
         rec.index = e;
         rec.lwes = std::min<uint64_t>(remaining, epoch_batch);
-        rec.core_batch = static_cast<uint32_t>(
-            (rec.lwes + cfg_.tvlp - 1) / cfg_.tvlp);
+        // Ceil division without the overflowing (a + b - 1) form, and
+        // a checked narrowing: rec.lwes <= epoch_batch implies the
+        // quotient fits coreBatch()'s uint32 range, but if that
+        // invariant ever breaks the cast must not silently truncate.
+        const uint64_t core_batch =
+            rec.lwes / cfg_.tvlp + (rec.lwes % cfg_.tvlp != 0);
+        panicIfNot(core_batch <=
+                       std::numeric_limits<uint32_t>::max(),
+                   "EpochScheduler: core batch exceeds uint32 range");
+        rec.core_batch = static_cast<uint32_t>(core_batch);
 
         // BR starts when the PBS cluster frees up (br_cursor already
         // accounts for serialization on a slow KS cluster: the local

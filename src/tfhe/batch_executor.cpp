@@ -1,0 +1,217 @@
+/**
+ * @file
+ * BatchExecutor implementation.
+ *
+ * One dispatcher thread owns the flush decisions: it scans the shards
+ * for a due fill queue (size, deadline, or drain trigger), swaps out
+ * up to target_batch requests under the lock, and runs the sweep with
+ * the lock released so producers keep filling the next batch -- the
+ * double-buffered fill/flush overlap. The sweep itself is
+ * ServerContext::bootstrapBatch on the shard's private context, so
+ * parallelism across ciphertexts and the fused FFT pipeline come from
+ * the existing batch path unchanged (and results stay bit-identical
+ * to it by construction).
+ */
+
+#include "tfhe/batch_executor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace strix {
+
+namespace {
+
+BatchExecutor::Options
+sanitized(BatchExecutor::Options opts)
+{
+    opts.target_batch = std::max<size_t>(1, opts.target_batch);
+    return opts;
+}
+
+constexpr uint64_t kNoDeadline = std::numeric_limits<uint64_t>::max();
+
+} // namespace
+
+BatchExecutor::Shard::Shard(std::shared_ptr<const EvalKeys> k,
+                            unsigned sweep_threads)
+    : keys(std::move(k)), eval(keys)
+{
+    if (sweep_threads != 0)
+        eval.setBatchThreads(sweep_threads);
+}
+
+BatchExecutor::BatchExecutor() : BatchExecutor(Options()) {}
+
+BatchExecutor::BatchExecutor(Options opts,
+                             std::shared_ptr<WaitableClock> clock)
+    : opts_(sanitized(opts)),
+      clock_(clock ? std::move(clock)
+                   : std::make_shared<SteadyWaitableClock>()),
+      dispatcher_([this] { dispatchLoop(); })
+{
+}
+
+BatchExecutor::~BatchExecutor()
+{
+    shutdown();
+}
+
+std::future<LweCiphertext>
+BatchExecutor::submit(std::shared_ptr<const EvalKeys> keys,
+                      LweCiphertext ct, TorusPolynomial test_vector)
+{
+    panicIfNot(keys != nullptr, "BatchExecutor: null EvalKeys bundle");
+    std::future<LweCiphertext> fut;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        panicIfNot(!stopping_, "BatchExecutor: submit after shutdown");
+        std::unique_ptr<Shard> &slot = shards_[keys.get()];
+        if (!slot)
+            slot = std::make_unique<Shard>(std::move(keys),
+                                           opts_.sweep_threads);
+        Request r;
+        r.submit_us = clock_->nowMicros();
+        r.ct = std::move(ct);
+        r.tv = std::move(test_vector);
+        fut = r.result.get_future();
+        slot->fill.push_back(std::move(r));
+        ++stats_.submitted;
+        ++in_flight_;
+        stats_.shards = shards_.size();
+    }
+    // Wake the dispatcher to re-evaluate the triggers. The latch in
+    // the clock closes the window where it already checked the queues
+    // but has not reached its wait yet.
+    clock_->signal();
+    return fut;
+}
+
+void
+BatchExecutor::dispatchLoop()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+        Shard *due = nullptr;
+        uint64_t *reason = nullptr;
+        uint64_t next_deadline = kNoDeadline;
+        const uint64_t now = clock_->nowMicros();
+        for (auto &entry : shards_) {
+            Shard &sh = *entry.second;
+            if (sh.fill.empty())
+                continue;
+            if (sh.fill.size() >= opts_.target_batch) {
+                due = &sh;
+                reason = &stats_.size_flushes;
+                break;
+            }
+            if (stopping_) {
+                due = &sh;
+                reason = &stats_.drain_flushes;
+                break;
+            }
+            uint64_t deadline =
+                sh.fill.front().submit_us + opts_.flush_delay_us;
+            if (deadline < sh.fill.front().submit_us)
+                deadline = kNoDeadline - 1; // saturate a wrapped sum
+            if (deadline <= now) {
+                due = &sh;
+                reason = &stats_.deadline_flushes;
+                break;
+            }
+            next_deadline = std::min(next_deadline, deadline);
+        }
+
+        if (due != nullptr) {
+            // Double-buffer swap: move up to one sweep's width out of
+            // the fill queue; anything beyond target_batch stays and
+            // is picked up by the next pass (likely as a size flush).
+            const size_t take =
+                std::min(due->fill.size(), opts_.target_batch);
+            std::vector<Request> batch;
+            batch.reserve(take);
+            for (size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(due->fill.front()));
+                due->fill.pop_front();
+            }
+            ++stats_.sweeps;
+            stats_.swept_lwes += take;
+            ++*reason;
+
+            lock.unlock();
+            runSweep(*due, std::move(batch)); // fill continues meanwhile
+            lock.lock();
+
+            stats_.completed += take;
+            in_flight_ -= take;
+            if (in_flight_ == 0)
+                drained_cv_.notify_all();
+            continue;
+        }
+
+        if (stopping_)
+            return; // every queue empty, nothing in flight
+        lock.unlock();
+        if (next_deadline == kNoDeadline)
+            clock_->wait();
+        else
+            clock_->waitUntil(next_deadline);
+        lock.lock();
+    }
+}
+
+void
+BatchExecutor::runSweep(Shard &shard, std::vector<Request> batch)
+{
+    std::vector<LweCiphertext> cts;
+    std::vector<const TorusPolynomial *> tvs;
+    cts.reserve(batch.size());
+    tvs.reserve(batch.size());
+    for (Request &r : batch) {
+        cts.push_back(std::move(r.ct));
+        tvs.push_back(&r.tv);
+    }
+    try {
+        std::vector<LweCiphertext> outs =
+            shard.eval.bootstrapBatch(cts.data(), tvs.data(),
+                                      batch.size());
+        for (size_t i = 0; i < batch.size(); ++i)
+            batch[i].result.set_value(std::move(outs[i]));
+    } catch (...) {
+        // A failed sweep fails every request it carried: each future
+        // observes the (shared) exception instead of hanging.
+        for (Request &r : batch)
+            r.result.set_exception(std::current_exception());
+    }
+}
+
+void
+BatchExecutor::drain()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    drained_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void
+BatchExecutor::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stopping_ = true;
+    }
+    clock_->signal();
+    std::lock_guard<std::mutex> join_lock(join_mutex_);
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+BatchExecutor::Stats
+BatchExecutor::stats() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return stats_;
+}
+
+} // namespace strix

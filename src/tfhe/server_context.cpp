@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "poly/negacyclic_fft.h"
+#include "tfhe/batch_executor.h"
 
 namespace strix {
 
@@ -96,6 +97,61 @@ ServerContext::bootstrapBatch(const std::vector<LweCiphertext> &cts,
                               const TorusPolynomial &test_vector) const
 {
     return bootstrapBatch(cts.data(), cts.size(), test_vector);
+}
+
+std::vector<LweCiphertext>
+ServerContext::bootstrapBatch(const LweCiphertext *cts,
+                              const TorusPolynomial *const *tvs,
+                              size_t count) const
+{
+    for (size_t i = 0; i < count; ++i)
+        panicIfNot(tvs[i] != nullptr,
+                   "bootstrapBatch: null test-vector pointer");
+    std::shared_ptr<ThreadPool> pool = this->pool();
+    std::vector<LweCiphertext> out(count);
+    std::vector<PbsScratch> scratch(pool->threads());
+    pool->parallelFor(count, [&](size_t i, unsigned worker) {
+        LweCiphertext big = programmableBootstrap(
+            cts[i], *tvs[i], keys_->bsk(), scratch[worker]);
+        out[i] = keySwitch(big, keys_->ksk());
+    });
+    return out;
+}
+
+void
+ServerContext::attachExecutor(std::shared_ptr<BatchExecutor> executor)
+{
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    executor_ = std::move(executor);
+}
+
+std::shared_ptr<BatchExecutor>
+ServerContext::executor() const
+{
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    return executor_;
+}
+
+std::future<LweCiphertext>
+ServerContext::submitBootstrap(const LweCiphertext &ct,
+                               const TorusPolynomial &test_vector) const
+{
+    if (std::shared_ptr<BatchExecutor> exec = executor())
+        return exec->submit(keys_, ct, test_vector);
+    // No executor attached: evaluate inline and hand back a ready
+    // future, so call sites written against the async API keep
+    // working (and stay bit-identical) in single-session setups.
+    std::promise<LweCiphertext> result;
+    result.set_value(bootstrap(ct, test_vector));
+    return result.get_future();
+}
+
+std::future<LweCiphertext>
+ServerContext::submitApplyLut(const LweCiphertext &ct, uint64_t msg_space,
+                              const std::function<int64_t(int64_t)> &f) const
+{
+    return submitBootstrap(ct,
+                           makeIntTestVector(params().N, msg_space, f));
 }
 
 std::vector<LweCiphertext>

@@ -11,7 +11,12 @@
  *
  * Many ServerContexts may share one EvalKeys with zero key
  * duplication (each adds only its pool), which is the seam the
- * multi-session serving and sharding work builds on.
+ * multi-session serving and sharding work builds on. On top of the
+ * synchronous calls there is an async seam: submitBootstrap /
+ * submitApplyLut return futures and, when a BatchExecutor is
+ * attached, coalesce with requests from every other session on the
+ * same EvalKeys bundle into full-width sweeps (see
+ * tfhe/batch_executor.h).
  *
  * Thread-safety contract
  * ----------------------
@@ -28,6 +33,7 @@
 #define STRIX_TFHE_SERVER_CONTEXT_H
 
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -36,6 +42,8 @@
 #include "tfhe/eval_keys.h"
 
 namespace strix {
+
+class BatchExecutor;
 
 /** PBS evaluation engine over a shared public-key bundle. */
 class ServerContext
@@ -93,12 +101,53 @@ class ServerContext
                    const TorusPolynomial &test_vector) const;
 
     /**
+     * Batched PBS+KS with a per-ciphertext test vector: tvs[i] is the
+     * LUT applied to cts[i] (every pointer non-null, same ring
+     * dimension). This is the sweep shape cross-session coalescing
+     * needs -- requests keep their own LUTs while sharing one
+     * parallel sweep -- and each out[i] is bit-identical to
+     * bootstrap(cts[i], *tvs[i]) at any thread count.
+     */
+    std::vector<LweCiphertext>
+    bootstrapBatch(const LweCiphertext *cts,
+                   const TorusPolynomial *const *tvs, size_t count) const;
+
+    /**
      * Batched applyLut: builds the test vector for @p f once and
      * evaluates it over the whole batch via bootstrapBatch.
      */
     std::vector<LweCiphertext>
     applyLutBatch(const std::vector<LweCiphertext> &cts, uint64_t msg_space,
                   const std::function<int64_t(int64_t)> &f) const;
+
+    /**
+     * Attach (or detach, with nullptr) a cross-session batching
+     * executor: submitBootstrap/submitApplyLut route through it, so
+     * this context's requests coalesce with every other context
+     * sharing the same EvalKeys bundle and executor. Safe to call
+     * concurrently with submits: in-flight requests stay with the
+     * executor they were submitted to.
+     */
+    void attachExecutor(std::shared_ptr<BatchExecutor> executor);
+
+    /** The attached executor, or nullptr. */
+    std::shared_ptr<BatchExecutor> executor() const;
+
+    /**
+     * Async PBS+KS: returns a future for bootstrap(ct, test_vector).
+     * With an executor attached the request is queued for a coalesced
+     * sweep (latency bounded by the executor's flush policy); without
+     * one it runs inline and the future is already ready. Results are
+     * bit-identical either way.
+     */
+    std::future<LweCiphertext>
+    submitBootstrap(const LweCiphertext &ct,
+                    const TorusPolynomial &test_vector) const;
+
+    /** Async applyLut, same routing rules as submitBootstrap. */
+    std::future<LweCiphertext>
+    submitApplyLut(const LweCiphertext &ct, uint64_t msg_space,
+                   const std::function<int64_t(int64_t)> &f) const;
 
     /**
      * Resize the batch worker pool to @p threads workers (0 restores
@@ -132,9 +181,11 @@ class ServerContext
     };
     FftPrewarm fft_prewarm_;
 
-    mutable std::mutex pool_mutex_; //!< guards pool_ and batch_threads_
+    mutable std::mutex pool_mutex_; //!< guards pool_, batch_threads_,
+                                    //!< and executor_
     mutable std::shared_ptr<ThreadPool> pool_;
     unsigned batch_threads_ = 0; //!< requested size; 0 = default
+    std::shared_ptr<BatchExecutor> executor_; //!< null = inline submits
 };
 
 } // namespace strix

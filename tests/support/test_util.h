@@ -85,6 +85,7 @@ enum Seed : uint64_t {
     kSeedParallel = 7777,
     kSeedContextCache = 31337,
     kSeedSerialize = 90210,
+    kSeedBatchExecutor = 5150,
 };
 
 } // namespace test

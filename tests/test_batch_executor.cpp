@@ -1,0 +1,410 @@
+/**
+ * @file
+ * BatchExecutor tests: the WaitableClock seam, both flush triggers
+ * (size and deadline, the latter driven by a ManualWaitableClock with
+ * no real sleeps), bit-identity against the direct bootstrapBatch
+ * path, cross-tenant shard isolation, shutdown/drain semantics, and a
+ * concurrent mixed-tenant submit stress for the TSan CI leg.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/waitclock.h"
+#include "support/test_util.h"
+#include "tfhe/batch_executor.h"
+#include "tfhe/server_context.h"
+
+using namespace strix;
+using namespace strix::test;
+
+namespace {
+
+constexpr uint64_t kSpace = 8;
+
+/** A deadline the real clock will not hit within any test's runtime. */
+constexpr uint64_t kNeverUs = 3600u * 1000u * 1000u; // one hour
+
+void
+expectSameCiphertext(const LweCiphertext &a, const LweCiphertext &b,
+                     size_t index)
+{
+    EXPECT_EQ(a.raw(), b.raw())
+        << "ciphertext " << index << " differs from the direct path";
+}
+
+} // namespace
+
+TEST(WaitableClock, ManualClockLatchesSignals)
+{
+    ManualWaitableClock clock;
+    EXPECT_EQ(clock.nowMicros(), 0u);
+    // A latched signal makes the next wait return immediately even
+    // though the deadline is far in the virtual future.
+    clock.signal();
+    EXPECT_TRUE(clock.waitUntil(kNeverUs));
+    // The latch was consumed: an already-elapsed deadline now returns
+    // false (deadline path, no signal).
+    clock.advance(2000);
+    EXPECT_EQ(clock.nowMicros(), 2000u);
+    EXPECT_FALSE(clock.waitUntil(1500));
+}
+
+TEST(WaitableClock, ManualClockAdvanceWakesDeadlineWaiter)
+{
+    ManualWaitableClock clock;
+    std::atomic<bool> woke{false};
+    std::thread waiter([&] {
+        clock.waitUntil(500);
+        woke = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(woke.load()); // virtual time has not moved
+    clock.advance(500);
+    waiter.join();
+    EXPECT_TRUE(woke.load());
+}
+
+TEST(WaitableClock, SteadyClockConsumesLatchedSignal)
+{
+    SteadyWaitableClock clock;
+    clock.signal();
+    EXPECT_TRUE(clock.waitUntil(kNeverUs)); // returns without sleeping
+    EXPECT_FALSE(clock.waitUntil(0));       // deadline already elapsed
+}
+
+class BatchExecutorTest : public ::testing::Test
+{
+  protected:
+    BatchExecutorTest() : keys_(fastParams(), kSeedBatchExecutor) {}
+
+    LweCiphertext encrypt(int64_t v)
+    {
+        return keys_.client.encryptInt(v % int64_t(kSpace), kSpace);
+    }
+
+    TorusPolynomial shiftLut(int64_t delta) const
+    {
+        return makeIntTestVector(
+            keys_.server.params().N, kSpace, [delta](int64_t v) {
+                return (v + delta) % int64_t(kSpace);
+            });
+    }
+
+    TestKeys keys_;
+};
+
+TEST_F(BatchExecutorTest, SizeTriggerSweepsAtFullWidth)
+{
+    BatchExecutor::Options opts;
+    opts.target_batch = 4;
+    opts.flush_delay_us = kNeverUs; // size trigger only
+    BatchExecutor exec(opts);
+
+    TorusPolynomial tv = shiftLut(3);
+    std::vector<std::future<LweCiphertext>> futs;
+    for (int i = 0; i < 8; ++i)
+        futs.push_back(
+            exec.submit(keys_.client.evalKeys(), encrypt(i), tv));
+
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(keys_.client.decryptInt(futs[size_t(i)].get(), kSpace),
+                  (i + 3) % int64_t(kSpace))
+            << "request " << i;
+
+    exec.drain();
+    BatchExecutor::Stats st = exec.stats();
+    EXPECT_EQ(st.submitted, 8u);
+    EXPECT_EQ(st.completed, 8u);
+    EXPECT_EQ(st.sweeps, 2u); // two full-width sweeps, nothing partial
+    EXPECT_EQ(st.swept_lwes, 8u);
+    EXPECT_EQ(st.size_flushes, 2u);
+    EXPECT_EQ(st.deadline_flushes, 0u);
+    EXPECT_EQ(st.shards, 1u);
+    EXPECT_DOUBLE_EQ(st.occupancy(opts.target_batch), 1.0);
+}
+
+TEST_F(BatchExecutorTest, DeadlineTriggerFiresOnVirtualTimeOnly)
+{
+    auto clock = std::make_shared<ManualWaitableClock>();
+    BatchExecutor::Options opts;
+    opts.target_batch = 64; // never reached: deadline must flush
+    opts.flush_delay_us = 500;
+    BatchExecutor exec(opts, clock);
+
+    TorusPolynomial tv = shiftLut(1);
+    std::future<LweCiphertext> fut =
+        exec.submit(keys_.client.evalKeys(), encrypt(5), tv);
+
+    // Below both triggers nothing may flush, no matter how much real
+    // time passes -- the executor's only clock is the manual one.
+    EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(50)),
+              std::future_status::timeout);
+    clock->advance(499); // one microsecond short of the deadline
+    EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(50)),
+              std::future_status::timeout);
+    EXPECT_EQ(exec.stats().sweeps, 0u);
+
+    clock->advance(1); // now == submit time + flush_delay_us
+    EXPECT_EQ(keys_.client.decryptInt(fut.get(), kSpace), 6);
+
+    exec.drain();
+    BatchExecutor::Stats st = exec.stats();
+    EXPECT_EQ(st.sweeps, 1u);
+    EXPECT_EQ(st.deadline_flushes, 1u);
+    EXPECT_EQ(st.size_flushes, 0u);
+}
+
+TEST_F(BatchExecutorTest, ResultsBitIdenticalToDirectBatch)
+{
+    constexpr size_t kCount = 10;
+    std::vector<LweCiphertext> cts;
+    std::vector<TorusPolynomial> tvs;
+    std::vector<const TorusPolynomial *> tv_ptrs;
+    for (size_t i = 0; i < kCount; ++i) {
+        cts.push_back(encrypt(int64_t(i)));
+        tvs.push_back(shiftLut(int64_t(i % 3))); // heterogeneous LUTs
+    }
+    for (size_t i = 0; i < kCount; ++i)
+        tv_ptrs.push_back(&tvs[i]);
+
+    std::vector<LweCiphertext> direct = keys_.server.bootstrapBatch(
+        cts.data(), tv_ptrs.data(), kCount);
+
+    BatchExecutor::Options opts;
+    opts.target_batch = 5;
+    opts.flush_delay_us = kNeverUs;
+    BatchExecutor exec(opts);
+    std::vector<std::future<LweCiphertext>> futs;
+    for (size_t i = 0; i < kCount; ++i)
+        futs.push_back(
+            exec.submit(keys_.client.evalKeys(), cts[i], tvs[i]));
+
+    for (size_t i = 0; i < kCount; ++i)
+        expectSameCiphertext(futs[i].get(), direct[i], i);
+}
+
+TEST_F(BatchExecutorTest, PerRequestLutBatchMatchesSingleBootstrap)
+{
+    // The per-request-test-vector bootstrapBatch overload the sweeps
+    // run on: each slot gets its own LUT, each out[i] is bit-identical
+    // to the single-call path for (cts[i], tvs[i]).
+    constexpr size_t kCount = 6;
+    std::vector<LweCiphertext> cts;
+    std::vector<TorusPolynomial> tvs;
+    std::vector<const TorusPolynomial *> tv_ptrs;
+    for (size_t i = 0; i < kCount; ++i) {
+        cts.push_back(encrypt(int64_t(i)));
+        tvs.push_back(shiftLut(int64_t(i)));
+    }
+    for (size_t i = 0; i < kCount; ++i)
+        tv_ptrs.push_back(&tvs[i]);
+
+    keys_.server.setBatchThreads(3);
+    std::vector<LweCiphertext> batch = keys_.server.bootstrapBatch(
+        cts.data(), tv_ptrs.data(), kCount);
+    ASSERT_EQ(batch.size(), kCount);
+    for (size_t i = 0; i < kCount; ++i) {
+        expectSameCiphertext(batch[i],
+                             keys_.server.bootstrap(cts[i], tvs[i]), i);
+        EXPECT_EQ(keys_.client.decryptInt(batch[i], kSpace),
+                  int64_t((2 * i) % kSpace));
+    }
+}
+
+TEST_F(BatchExecutorTest, CrossTenantShardsNeverCoBatch)
+{
+    // A second tenant with a *differently shaped* ring: if requests
+    // ever co-batched across shards the sweep would mix N=512 and
+    // N=256 test vectors and could not produce correct results.
+    TestKeys other(midParams(), kSeedBatchExecutor + 1);
+
+    BatchExecutor::Options opts;
+    opts.target_batch = 3;
+    opts.flush_delay_us = kNeverUs;
+    BatchExecutor exec(opts);
+
+    TorusPolynomial tv_a = shiftLut(1);
+    TorusPolynomial tv_b = makeIntTestVector(
+        other.server.params().N, kSpace,
+        [](int64_t v) { return (v + 2) % int64_t(kSpace); });
+
+    std::vector<std::future<LweCiphertext>> futs_a, futs_b;
+    for (int i = 0; i < 6; ++i) { // interleaved submissions
+        futs_a.push_back(
+            exec.submit(keys_.client.evalKeys(), encrypt(i), tv_a));
+        futs_b.push_back(exec.submit(
+            other.client.evalKeys(),
+            other.client.encryptInt(i % int64_t(kSpace), kSpace), tv_b));
+    }
+
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(keys_.client.decryptInt(futs_a[size_t(i)].get(),
+                                          kSpace),
+                  (i + 1) % int64_t(kSpace))
+            << "tenant A request " << i;
+        EXPECT_EQ(other.client.decryptInt(futs_b[size_t(i)].get(),
+                                          kSpace),
+                  (i + 2) % int64_t(kSpace))
+            << "tenant B request " << i;
+    }
+
+    exec.drain();
+    BatchExecutor::Stats st = exec.stats();
+    EXPECT_EQ(st.shards, 2u);
+    EXPECT_EQ(st.completed, 12u);
+    EXPECT_GE(st.sweeps, 4u); // 2 tenants x ceil(6/3) -- never merged
+}
+
+TEST_F(BatchExecutorTest, ShutdownDrainsInFlightFutures)
+{
+    TorusPolynomial tv = shiftLut(2);
+    std::vector<std::future<LweCiphertext>> futs;
+    {
+        BatchExecutor::Options opts;
+        opts.target_batch = 100;        // size trigger unreachable
+        opts.flush_delay_us = kNeverUs; // deadline unreachable
+        BatchExecutor exec(opts);
+        for (int i = 0; i < 5; ++i)
+            futs.push_back(
+                exec.submit(keys_.client.evalKeys(), encrypt(i), tv));
+        exec.shutdown();
+        BatchExecutor::Stats st = exec.stats();
+        EXPECT_EQ(st.completed, 5u);
+        EXPECT_EQ(st.drain_flushes, 1u);
+        // Destructor runs here: a second (idempotent) shutdown.
+    }
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_EQ(futs[size_t(i)].wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready)
+            << "future " << i << " dropped by shutdown";
+        EXPECT_EQ(keys_.client.decryptInt(futs[size_t(i)].get(), kSpace),
+                  (i + 2) % int64_t(kSpace));
+    }
+}
+
+TEST_F(BatchExecutorTest, SubmitAfterShutdownPanics)
+{
+    BatchExecutor exec;
+    exec.shutdown();
+    TorusPolynomial tv = shiftLut(0);
+    EXPECT_DEATH(exec.submit(keys_.client.evalKeys(), encrypt(1), tv),
+                 "after shutdown");
+}
+
+TEST_F(BatchExecutorTest, DrainOnIdleExecutorReturnsImmediately)
+{
+    BatchExecutor exec;
+    exec.drain(); // nothing in flight: must not hang
+    EXPECT_EQ(exec.stats().submitted, 0u);
+}
+
+TEST_F(BatchExecutorTest, SubmitBootstrapRoutesThroughExecutor)
+{
+    auto exec = std::make_shared<BatchExecutor>([] {
+        BatchExecutor::Options o;
+        o.target_batch = 2;
+        o.flush_delay_us = kNeverUs;
+        return o;
+    }());
+
+    // Two sessions over the same bundle share the executor's shard.
+    ServerContext session_a(keys_.client.evalKeys());
+    ServerContext session_b(keys_.client.evalKeys());
+    session_a.attachExecutor(exec);
+    session_b.attachExecutor(exec);
+    ASSERT_EQ(session_a.executor().get(), exec.get());
+
+    TorusPolynomial tv = shiftLut(1);
+    // One submit per session: only coalescing can reach width 2.
+    std::future<LweCiphertext> fa = session_a.submitBootstrap(encrypt(3), tv);
+    std::future<LweCiphertext> fb =
+        session_b.submitApplyLut(encrypt(4), kSpace, [](int64_t v) {
+            return (v + 1) % int64_t(kSpace);
+        });
+    EXPECT_EQ(keys_.client.decryptInt(fa.get(), kSpace), 4);
+    EXPECT_EQ(keys_.client.decryptInt(fb.get(), kSpace), 5);
+
+    exec->drain();
+    BatchExecutor::Stats st = exec->stats();
+    EXPECT_EQ(st.sweeps, 1u); // both sessions' requests in one sweep
+    EXPECT_EQ(st.size_flushes, 1u);
+    EXPECT_EQ(st.shards, 1u);
+}
+
+TEST_F(BatchExecutorTest, SubmitWithoutExecutorRunsInline)
+{
+    TorusPolynomial tv = shiftLut(2);
+    LweCiphertext ct = encrypt(1);
+    ASSERT_EQ(keys_.server.executor(), nullptr);
+    std::future<LweCiphertext> fut =
+        keys_.server.submitBootstrap(ct, tv);
+    // No executor: the future is ready on return, and bit-identical
+    // to the synchronous call.
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    expectSameCiphertext(fut.get(), keys_.server.bootstrap(ct, tv), 0);
+}
+
+/**
+ * The TSan stress: several client threads with mixed tenants hammer
+ * one executor, then everything is drained and decrypted. This is the
+ * shape the dispatcher's locking exists for.
+ */
+TEST_F(BatchExecutorTest, ConcurrentMixedTenantSubmitStress)
+{
+    TestKeys other(midParams(), kSeedBatchExecutor + 2);
+
+    BatchExecutor::Options opts;
+    opts.target_batch = 4;
+    opts.flush_delay_us = 300; // real clock: let both triggers fire
+    BatchExecutor exec(opts);
+
+    TorusPolynomial tv_a = shiftLut(1);
+    TorusPolynomial tv_b = makeIntTestVector(
+        other.server.params().N, kSpace,
+        [](int64_t v) { return (v + 2) % int64_t(kSpace); });
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 6;
+    std::vector<std::future<LweCiphertext>> futs(
+        size_t(kThreads) * kPerThread);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const size_t idx = size_t(t) * kPerThread + size_t(i);
+                const bool tenant_a = idx % 2 == 0;
+                TestKeys &k = tenant_a ? keys_ : other;
+                futs[idx] = exec.submit(
+                    k.client.evalKeys(),
+                    k.client.encryptInt(int64_t(idx % kSpace), kSpace),
+                    tenant_a ? tv_a : tv_b);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (size_t idx = 0; idx < futs.size(); ++idx) {
+        const bool tenant_a = idx % 2 == 0;
+        TestKeys &k = tenant_a ? keys_ : other;
+        const int64_t shift = tenant_a ? 1 : 2;
+        EXPECT_EQ(k.client.decryptInt(futs[idx].get(), kSpace),
+                  int64_t((idx % kSpace + uint64_t(shift)) % kSpace))
+            << "request " << idx;
+    }
+
+    exec.drain();
+    BatchExecutor::Stats st = exec.stats();
+    EXPECT_EQ(st.submitted, uint64_t(kThreads) * kPerThread);
+    EXPECT_EQ(st.completed, st.submitted);
+    EXPECT_EQ(st.swept_lwes, st.submitted);
+    EXPECT_EQ(st.shards, 2u);
+}

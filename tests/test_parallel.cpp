@@ -9,7 +9,9 @@
  */
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -101,6 +103,130 @@ TEST(ThreadPool, PropagatesFirstException)
 TEST(ThreadPool, DefaultThreadCountIsPositive)
 {
     EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+/**
+ * Regression for the serial-fallback error contract: a 1-thread pool
+ * (and count == 1 on any pool) used to bypass the abort_/first_error_
+ * machinery and let exceptions fly out mid-loop. The contract must be
+ * identical inline and across N workers: same exception type and
+ * message on the caller, remaining indices never attempted after the
+ * throw, pool fully usable afterwards with no stale deferred error.
+ */
+TEST(ThreadPool, ErrorContractIdenticalInlineAndParallel)
+{
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE(threads);
+        ThreadPool pool(threads);
+        std::atomic<int> attempts{0};
+        bool caught = false;
+        try {
+            pool.parallelFor(16, [&](size_t i, unsigned) {
+                attempts.fetch_add(1);
+                if (i == 3)
+                    throw std::runtime_error("contract");
+            });
+        } catch (const std::runtime_error &e) {
+            caught = true;
+            EXPECT_STREQ(e.what(), "contract");
+        }
+        EXPECT_TRUE(caught);
+        if (threads == 1) {
+            // Inline order is deterministic: indices 0..3 ran, the
+            // abort flag stopped everything after the throw.
+            EXPECT_EQ(attempts.load(), 4);
+        } else {
+            EXPECT_LE(attempts.load(), 16);
+        }
+        // The next loop must run clean: every index covered, and no
+        // stale first_error_ rethrown from the previous job.
+        std::atomic<int> ran{0};
+        pool.parallelFor(8, [&](size_t, unsigned) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 8);
+    }
+}
+
+TEST(ThreadPool, CountOneOnParallelPoolUsesErrorContract)
+{
+    // count == 1 takes the inline path even on a multi-worker pool.
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(
+                     1, [](size_t, unsigned) {
+                         throw std::logic_error("single");
+                     }),
+                 std::logic_error);
+    std::atomic<int> ran{0};
+    pool.parallelFor(1, [&](size_t, unsigned) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 1);
+}
+
+/**
+ * STRIX_THREADS parsing fixture: snapshots and restores the variable
+ * around each case so the suite leaves the environment untouched.
+ */
+class StrixThreadsEnv : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (const char *old = std::getenv("STRIX_THREADS")) {
+            saved_ = old;
+            had_value_ = true;
+        }
+        unsetenv("STRIX_THREADS");
+        fallback_ = ThreadPool::defaultThreadCount();
+    }
+
+    void TearDown() override
+    {
+        if (had_value_)
+            setenv("STRIX_THREADS", saved_.c_str(), 1);
+        else
+            unsetenv("STRIX_THREADS");
+    }
+
+    std::string saved_;
+    bool had_value_ = false;
+    unsigned fallback_ = 0; //!< hardware default with the var unset
+};
+
+TEST_F(StrixThreadsEnv, PositiveOverrideIsHonored)
+{
+    setenv("STRIX_THREADS", "7", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 7u);
+}
+
+TEST_F(StrixThreadsEnv, NegativeValueFallsBackToDefault)
+{
+    // strtoul happily parses "-1" as ULONG_MAX; before the sign check
+    // that was rejected only by luck of the [1, 4096] range test.
+    setenv("STRIX_THREADS", "-1", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), fallback_);
+}
+
+TEST_F(StrixThreadsEnv, WrappingNegativeValueFallsBackToDefault)
+{
+    // The regression this satellite fixes: -(2^64 - 4096) wraps under
+    // strtoul's modular parse to exactly 4096 -- inside the accepted
+    // range -- so the old code silently spun up 4096 workers.
+    setenv("STRIX_THREADS", "-18446744073709547520", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), fallback_);
+}
+
+TEST_F(StrixThreadsEnv, WhitespacePrefixedNegativeIsRejected)
+{
+    setenv("STRIX_THREADS", "  -3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), fallback_);
+}
+
+TEST_F(StrixThreadsEnv, GarbageAndOutOfRangeFallBackToDefault)
+{
+    setenv("STRIX_THREADS", "not-a-number", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), fallback_);
+    setenv("STRIX_THREADS", "0", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), fallback_);
+    setenv("STRIX_THREADS", "5000", 1); // above the 4096 cap
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), fallback_);
 }
 
 /**

@@ -4,9 +4,13 @@
  * consistency with the accelerator's batch model, and trace output.
  */
 
+#include <cstdint>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "strix/accelerator.h"
+#include "strix/memory_system.h"
 #include "strix/scheduler.h"
 
 namespace strix {
@@ -106,6 +110,54 @@ TEST(Scheduler, TraceHasTwoRows)
     EXPECT_FALSE(trace.rows()[0].hasOverlap());
     EXPECT_FALSE(trace.rows()[1].hasOverlap());
     EXPECT_EQ(trace.endCycle(), EpochScheduler::makespan(epochs));
+}
+
+TEST(Scheduler, ZeroTvlpPanicsInsteadOfDividingByZero)
+{
+    StrixConfig cfg = StrixConfig::paperDefault();
+    cfg.tvlp = 0; // used to flow straight into a division by zero
+    EpochScheduler s(cfg);
+    EXPECT_DEATH(s.schedule(paramsSetI(), 100), "tvlp must be >= 1");
+}
+
+TEST(Scheduler, NearMaxLweCountPanicsInsteadOfEmptySchedule)
+{
+    // Regression: the textbook ceil division (a + b - 1) / b wraps for
+    // num_lwes within epoch_batch of 2^64, so the scheduler silently
+    // returned an *empty* schedule -- every LWE dropped. The count is
+    // now computed overflow-free and absurd schedules fail loudly.
+    EpochScheduler s(StrixConfig::paperDefault());
+    EXPECT_DEATH(
+        s.schedule(paramsSetI(), std::numeric_limits<uint64_t>::max()),
+        "epoch count overflows");
+}
+
+TEST(Scheduler, EpochsBeyondUint32LwesScheduleExactly)
+{
+    // Blow the local scratchpad up until one epoch holds more LWEs
+    // than fit a uint32: the per-epoch bookkeeping (lwes is uint64,
+    // core_batch a checked uint32) must still account for every LWE.
+    StrixConfig cfg = StrixConfig::paperDefault();
+    cfg.local_scratch_kb = 1.1e10; // coreBatch ~ 2^29 at set I
+    EpochScheduler s(cfg);
+
+    const uint64_t epoch_batch =
+        uint64_t(MemorySystem(cfg, paramsSetI()).coreBatch()) * cfg.tvlp;
+    ASSERT_GT(epoch_batch, uint64_t(std::numeric_limits<uint32_t>::max()));
+
+    const uint64_t num_lwes = 3 * epoch_batch + 7;
+    auto epochs = s.schedule(paramsSetI(), num_lwes);
+    ASSERT_EQ(epochs.size(), 4u);
+    uint64_t total = 0;
+    for (const auto &e : epochs) {
+        total += e.lwes;
+        EXPECT_EQ(e.core_batch, e.lwes / cfg.tvlp +
+                                    (e.lwes % cfg.tvlp != 0 ? 1 : 0))
+            << "epoch " << e.index;
+    }
+    EXPECT_EQ(total, num_lwes); // nothing dropped, nothing duplicated
+    EXPECT_GT(epochs[0].lwes,
+              uint64_t(std::numeric_limits<uint32_t>::max()));
 }
 
 TEST(Scheduler, PartialLastEpochIsSmaller)
