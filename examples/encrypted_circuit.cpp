@@ -17,6 +17,7 @@
 #include "common/table.h"
 #include "strix/accelerator.h"
 #include "workloads/circuit.h"
+#include "workloads/circuit_client.h"
 
 using namespace strix;
 
@@ -62,7 +63,7 @@ main()
         auto in = toBits(a, 3);
         auto bb = toBits(b, 3);
         in.insert(in.end(), bb.begin(), bb.end());
-        uint64_t got = fromBits(adder.evalEncrypted(client, server, in));
+        uint64_t got = fromBits(evalEncrypted(adder, client, server, in));
         std::printf("  %d + %d = %llu (expect %d) %s\n", a, b,
                     static_cast<unsigned long long>(got), a + b,
                     got == uint64_t(a + b) ? "ok" : "MISMATCH");

@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -68,7 +68,7 @@ ThreadPool::runShare(const std::function<void(size_t, unsigned)> &fn,
             fn(i, worker);
         } catch (...) {
             abort_.store(true, std::memory_order_relaxed);
-            std::lock_guard<std::mutex> lock(m_);
+            MutexLock lock(m_);
             if (!first_error_)
                 first_error_ = std::current_exception();
         }
@@ -83,8 +83,11 @@ ThreadPool::workerLoop(unsigned worker)
         const std::function<void(size_t, unsigned)> *fn = nullptr;
         size_t count = 0;
         {
-            std::unique_lock<std::mutex> lock(m_);
-            cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            MutexLock lock(m_);
+            cv_.wait(lock, [&] {
+                m_.assertHeld(); // the wait runs its predicate locked
+                return stop_ || generation_ != seen;
+            });
             if (stop_)
                 return;
             seen = generation_;
@@ -93,7 +96,7 @@ ThreadPool::workerLoop(unsigned worker)
         }
         runShare(*fn, count, worker);
         {
-            std::lock_guard<std::mutex> lock(m_);
+            MutexLock lock(m_);
             if (--busy_ == 0)
                 done_cv_.notify_one();
         }
@@ -106,7 +109,7 @@ ThreadPool::parallelFor(size_t count,
 {
     if (count == 0)
         return;
-    std::lock_guard<std::mutex> submit(submit_mutex_);
+    MutexLock submit(submit_mutex_);
     const bool serial = workers_.empty() || count == 1;
     if (serial) {
         // The inline fallback runs through the same runShare machinery
@@ -119,7 +122,7 @@ ThreadPool::parallelFor(size_t count,
         runShare(fn, count, 0);
     } else {
         {
-            std::lock_guard<std::mutex> lock(m_);
+            MutexLock lock(m_);
             fn_ = &fn;
             count_ = count;
             next_.store(0, std::memory_order_relaxed);
@@ -131,9 +134,12 @@ ThreadPool::parallelFor(size_t count,
         runShare(fn, count, 0);
     }
 
-    std::unique_lock<std::mutex> lock(m_);
+    MutexLock lock(m_);
     if (!serial) {
-        done_cv_.wait(lock, [&] { return busy_ == 0; });
+        done_cv_.wait(lock, [&] {
+            m_.assertHeld(); // the wait runs its predicate locked
+            return busy_ == 0;
+        });
         fn_ = nullptr;
     }
     if (first_error_) {

@@ -13,14 +13,14 @@
 #define STRIX_COMMON_PARALLEL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace strix {
 
@@ -71,7 +71,8 @@ class ThreadPool
 
     /** Run fn(index, worker) for every index in [0, count). */
     void parallelFor(size_t count,
-                     const std::function<void(size_t, unsigned)> &fn);
+                     const std::function<void(size_t, unsigned)> &fn)
+        STRIX_EXCLUDES(submit_mutex_, m_);
 
     /**
      * Pool size used when the constructor gets 0: the STRIX_THREADS
@@ -88,22 +89,27 @@ class ThreadPool
     void runShare(const std::function<void(size_t, unsigned)> &fn,
                   size_t count, unsigned worker);
 
-    std::vector<std::thread> workers_;
+    std::vector<std::thread> workers_; //!< immutable after construction
 
-    std::mutex submit_mutex_; //!< serializes parallelFor callers
+    Mutex submit_mutex_; //!< serializes parallelFor callers
 
-    // Job state, guarded by m_ except where noted.
-    std::mutex m_;
-    std::condition_variable cv_;      //!< wakes workers on a new job
-    std::condition_variable done_cv_; //!< wakes the submitting caller
-    const std::function<void(size_t, unsigned)> *fn_ = nullptr;
-    size_t count_ = 0;
-    std::atomic<size_t> next_{0};  //!< next index to hand out
+    // Job state, guarded by m_ except the two atomics: next_ and
+    // abort_ are the lock-free mid-job fast path every worker hammers
+    // (relaxed order suffices -- each job resets them under the
+    // submission serialization before any worker observes the new
+    // generation, and indices carry no payload).
+    Mutex m_;
+    CondVar cv_;      //!< wakes workers on a new job
+    CondVar done_cv_; //!< wakes the submitting caller
+    const std::function<void(size_t, unsigned)> *fn_
+        STRIX_GUARDED_BY(m_) = nullptr;
+    size_t count_ STRIX_GUARDED_BY(m_) = 0;
+    std::atomic<size_t> next_{0};    //!< next index to hand out
     std::atomic<bool> abort_{false}; //!< set on first exception
-    unsigned busy_ = 0;            //!< pool workers still on the job
-    uint64_t generation_ = 0;      //!< bumped per job
-    bool stop_ = false;
-    std::exception_ptr first_error_;
+    unsigned busy_ STRIX_GUARDED_BY(m_) = 0; //!< workers still on job
+    uint64_t generation_ STRIX_GUARDED_BY(m_) = 0; //!< bumped per job
+    bool stop_ STRIX_GUARDED_BY(m_) = false;
+    std::exception_ptr first_error_ STRIX_GUARDED_BY(m_);
 };
 
 } // namespace strix

@@ -32,10 +32,12 @@ SteadyWaitableClock::waitUntil(uint64_t deadline_us)
     const uint64_t now = nowMicros();
     uint64_t wait_us = deadline_us > now ? deadline_us - now : 0;
     wait_us = std::min<uint64_t>(wait_us, 3600u * 1000u * 1000u);
-    std::unique_lock<std::mutex> lock(m_);
+    MutexLock lock(m_);
     bool signaled =
-        cv_.wait_for(lock, std::chrono::microseconds(wait_us),
-                     [&] { return signaled_; });
+        cv_.wait_for(lock, std::chrono::microseconds(wait_us), [&] {
+            m_.assertHeld(); // the wait runs its predicate locked
+            return signaled_;
+        });
     signaled_ = false;
     return signaled;
 }
@@ -43,8 +45,11 @@ SteadyWaitableClock::waitUntil(uint64_t deadline_us)
 void
 SteadyWaitableClock::wait()
 {
-    std::unique_lock<std::mutex> lock(m_);
-    cv_.wait(lock, [&] { return signaled_; });
+    MutexLock lock(m_);
+    cv_.wait(lock, [&] {
+        m_.assertHeld(); // the wait runs its predicate locked
+        return signaled_;
+    });
     signaled_ = false;
 }
 
@@ -52,7 +57,7 @@ void
 SteadyWaitableClock::signal()
 {
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         signaled_ = true;
     }
     cv_.notify_all();
@@ -63,15 +68,18 @@ SteadyWaitableClock::signal()
 uint64_t
 ManualWaitableClock::nowMicros() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    MutexLock lock(m_);
     return now_us_;
 }
 
 bool
 ManualWaitableClock::waitUntil(uint64_t deadline_us)
 {
-    std::unique_lock<std::mutex> lock(m_);
-    cv_.wait(lock, [&] { return signaled_ || now_us_ >= deadline_us; });
+    MutexLock lock(m_);
+    cv_.wait(lock, [&] {
+        m_.assertHeld(); // the wait runs its predicate locked
+        return signaled_ || now_us_ >= deadline_us;
+    });
     bool signaled = signaled_;
     signaled_ = false;
     return signaled;
@@ -80,8 +88,11 @@ ManualWaitableClock::waitUntil(uint64_t deadline_us)
 void
 ManualWaitableClock::wait()
 {
-    std::unique_lock<std::mutex> lock(m_);
-    cv_.wait(lock, [&] { return signaled_; });
+    MutexLock lock(m_);
+    cv_.wait(lock, [&] {
+        m_.assertHeld(); // the wait runs its predicate locked
+        return signaled_;
+    });
     signaled_ = false;
 }
 
@@ -89,7 +100,7 @@ void
 ManualWaitableClock::signal()
 {
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         signaled_ = true;
     }
     cv_.notify_all();
@@ -99,7 +110,7 @@ void
 ManualWaitableClock::advance(uint64_t micros)
 {
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         now_us_ += micros;
     }
     cv_.notify_all();
@@ -109,7 +120,7 @@ void
 ManualWaitableClock::set(uint64_t micros)
 {
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         panicIfNot(micros >= now_us_,
                    "ManualWaitableClock: time cannot go backwards");
         now_us_ = micros;

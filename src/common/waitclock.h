@@ -21,9 +21,9 @@
 #define STRIX_COMMON_WAITCLOCK_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace strix {
 
@@ -72,9 +72,9 @@ class SteadyWaitableClock final : public WaitableClock
 
   private:
     const std::chrono::steady_clock::time_point start_;
-    mutable std::mutex m_;
-    std::condition_variable cv_;
-    bool signaled_ = false; //!< the wakeup latch, guarded by m_
+    mutable Mutex m_;
+    CondVar cv_;
+    bool signaled_ STRIX_GUARDED_BY(m_) = false; //!< the wakeup latch
 };
 
 /**
@@ -98,10 +98,10 @@ class ManualWaitableClock final : public WaitableClock
     void set(uint64_t micros);
 
   private:
-    mutable std::mutex m_;
-    std::condition_variable cv_;
-    uint64_t now_us_ = 0;   //!< virtual time, guarded by m_
-    bool signaled_ = false; //!< the wakeup latch, guarded by m_
+    mutable Mutex m_;
+    CondVar cv_;
+    uint64_t now_us_ STRIX_GUARDED_BY(m_) = 0;   //!< virtual time
+    bool signaled_ STRIX_GUARDED_BY(m_) = false; //!< the wakeup latch
 };
 
 } // namespace strix

@@ -17,9 +17,9 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "poly/complex_fft.h" // kMaxFftLog2
 
 namespace strix {
@@ -40,7 +40,7 @@ class Log2PlanCache
                    "plan cache: size must be a power of two in range");
         const Plan *plan = slots_[slot].load(std::memory_order_acquire);
         if (plan == nullptr) {
-            std::lock_guard<std::mutex> lock(build_mutex_);
+            MutexLock lock(build_mutex_);
             plan = slots_[slot].load(std::memory_order_relaxed);
             if (plan == nullptr) {
                 plan = new Plan(size);
@@ -51,8 +51,12 @@ class Log2PlanCache
     }
 
   private:
+    // slots_ is intentionally NOT STRIX_GUARDED_BY(build_mutex_): the
+    // steady-state read is a lock-free acquire load; build_mutex_ only
+    // serializes the one-time build/publish (double-checked locking),
+    // and the release/acquire pair carries the publication ordering.
     std::atomic<const Plan *> slots_[kMaxFftLog2 + 1] = {};
-    std::mutex build_mutex_;
+    Mutex build_mutex_;
 };
 
 } // namespace detail

@@ -66,7 +66,7 @@ BatchExecutor::submit(std::shared_ptr<const EvalKeys> keys,
     panicIfNot(keys != nullptr, "BatchExecutor: null EvalKeys bundle");
     std::future<LweCiphertext> fut;
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         panicIfNot(!stopping_, "BatchExecutor: submit after shutdown");
         std::unique_ptr<Shard> &slot = shards_[keys.get()];
         if (!slot)
@@ -92,7 +92,7 @@ BatchExecutor::submit(std::shared_ptr<const EvalKeys> keys,
 void
 BatchExecutor::dispatchLoop()
 {
-    std::unique_lock<std::mutex> lock(m_);
+    MutexLock lock(m_);
     for (;;) {
         Shard *due = nullptr;
         uint64_t *reason = nullptr;
@@ -190,19 +190,22 @@ BatchExecutor::runSweep(Shard &shard, std::vector<Request> batch)
 void
 BatchExecutor::drain()
 {
-    std::unique_lock<std::mutex> lock(m_);
-    drained_cv_.wait(lock, [&] { return in_flight_ == 0; });
+    MutexLock lock(m_);
+    drained_cv_.wait(lock, [&] {
+        m_.assertHeld(); // the wait runs its predicate locked
+        return in_flight_ == 0;
+    });
 }
 
 void
 BatchExecutor::shutdown()
 {
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         stopping_ = true;
     }
     clock_->signal();
-    std::lock_guard<std::mutex> join_lock(join_mutex_);
+    MutexLock join_lock(join_mutex_);
     if (dispatcher_.joinable())
         dispatcher_.join();
 }
@@ -210,7 +213,7 @@ BatchExecutor::shutdown()
 BatchExecutor::Stats
 BatchExecutor::stats() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    MutexLock lock(m_);
     return stats_;
 }
 

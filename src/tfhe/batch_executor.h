@@ -39,16 +39,15 @@
 #ifndef STRIX_TFHE_BATCH_EXECUTOR_H
 #define STRIX_TFHE_BATCH_EXECUTOR_H
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/waitclock.h"
 #include "tfhe/server_context.h"
 
@@ -131,14 +130,15 @@ class BatchExecutor
      */
     std::future<LweCiphertext> submit(std::shared_ptr<const EvalKeys> keys,
                                       LweCiphertext ct,
-                                      TorusPolynomial test_vector);
+                                      TorusPolynomial test_vector)
+        STRIX_EXCLUDES(m_);
 
     /**
      * Block until every request submitted so far has completed.
      * Concurrent submitters can re-fill the queues afterwards; drain
      * only promises a moment of emptiness.
      */
-    void drain();
+    void drain() STRIX_EXCLUDES(m_);
 
     /**
      * Stop accepting submissions, flush everything still queued
@@ -146,10 +146,10 @@ class BatchExecutor
      * Idempotent and safe to call concurrently; the destructor calls
      * it. Submitting afterwards panics.
      */
-    void shutdown();
+    void shutdown() STRIX_EXCLUDES(m_, join_mutex_);
 
     /** Snapshot of the counters. */
-    Stats stats() const;
+    Stats stats() const STRIX_EXCLUDES(m_);
 
     const Options &options() const { return opts_; }
 
@@ -176,10 +176,15 @@ class BatchExecutor
 
         std::shared_ptr<const EvalKeys> keys;
         ServerContext eval;
-        std::deque<Request> fill; //!< guarded by BatchExecutor::m_
+        // Guarded by the owning BatchExecutor's m_. The analysis has
+        // no way to express a guard that lives in another object, so
+        // this contract is manual: every fill access sits in a
+        // BatchExecutor member that provably holds m_ (submit and the
+        // locked sections of dispatchLoop); runSweep never touches it.
+        std::deque<Request> fill;
     };
 
-    void dispatchLoop();
+    void dispatchLoop() STRIX_EXCLUDES(m_);
 
     /** Run one sweep outside the lock and fulfill its promises. */
     static void runSweep(Shard &shard, std::vector<Request> batch);
@@ -187,14 +192,19 @@ class BatchExecutor
     const Options opts_;
     const std::shared_ptr<WaitableClock> clock_;
 
-    mutable std::mutex m_;
-    std::map<const EvalKeys *, std::unique_ptr<Shard>> shards_;
-    Stats stats_;
-    uint64_t in_flight_ = 0; //!< submitted minus completed
-    bool stopping_ = false;
-    std::condition_variable drained_cv_; //!< signaled at in_flight_ == 0
+    // Lock order: m_ is never held across a WaitableClock call -- the
+    // dispatcher releases it around clock_->wait()/waitUntil() and
+    // producers signal() after dropping it, so BatchExecutor::m_ and
+    // the clock's internal mutex are never nested.
+    mutable Mutex m_;
+    std::map<const EvalKeys *, std::unique_ptr<Shard>> shards_
+        STRIX_GUARDED_BY(m_);
+    Stats stats_ STRIX_GUARDED_BY(m_);
+    uint64_t in_flight_ STRIX_GUARDED_BY(m_) = 0; //!< submitted - completed
+    bool stopping_ STRIX_GUARDED_BY(m_) = false;
+    CondVar drained_cv_; //!< signaled at in_flight_ == 0
 
-    std::mutex join_mutex_; //!< serializes concurrent shutdown()s
+    Mutex join_mutex_;       //!< serializes concurrent shutdown()s
     std::thread dispatcher_; //!< started last: sees a complete object
 };
 

@@ -14,7 +14,9 @@ ClientKeyset::FftPrewarm::FftPrewarm(const TfheParams &p)
     NegacyclicFft::prewarm(p.N);
 }
 
+// See the header for the manual proof behind the analysis opt-out.
 ClientKeyset::ClientKeyset(const TfheParams &params, uint64_t seed)
+    STRIX_NO_THREAD_SAFETY_ANALYSIS
     : params_(params),
       fft_prewarm_(params_),
       rng_(seed),
@@ -36,7 +38,7 @@ ClientKeyset::ClientKeyset(const TfheParams &params, uint64_t seed)
 LweCiphertext
 ClientKeyset::encryptBit(bool bit) const
 {
-    std::lock_guard<std::mutex> lock(rng_mutex_);
+    MutexLock lock(rng_mutex_);
     return encryptBit(bit, rng_);
 }
 
@@ -50,7 +52,7 @@ ClientKeyset::encryptBit(bool bit, Rng &rng) const
 LweCiphertext
 ClientKeyset::encryptInt(int64_t m, uint64_t msg_space) const
 {
-    std::lock_guard<std::mutex> lock(rng_mutex_);
+    MutexLock lock(rng_mutex_);
     return encryptInt(m, msg_space, rng_);
 }
 

@@ -27,8 +27,8 @@
 #define STRIX_TFHE_CLIENT_KEYSET_H
 
 #include <memory>
-#include <mutex>
 
+#include "common/sync.h"
 #include "tfhe/eval_keys.h"
 
 namespace strix {
@@ -44,8 +44,14 @@ class ClientKeyset
      * yields bit-identical keys across the API migration) and prewarm
      * the FFT plan caches for this ring dimension.
      */
+    // no_thread_safety_analysis: the member-initializer list draws the
+    // key material from rng_ without rng_mutex_. Manual proof: a
+    // constructor runs strictly before any other thread can hold a
+    // reference to the object, so no concurrent encrypt*() can touch
+    // rng_ until construction completes.
     explicit ClientKeyset(const TfheParams &params,
-                          uint64_t seed = 0xC0DEC0DEULL);
+                          uint64_t seed = 0xC0DEC0DEULL)
+        STRIX_NO_THREAD_SAFETY_ANALYSIS;
 
     const TfheParams &params() const { return params_; }
     const LweKey &lweKey() const { return lwe_key_; }
@@ -63,7 +69,7 @@ class ClientKeyset
     }
 
     /** Encrypt a boolean as mu = +-1/8 under the dim-n key. */
-    LweCiphertext encryptBit(bool bit) const;
+    LweCiphertext encryptBit(bool bit) const STRIX_EXCLUDES(rng_mutex_);
 
     /** Encrypt a boolean drawing noise from caller-owned @p rng. */
     LweCiphertext encryptBit(bool bit, Rng &rng) const;
@@ -72,7 +78,8 @@ class ClientKeyset
      * Encrypt an integer in [0, msg_space) with centered LUT encoding
      * (padding bit) under the dim-n key.
      */
-    LweCiphertext encryptInt(int64_t m, uint64_t msg_space) const;
+    LweCiphertext encryptInt(int64_t m, uint64_t msg_space) const
+        STRIX_EXCLUDES(rng_mutex_);
 
     /** Encrypt an integer drawing noise from caller-owned @p rng. */
     LweCiphertext encryptInt(int64_t m, uint64_t msg_space,
@@ -99,8 +106,8 @@ class ClientKeyset
     };
     FftPrewarm fft_prewarm_;
 
-    mutable std::mutex rng_mutex_; //!< guards rng_ for encrypt*()
-    mutable Rng rng_;
+    mutable Mutex rng_mutex_; //!< guards rng_ for encrypt*()
+    mutable Rng rng_ STRIX_GUARDED_BY(rng_mutex_);
     LweKey lwe_key_;
     GlweKey glwe_key_;
     LweKey extracted_key_;

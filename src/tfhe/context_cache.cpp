@@ -51,12 +51,16 @@ std::shared_ptr<ContextCache::Entry>
 ContextCache::entryFor(const std::string &key)
 {
     {
-        std::shared_lock<std::shared_mutex> read(index_mutex_);
-        auto it = entries_.find(key);
-        if (it != entries_.end())
+        SharedReaderLock read(index_mutex_);
+        // Look up through a const alias: a reader lock only grants
+        // shared access to entries_, and the analysis (correctly)
+        // rejects the non-const find() overload under it.
+        const auto &index = entries_;
+        auto it = index.find(key);
+        if (it != index.end())
             return it->second;
     }
-    std::unique_lock<std::shared_mutex> write(index_mutex_);
+    SharedWriterLock write(index_mutex_);
     auto [it, inserted] = entries_.try_emplace(key);
     if (inserted)
         it->second = std::make_shared<Entry>();
@@ -83,14 +87,14 @@ ContextCache::getOrCreate(const TfheParams &params, uint64_t seed)
 size_t
 ContextCache::size() const
 {
-    std::shared_lock<std::shared_mutex> read(index_mutex_);
+    SharedReaderLock read(index_mutex_);
     return entries_.size();
 }
 
 void
 ContextCache::clear()
 {
-    std::unique_lock<std::shared_mutex> write(index_mutex_);
+    SharedWriterLock write(index_mutex_);
     entries_.clear();
 }
 

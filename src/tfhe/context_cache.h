@@ -32,10 +32,10 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
+#include <mutex> // std::once_flag / std::call_once
 #include <string>
 
+#include "common/sync.h"
 #include "tfhe/client_keyset.h"
 
 namespace strix {
@@ -94,10 +94,12 @@ class ContextCache
         std::shared_ptr<const ClientKeyset> keyset;
     };
 
-    std::shared_ptr<Entry> entryFor(const std::string &key);
+    std::shared_ptr<Entry> entryFor(const std::string &key)
+        STRIX_EXCLUDES(index_mutex_);
 
-    mutable std::shared_mutex index_mutex_;
-    std::map<std::string, std::shared_ptr<Entry>> entries_;
+    mutable SharedMutex index_mutex_;
+    std::map<std::string, std::shared_ptr<Entry>> entries_
+        STRIX_GUARDED_BY(index_mutex_);
     std::atomic<uint64_t> keygens_{0};
 };
 

@@ -35,7 +35,7 @@ ServerContext::ServerContext(std::shared_ptr<const EvalKeys> keys)
 std::shared_ptr<ThreadPool>
 ServerContext::pool() const
 {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    MutexLock lock(pool_mutex_);
     if (!pool_)
         pool_ = std::make_shared<ThreadPool>(batch_threads_);
     return pool_;
@@ -44,7 +44,7 @@ ServerContext::pool() const
 void
 ServerContext::setBatchThreads(unsigned threads)
 {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    MutexLock lock(pool_mutex_);
     batch_threads_ = threads;
     if (pool_) // already spun up: publish a replacement at the new size
         pool_ = std::make_shared<ThreadPool>(threads);
@@ -53,7 +53,7 @@ ServerContext::setBatchThreads(unsigned threads)
 unsigned
 ServerContext::batchThreads() const
 {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    MutexLock lock(pool_mutex_);
     return batch_threads_ != 0 ? batch_threads_
                                : ThreadPool::defaultThreadCount();
 }
@@ -121,14 +121,14 @@ ServerContext::bootstrapBatch(const LweCiphertext *cts,
 void
 ServerContext::attachExecutor(std::shared_ptr<BatchExecutor> executor)
 {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    MutexLock lock(pool_mutex_);
     executor_ = std::move(executor);
 }
 
 std::shared_ptr<BatchExecutor>
 ServerContext::executor() const
 {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    MutexLock lock(pool_mutex_);
     return executor_;
 }
 

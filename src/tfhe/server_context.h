@@ -35,10 +35,10 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/sync.h"
 #include "tfhe/eval_keys.h"
 
 namespace strix {
@@ -128,10 +128,12 @@ class ServerContext
      * concurrently with submits: in-flight requests stay with the
      * executor they were submitted to.
      */
-    void attachExecutor(std::shared_ptr<BatchExecutor> executor);
+    void attachExecutor(std::shared_ptr<BatchExecutor> executor)
+        STRIX_EXCLUDES(pool_mutex_);
 
     /** The attached executor, or nullptr. */
-    std::shared_ptr<BatchExecutor> executor() const;
+    std::shared_ptr<BatchExecutor> executor() const
+        STRIX_EXCLUDES(pool_mutex_);
 
     /**
      * Async PBS+KS: returns a future for bootstrap(ct, test_vector).
@@ -155,13 +157,13 @@ class ServerContext
      * in-flight batches complete on the pool they snapshotted; the
      * replacement serves later calls.
      */
-    void setBatchThreads(unsigned threads);
+    void setBatchThreads(unsigned threads) STRIX_EXCLUDES(pool_mutex_);
 
     /**
      * Batch worker count the next batch call will use (>= 1,
      * including the caller). Pure query: does not spin up the pool.
      */
-    unsigned batchThreads() const;
+    unsigned batchThreads() const STRIX_EXCLUDES(pool_mutex_);
 
   private:
     /**
@@ -170,7 +172,7 @@ class ServerContext
      * concurrently with batches: a replacement cannot destroy a pool
      * a running batch still references.
      */
-    std::shared_ptr<ThreadPool> pool() const;
+    std::shared_ptr<ThreadPool> pool() const STRIX_EXCLUDES(pool_mutex_);
 
     std::shared_ptr<const EvalKeys> keys_;
 
@@ -181,11 +183,13 @@ class ServerContext
     };
     FftPrewarm fft_prewarm_;
 
-    mutable std::mutex pool_mutex_; //!< guards pool_, batch_threads_,
-                                    //!< and executor_
-    mutable std::shared_ptr<ThreadPool> pool_;
-    unsigned batch_threads_ = 0; //!< requested size; 0 = default
-    std::shared_ptr<BatchExecutor> executor_; //!< null = inline submits
+    mutable Mutex pool_mutex_;
+    mutable std::shared_ptr<ThreadPool> pool_
+        STRIX_GUARDED_BY(pool_mutex_);
+    unsigned batch_threads_ STRIX_GUARDED_BY(pool_mutex_) =
+        0; //!< requested size; 0 = default
+    std::shared_ptr<BatchExecutor> executor_
+        STRIX_GUARDED_BY(pool_mutex_); //!< null = inline submits
 };
 
 } // namespace strix

@@ -211,23 +211,6 @@ Circuit::evalEncrypted(const ServerContext &server,
     return out;
 }
 
-std::vector<bool>
-Circuit::evalEncrypted(const ClientKeyset &client,
-                       const ServerContext &server,
-                       const std::vector<bool> &inputs) const
-{
-    std::vector<LweCiphertext> enc;
-    enc.reserve(inputs.size());
-    for (bool bit : inputs)
-        enc.push_back(client.encryptBit(bit));
-    std::vector<LweCiphertext> enc_out = evalEncrypted(server, enc);
-    std::vector<bool> out;
-    out.reserve(enc_out.size());
-    for (const LweCiphertext &ct : enc_out)
-        out.push_back(client.decryptBit(ct));
-    return out;
-}
-
 WorkloadGraph
 Circuit::toWorkloadGraph() const
 {

@@ -8,8 +8,11 @@
  *
  *   - functional evaluation in cleartext (reference);
  *   - homomorphic evaluation on a ServerContext (every 2-input gate
- *     is one PBS + KS, MUX is two PBS + one KS, NOT is free), with a
- *     client+server convenience wrapper for single-process use;
+ *     is one PBS + KS, MUX is two PBS + one KS, NOT is free); the
+ *     client+server convenience wrapper for single-process use lives
+ *     in workloads/circuit_client.h so that this header -- and every
+ *     server-side TU that includes it -- stays free of
+ *     tfhe/client_keyset.h and the secret keys it carries;
  *   - lowering to a WorkloadGraph: gates are levelized by dependency
  *     depth and each level becomes one batchable layer, which is how
  *     a gate workload is scheduled on Strix or a GPU.
@@ -26,7 +29,6 @@
 #include <vector>
 
 #include "strix/graph.h"
-#include "tfhe/client_keyset.h"
 #include "tfhe/gates.h"
 
 namespace strix {
@@ -106,15 +108,6 @@ class Circuit
     std::vector<LweCiphertext>
     evalEncrypted(const ServerContext &server,
                   const std::vector<LweCiphertext> &inputs) const;
-
-    /**
-     * End-to-end convenience for single-process use: encrypt @p
-     * inputs under @p client, evaluate on @p server, decrypt the
-     * outputs with @p client.
-     */
-    std::vector<bool> evalEncrypted(const ClientKeyset &client,
-                                    const ServerContext &server,
-                                    const std::vector<bool> &inputs) const;
 
     /**
      * Lower to a layered PBS/KS workload graph: gates at the same

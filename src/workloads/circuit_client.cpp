@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Client-side circuit wrapper implementation.
+ */
+
+#include "workloads/circuit_client.h"
+
+namespace strix {
+
+std::vector<bool>
+evalEncrypted(const Circuit &circuit, const ClientKeyset &client,
+              const ServerContext &server, const std::vector<bool> &inputs)
+{
+    std::vector<LweCiphertext> enc;
+    enc.reserve(inputs.size());
+    for (bool bit : inputs)
+        enc.push_back(client.encryptBit(bit));
+    std::vector<LweCiphertext> enc_out =
+        circuit.evalEncrypted(server, enc);
+    std::vector<bool> out;
+    out.reserve(enc_out.size());
+    for (const LweCiphertext &ct : enc_out)
+        out.push_back(client.decryptBit(ct));
+    return out;
+}
+
+} // namespace strix

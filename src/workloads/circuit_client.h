@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Client-side circuit convenience: encrypt, evaluate, decrypt.
+ *
+ * Deliberately separate from workloads/circuit.h: the netlist and its
+ * server-side evaluation path must stay compilable without
+ * tfhe/client_keyset.h (the secret-isolation rule tools/lint enforces),
+ * so the single wrapper that *does* need secret keys lives here. Only
+ * client-side code -- tests, examples, a trusted session runtime --
+ * should include this header.
+ */
+
+#ifndef STRIX_WORKLOADS_CIRCUIT_CLIENT_H
+#define STRIX_WORKLOADS_CIRCUIT_CLIENT_H
+
+#include <vector>
+
+#include "tfhe/client_keyset.h"
+#include "workloads/circuit.h"
+
+namespace strix {
+
+/**
+ * End-to-end convenience for single-process use: encrypt @p inputs
+ * under @p client, evaluate @p circuit on @p server, decrypt the
+ * outputs with @p client.
+ */
+std::vector<bool> evalEncrypted(const Circuit &circuit,
+                                const ClientKeyset &client,
+                                const ServerContext &server,
+                                const std::vector<bool> &inputs);
+
+} // namespace strix
+
+#endif // STRIX_WORKLOADS_CIRCUIT_CLIENT_H

@@ -1,0 +1,11 @@
+// Fixture: poly/ including upward into tfhe/ breaks the layering DAG.
+// test_lint.py asserts strix_lint rejects this include.
+#include "tfhe/lwe.h"
+
+namespace strix {
+int
+fixtureUpwardInclude()
+{
+    return 0;
+}
+} // namespace strix

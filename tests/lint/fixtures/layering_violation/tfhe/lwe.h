@@ -1,0 +1,11 @@
+// Fixture: a tfhe-layer header a lower layer must not reach.
+#ifndef FIXTURE_TFHE_LWE_H
+#define FIXTURE_TFHE_LWE_H
+
+namespace strix {
+struct LweCiphertext
+{
+};
+} // namespace strix
+
+#endif

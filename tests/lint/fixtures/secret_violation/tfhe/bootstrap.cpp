@@ -1,0 +1,2 @@
+// Fixture: server-root TU whose closure reaches client_keyset.h.
+#include "tfhe/bootstrap.h"

@@ -1,0 +1,15 @@
+// Fixture: a server root that (illegally) pulls in the secret keys.
+// test_lint.py asserts strix_lint rejects this with an include chain.
+#ifndef FIXTURE_TFHE_BOOTSTRAP_H
+#define FIXTURE_TFHE_BOOTSTRAP_H
+
+#include "tfhe/client_keyset.h"
+
+namespace strix {
+inline int bootstrapWithSecrets(const ClientKeyset &)
+{
+    return 0;
+}
+} // namespace strix
+
+#endif

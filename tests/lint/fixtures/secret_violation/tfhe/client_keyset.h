@@ -1,0 +1,11 @@
+// Fixture: stands in for the real secret-key header.
+#ifndef FIXTURE_TFHE_CLIENT_KEYSET_H
+#define FIXTURE_TFHE_CLIENT_KEYSET_H
+
+namespace strix {
+class ClientKeyset
+{
+};
+} // namespace strix
+
+#endif
