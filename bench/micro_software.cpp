@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "poly/simd.h"
 #include "tfhe/context_cache.h"
 #include "tfhe/gates.h"
+#include "tfhe/serialize.h"
 
 using namespace strix;
 
@@ -321,6 +324,106 @@ BM_ContextCacheHit(benchmark::State &state)
     state.SetLabel("cached EvalKeys lookup");
 }
 BENCHMARK(BM_ContextCacheHit);
+
+/** Counting sink: serialization cost without buffer-growth noise. */
+class CountingBuf : public std::streambuf
+{
+  public:
+    uint64_t count() const { return count_; }
+
+  protected:
+    int overflow(int ch) override
+    {
+        ++count_;
+        return ch;
+    }
+    std::streamsize xsputn(const char *, std::streamsize n) override
+    {
+        count_ += uint64_t(n);
+        return n;
+    }
+
+  private:
+    uint64_t count_ = 0;
+};
+
+/**
+ * EvalKeys frame writers, v1 (expanded) vs v2 (seeded): the recorded
+ * byte counters are the wire-size claim (EVK2 ~ 1/(k+1) of the BSK +
+ * 1/(n+1) of the KSK; ~1/3 of EVK1 at set I), the times the
+ * serialization cost at paper set I.
+ */
+void
+BM_EvalKeysSerialize(benchmark::State &state, EvalKeysFormat format)
+{
+    auto &keys = keysI();
+    uint64_t bytes = 0;
+    for (auto _ : state) {
+        CountingBuf sink;
+        std::ostream os(&sink);
+        serialize(os, *keys.client.evalKeys(), format);
+        bytes = sink.count();
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.counters["frame_bytes"] =
+        benchmark::Counter(double(bytes));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(bytes));
+    state.SetLabel("parameter set I");
+}
+BENCHMARK_CAPTURE(BM_EvalKeysSerialize, v1, EvalKeysFormat::Expanded)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EvalKeysSerialize, v2, EvalKeysFormat::Seeded)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Server-side cost of standing up keys from a seeded frame: parse +
+ * mask re-expansion (PRNG) + per-row forward FFTs. The price paid
+ * once per key delivery for shipping a third of the bytes.
+ */
+void
+BM_SeededExpand(benchmark::State &state)
+{
+    auto &keys = keysI();
+    std::stringstream wire;
+    serialize(wire, *keys.client.evalKeys(), EvalKeysFormat::Seeded);
+    const std::string frame = wire.str();
+    for (auto _ : state) {
+        std::istringstream is(frame);
+        auto bundle = deserializeEvalKeys(is);
+        benchmark::DoNotOptimize(bundle.get());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            int64_t(frame.size()));
+    state.SetLabel("EVK2 -> EvalKeys, set I");
+}
+BENCHMARK(BM_SeededExpand)->Unit(benchmark::kMillisecond);
+
+/**
+ * Budget-pressure churn: two keysets, a budget that fits one. Every
+ * lookup misses, regenerates, and LRU-evicts the other bundle, so the
+ * row records the full miss-under-pressure path (keygen + accounting
+ * + eviction scan); the delta against BM_KeygenCold is the cache's
+ * own overhead.
+ */
+void
+BM_ContextCacheEvict(benchmark::State &state)
+{
+    static ContextCache cache;
+    static const uint64_t bundle_bytes =
+        cache.getOrCreate(cacheBenchParams(), 0)->residentBytes();
+    cache.setBudgetBytes(bundle_bytes);
+    uint64_t flip = 0;
+    for (auto _ : state) {
+        auto keys = cache.getOrCreate(cacheBenchParams(), 1 + flip % 2);
+        ++flip;
+        benchmark::DoNotOptimize(keys.get());
+    }
+    state.counters["evictions"] =
+        benchmark::Counter(double(cache.stats().evictions));
+    state.SetLabel("keygen + LRU evict, n=48 N=512");
+}
+BENCHMARK(BM_ContextCacheEvict)->Unit(benchmark::kMillisecond);
 
 void
 registerKernelBenchmarks()

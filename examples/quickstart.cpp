@@ -35,12 +35,29 @@ main()
     ClientKeyset client(paramsSetI(), /*seed=*/42);
 
     std::printf("-- 2. ship the evaluation keys to the server\n");
+    // Two wire formats: the expanded EVK1 frame carries every mask
+    // and body component; the seeded EVK2 frame ships only the mask
+    // seeds plus body components and the server re-expands the masks
+    // (deterministically -- the rebuilt keys are bit-identical).
+    std::stringstream wire_v1;
+    serialize(wire_v1, *client.evalKeys(), EvalKeysFormat::Expanded);
     std::stringstream wire;
-    serialize(wire, *client.evalKeys());
-    std::printf("   EvalKeys frame: %.1f MiB (BSK + KSK, no secret "
-                "key inside)\n",
-                double(wire.tellp()) / (1024.0 * 1024.0));
-    // The server stands on the deserialized public bundle alone.
+    serialize(wire, *client.evalKeys(), EvalKeysFormat::Seeded);
+    const double v1_mib = double(wire_v1.tellp()) / (1024.0 * 1024.0);
+    const double v2_mib = double(wire.tellp()) / (1024.0 * 1024.0);
+    std::printf("   EvalKeys frame (EVK1, expanded): %.1f MiB (BSK + "
+                "KSK, no secret key inside)\n",
+                v1_mib);
+    std::printf("   EvalKeys frame (EVK2, seeded)  : %.1f MiB (%.0f%% "
+                "of EVK1)\n",
+                v2_mib, 100.0 * v2_mib / v1_mib);
+    if (v2_mib > 0.55 * v1_mib) {
+        std::printf("   ERROR: seeded frame exceeds 55%% of the "
+                    "expanded frame\n");
+        return 1;
+    }
+    // The server stands on the deserialized public bundle alone,
+    // re-expanded from the compressed frame.
     ServerContext server(deserializeEvalKeys(wire));
 
     std::printf("-- 3. bootstrapped boolean gates (evaluated server-"

@@ -30,11 +30,18 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
-Rng::Rng(uint64_t seed)
+Rng::Rng(uint64_t seed) : seed_(seed)
 {
     uint64_t x = seed;
     for (auto &s : s_)
         s = splitmix64(x);
+}
+
+Rng
+Rng::fork(uint64_t stream_id) const
+{
+    uint64_t x = seed_ ^ stream_id;
+    return Rng(splitmix64(x));
 }
 
 uint64_t

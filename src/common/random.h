@@ -28,6 +28,20 @@ class Rng
     /** Construct from a 64-bit seed expanded with splitmix64. */
     explicit Rng(uint64_t seed = 0x5713A9C0FFEEULL);
 
+    /**
+     * Deterministic substream @p stream_id of this generator's *seed*
+     * (one splitmix64 step over seed XOR stream_id). Forking depends
+     * only on the construction seed, never on how far this generator
+     * has advanced, so fork(i) is reproducible and order-independent:
+     * any party holding the seed can expand stream i without drawing
+     * streams 0..i-1 first, which is what lets seeded-key mask
+     * expansion run per-row and in parallel. Distinct stream ids give
+     * statistically independent streams, and every child differs from
+     * its parent (fork(0) reseeds through splitmix64, it does not
+     * clone).
+     */
+    Rng fork(uint64_t stream_id) const;
+
     /** Next raw 64-bit value. */
     uint64_t next64();
 
@@ -61,6 +75,7 @@ class Rng
     Torus32 gaussianTorus32(double stddev);
 
   private:
+    uint64_t seed_; //!< construction seed, kept for fork()
     uint64_t s_[4];
     double cached_gauss_ = 0.0;
     bool has_cached_gauss_ = false;

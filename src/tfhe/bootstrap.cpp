@@ -31,6 +31,75 @@ BootstrappingKey::generate(const LweKey &lwe_key, const GlweKey &glwe_key,
 }
 
 BootstrappingKey
+BootstrappingKey::generateSeeded(const LweKey &lwe_key,
+                                 const GlweKey &glwe_key,
+                                 const TfheParams &params,
+                                 uint64_t mask_seed, Rng &noise_rng)
+{
+    panicIfNot(lwe_key.dim() == params.n, "bsk: LWE key dim mismatch");
+    panicIfNot(glwe_key.k() == params.k &&
+                   glwe_key.ringDim() == params.N,
+               "bsk: GLWE key shape mismatch");
+
+    BootstrappingKey bsk;
+    bsk.params_ = params;
+    const GadgetParams g{params.bg_bits, params.l_bsk};
+    const Rng mask_root(mask_seed);
+    const uint64_t rows_per_bit =
+        uint64_t(params.k + 1) * params.l_bsk;
+    bsk.ggsw_fft_.reserve(params.n);
+    for (uint32_t i = 0; i < params.n; ++i) {
+        GgswCiphertext ggsw =
+            ggswEncryptSeeded(glwe_key, lwe_key.bit(i), g,
+                              params.glwe_noise, mask_root,
+                              uint64_t(i) * rows_per_bit, noise_rng);
+        bsk.ggsw_fft_.emplace_back(ggsw);
+    }
+    return bsk;
+}
+
+BootstrappingKey
+BootstrappingKey::fromSeededBodies(const TfheParams &params,
+                                   uint64_t mask_seed,
+                                   std::vector<FreqPolynomial> freq_bodies)
+{
+    const uint32_t k = params.k;
+    const uint32_t big_n = params.N;
+    const GadgetParams g{params.bg_bits, params.l_bsk};
+    const size_t rows_per_bit = size_t(k + 1) * g.levels;
+    panicIfNot(freq_bodies.size() == size_t(params.n) * rows_per_bit,
+               "bsk fromSeededBodies: body count mismatch");
+
+    const auto &eng = NegacyclicFft::get(big_n);
+    const Rng mask_root(mask_seed);
+    GlweCiphertext scratch(k, big_n);
+    std::vector<GgswFft> bits;
+    bits.reserve(params.n);
+    for (uint32_t i = 0; i < params.n; ++i) {
+        std::vector<FreqPolynomial> rows(rows_per_bit * (k + 1));
+        for (size_t r = 0; r < rows_per_bit; ++r) {
+            // Identical fork id and draw order as ggswEncryptSeeded
+            // (stream_base + block*levels + level == flat row index),
+            // identical per-polynomial forward transform as the
+            // GgswFft constructor: the regenerated mask columns are
+            // bit-identical to the generated key's.
+            Rng mask_rng =
+                mask_root.fork(uint64_t(i) * rows_per_bit + r);
+            glweFillMask(scratch, mask_rng);
+            for (uint32_t c = 0; c < k; ++c)
+                eng.forward(rows[r * (k + 1) + c], scratch.poly(c));
+            FreqPolynomial &body = freq_bodies[i * rows_per_bit + r];
+            panicIfNot(body.size() == size_t(big_n) / 2,
+                       "bsk fromSeededBodies: body size mismatch");
+            rows[r * (k + 1) + k] = std::move(body);
+        }
+        bits.push_back(
+            GgswFft::fromRawRows(k, big_n, g, std::move(rows)));
+    }
+    return fromBits(params, std::move(bits));
+}
+
+BootstrappingKey
 BootstrappingKey::fromBits(const TfheParams &params,
                            std::vector<GgswFft> bits)
 {

@@ -35,6 +35,38 @@ class BootstrappingKey
                                      const TfheParams &params, Rng &rng);
 
     /**
+     * Seeded-mask generation (ggswEncryptSeeded per key bit): every
+     * mask polynomial comes from the deterministic stream rooted at
+     * @p mask_seed -- GLWE row (bit i, block, level) forks stream id
+     * i*(k+1)*l_bsk + block*l_bsk + level -- and only noise draws
+     * from @p noise_rng. A key generated this way is fully determined
+     * by (mask_seed, bodies), which is what the compressed BSK2 frame
+     * ships; fromSeededBodies() reconstructs it bit-identically.
+     */
+    static BootstrappingKey generateSeeded(const LweKey &lwe_key,
+                                           const GlweKey &glwe_key,
+                                           const TfheParams &params,
+                                           uint64_t mask_seed,
+                                           Rng &noise_rng);
+
+    /**
+     * Rebuild a generateSeeded() key from its mask seed plus the
+     * shipped frequency-domain body column: @p freq_bodies holds
+     * n*(k+1)*l_bsk polynomials of N/2 points, entry
+     * i*(k+1)*l_bsk + r being column k of GLWE row r of bit i. Masks
+     * are re-expanded from per-row forks of @p mask_seed and forward-
+     * transformed through the same per-polynomial FFT path the
+     * GgswFft constructor uses, so the rebuilt key is bit-identical
+     * to the generated one (same process / same FFT kernel; see
+     * README). Needs no secret key. Panics on shape mismatch --
+     * callers feeding untrusted bytes validate shapes first
+     * (serialize.cpp does).
+     */
+    static BootstrappingKey
+    fromSeededBodies(const TfheParams &params, uint64_t mask_seed,
+                     std::vector<FreqPolynomial> freq_bodies);
+
+    /**
      * Rebuild from pre-transformed per-bit GGSWs (deserialization).
      * bits.size() must equal params.n and every GGSW must match the
      * parameter shape; panics on mismatch.

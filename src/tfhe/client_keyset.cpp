@@ -24,15 +24,23 @@ ClientKeyset::ClientKeyset(const TfheParams &params, uint64_t seed)
       glwe_key_(params.k, params.N, rng_),
       extracted_key_(glwe_key_.extractedLweKey())
 {
-    // Sequenced statements, not constructor arguments: both generate()
-    // calls advance rng_, and the BSK must consume the stream first to
-    // keep the key material bit-identical to the historical layout.
-    BootstrappingKey bsk =
-        BootstrappingKey::generate(lwe_key_, glwe_key_, params_, rng_);
-    KeySwitchKey ksk =
-        KeySwitchKey::generate(extracted_key_, lwe_key_, params_, rng_);
+    // Sequenced statements, not constructor arguments: every draw
+    // below advances rng_, and the order (mask seeds, then BSK noise,
+    // then KSK noise) pins the deterministic keygen stream for a
+    // given (params, seed).
+    //
+    // Keys are generated on the *seeded* path: mask components come
+    // from deterministic substreams rooted at two seeds drawn here,
+    // so the EvalKeys bundle records them and can serialize as a
+    // compressed EVK2 frame (seed + bodies, ~1/(k+1) the size; see
+    // serialize.h) that re-expands bit-identically.
+    const EvalKeySeeds seeds{rng_.next64(), rng_.next64()};
+    BootstrappingKey bsk = BootstrappingKey::generateSeeded(
+        lwe_key_, glwe_key_, params_, seeds.bsk_mask, rng_);
+    KeySwitchKey ksk = KeySwitchKey::generateSeeded(
+        extracted_key_, lwe_key_, params_, seeds.ksk_mask, rng_);
     eval_keys_ = std::make_shared<const EvalKeys>(
-        params_, std::move(bsk), std::move(ksk));
+        params_, std::move(bsk), std::move(ksk), seeds);
 }
 
 LweCiphertext

@@ -39,10 +39,12 @@ class ClientKeyset
   public:
     /**
      * Generate all key material for @p params deterministically from
-     * @p seed (same stream order -- LWE key, GLWE key, BSK, KSK -- as
-     * the historical TfheContext, so a given (params, seed) pair
-     * yields bit-identical keys across the API migration) and prewarm
-     * the FFT plan caches for this ring dimension.
+     * @p seed (fixed stream order: LWE key, GLWE key, mask seeds, BSK
+     * noise, KSK noise -- a given (params, seed) pair always yields
+     * bit-identical keys) and prewarm the FFT plan caches for this
+     * ring dimension. The BSK/KSK are generated with seeded masks, so
+     * evalKeys() carries the mask seeds and serializes as either the
+     * expanded EVK1 or the compressed EVK2 frame.
      */
     // no_thread_safety_analysis: the member-initializer list draws the
     // key material from rng_ without rng_mutex_. Manual proof: a

@@ -2,7 +2,8 @@
  * @file
  * TfheContext: a thin single-process facade over the split API.
  *
- * DEPRECATED in docs: new code should use the split types directly --
+ * DEPRECATED (now enforced with [[deprecated]]): new code should use
+ * the split types directly --
  * `ClientKeyset` (secret keys + encryption, client side), `EvalKeys`
  * (the shareable public BSK/KSK bundle), and `ServerContext`
  * (evaluation over a shared bundle) -- optionally amortizing keygen
@@ -32,7 +33,9 @@
 namespace strix {
 
 /** ClientKeyset + ServerContext in one handle (single-process use). */
-class TfheContext
+class [[deprecated(
+    "use ClientKeyset + ServerContext (see README migration table); "
+    "TfheContext will be removed in a future release")]] TfheContext
 {
   public:
     /**

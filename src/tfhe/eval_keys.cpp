@@ -30,4 +30,28 @@ EvalKeys::EvalKeys(TfheParams params, BootstrappingKey bsk,
                "EvalKeys: ksk gadget does not match params");
 }
 
+EvalKeys::EvalKeys(TfheParams params, BootstrappingKey bsk,
+                   KeySwitchKey ksk, EvalKeySeeds seeds)
+    : EvalKeys(std::move(params), std::move(bsk), std::move(ksk))
+{
+    seeds_ = seeds;
+}
+
+uint64_t
+EvalKeys::residentBytes() const
+{
+    // BSK: n GGSWs of (k+1)*l_bsk rows x (k+1) frequency polynomials
+    // of N/2 complex points (2 doubles each).
+    const uint64_t bsk_polys = uint64_t(params_.n) * (params_.k + 1) *
+                               params_.l_bsk * (params_.k + 1);
+    const uint64_t bsk_bytes =
+        bsk_polys * (params_.N / 2) * sizeof(Cplx);
+    // KSK: in_dim*levels LWE rows of out_dim+1 torus words.
+    const uint64_t ksk_bytes = uint64_t(ksk_.inDim()) *
+                               ksk_.gadget().levels *
+                               (uint64_t(ksk_.outDim()) + 1) *
+                               sizeof(Torus32);
+    return bsk_bytes + ksk_bytes;
+}
+
 } // namespace strix

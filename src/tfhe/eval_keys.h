@@ -26,11 +26,26 @@
 #define STRIX_TFHE_EVAL_KEYS_H
 
 #include <memory>
+#include <optional>
 
 #include "tfhe/bootstrap.h"
 #include "tfhe/keyswitch.h"
 
 namespace strix {
+
+/**
+ * Mask-stream root seeds recorded by seeded keygen
+ * (BootstrappingKey::generateSeeded / KeySwitchKey::generateSeeded).
+ * A bundle carrying these serializes as a compressed EVK2 frame (seed
+ * + body components only, ~1/(k+1) of the expanded size); the seeds
+ * are public material -- the masks they expand to ship in the clear
+ * in the expanded format anyway.
+ */
+struct EvalKeySeeds
+{
+    uint64_t bsk_mask; //!< BSK mask stream root
+    uint64_t ksk_mask; //!< KSK mask stream root
+};
 
 /**
  * Immutable public evaluation-key bundle: parameters, bootstrapping
@@ -47,9 +62,25 @@ class EvalKeys
      */
     EvalKeys(TfheParams params, BootstrappingKey bsk, KeySwitchKey ksk);
 
+    /**
+     * Same, for keys produced by the seeded keygen path: @p seeds are
+     * the mask stream roots, kept so the bundle can serialize in the
+     * compressed EVK2 format (serialize.h).
+     */
+    EvalKeys(TfheParams params, BootstrappingKey bsk, KeySwitchKey ksk,
+             EvalKeySeeds seeds);
+
     const TfheParams &params() const { return params_; }
     const BootstrappingKey &bsk() const { return bsk_; }
     const KeySwitchKey &ksk() const { return ksk_; }
+
+    /**
+     * Mask seeds when this bundle came from seeded keygen (or an EVK2
+     * frame); empty for keys built from expanded material (legacy
+     * generate() or an EVK1 frame), which then only serialize in the
+     * expanded format.
+     */
+    const std::optional<EvalKeySeeds> &seeds() const { return seeds_; }
 
     /** Approximate in-memory bundle size (time-domain equivalent). */
     uint64_t bytes() const
@@ -57,10 +88,20 @@ class EvalKeys
         return params_.bskBytes() + params_.kskBytes();
     }
 
+    /**
+     * Actual resident size of the key material as stored: the
+     * frequency-domain BSK rows (16 bytes per complex point -- 4x the
+     * time-domain torus estimate of bytes()) plus the KSK rows. This
+     * is what one cached tenant costs a server, and the unit
+     * ContextCache budgets and accounts evictions in.
+     */
+    uint64_t residentBytes() const;
+
   private:
     TfheParams params_;
     BootstrappingKey bsk_;
     KeySwitchKey ksk_;
+    std::optional<EvalKeySeeds> seeds_;
 };
 
 } // namespace strix

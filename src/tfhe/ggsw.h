@@ -49,6 +49,28 @@ GgswCiphertext ggswEncrypt(const GlweKey &key, int32_t m,
                            const GadgetParams &g, double stddev, Rng &rng);
 
 /**
+ * Seeded GGSW encryption: every mask polynomial is pure PRNG output
+ * from a per-row fork of the stream rooted at @p mask_root (row
+ * (block, level) uses stream id @p stream_base + block*levels +
+ * level), so a holder of the root seed regenerates all masks and only
+ * the k+1 body polynomials per GGSW need shipping (the BSK2 frame).
+ *
+ * The message is placed in *body form*: ggswEncrypt adds m*scale to
+ * mask component `block`, which is fine when masks travel with the
+ * ciphertext but leaks m outright once the mask is declared to be
+ * public PRNG output (shipped-mask minus regenerated-PRNG = m*scale).
+ * Here the masks stay untouched and the algebraically equivalent
+ * -m*scale*z_block is folded into the body instead (for block == k the
+ * message lands on the body either way). Both forms have identical
+ * row phase E - m*scale*z_block, hence identical external-product
+ * semantics and noise; only the ciphertext representation differs.
+ */
+GgswCiphertext ggswEncryptSeeded(const GlweKey &key, int32_t m,
+                                 const GadgetParams &g, double stddev,
+                                 const Rng &mask_root,
+                                 uint64_t stream_base, Rng &noise_rng);
+
+/**
  * External product: out = ggsw [*] glwe, computed exactly (Karatsuba).
  * Used as the reference against the FFT-domain path.
  */

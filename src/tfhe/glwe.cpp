@@ -95,6 +95,38 @@ glweEncryptZero(const GlweKey &key, double stddev, Rng &rng)
     return glweEncrypt(key, zero, stddev, rng);
 }
 
+void
+glweFillMask(GlweCiphertext &ct, Rng &mask_rng)
+{
+    const uint32_t k = ct.k();
+    const uint32_t n = ct.ringDim();
+    for (uint32_t i = 0; i < k; ++i)
+        for (uint32_t j = 0; j < n; ++j)
+            ct.poly(i)[j] = mask_rng.uniformTorus32();
+}
+
+GlweCiphertext
+glweEncryptSeeded(const GlweKey &key, const TorusPolynomial &mu,
+                  double stddev, Rng &mask_rng, Rng &noise_rng)
+{
+    const uint32_t k = key.k();
+    const uint32_t n = key.ringDim();
+    panicIfNot(mu.size() == n, "glweEncryptSeeded: message size mismatch");
+
+    GlweCiphertext ct(k, n);
+    glweFillMask(ct, mask_rng);
+    TorusPolynomial prod(n);
+    for (uint32_t i = 0; i < k; ++i) {
+        // Exact Karatsuba for the same reason as glweEncrypt: the
+        // zero-noise algebraic tests must decrypt exactly.
+        negacyclicMulKaratsuba(prod, key.poly(i), ct.poly(i));
+        ct.body().addAssign(prod);
+    }
+    for (uint32_t j = 0; j < n; ++j)
+        ct.body()[j] += mu[j] + noise_rng.gaussianTorus32(stddev);
+    return ct;
+}
+
 TorusPolynomial
 glwePhase(const GlweKey &key, const GlweCiphertext &ct)
 {

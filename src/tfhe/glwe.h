@@ -91,6 +91,27 @@ GlweCiphertext glweEncrypt(const GlweKey &key, const TorusPolynomial &mu,
 /** Encrypt zero (used by GGSW rows). */
 GlweCiphertext glweEncryptZero(const GlweKey &key, double stddev, Rng &rng);
 
+/**
+ * Fill the k mask polynomials of @p ct from @p mask_rng: k*N
+ * uniformTorus32 draws, component-major. The single source of truth
+ * for the seeded mask stream layout -- glweEncryptSeeded draws masks
+ * through this helper and seeded-key expansion
+ * (BootstrappingKey::fromSeededBodies) replays it with an identically
+ * forked generator, so both sides see bit-identical masks.
+ */
+void glweFillMask(GlweCiphertext &ct, Rng &mask_rng);
+
+/**
+ * Encrypt with the k mask polynomials drawn from @p mask_rng
+ * (glweFillMask order) and the noise from @p noise_rng. With the mask
+ * stream forked from a shippable seed, the masks are pure PRNG output
+ * regenerable by any holder of the seed; only the body polynomial
+ * must travel (the seeded BSK2 frame).
+ */
+GlweCiphertext glweEncryptSeeded(const GlweKey &key,
+                                 const TorusPolynomial &mu, double stddev,
+                                 Rng &mask_rng, Rng &noise_rng);
+
 /** Raw phase B - sum A_i z_i (message + noise polynomial). */
 TorusPolynomial glwePhase(const GlweKey &key, const GlweCiphertext &ct);
 

@@ -30,6 +30,52 @@ KeySwitchKey::generate(const LweKey &from, const LweKey &to,
 }
 
 KeySwitchKey
+KeySwitchKey::generateSeeded(const LweKey &from, const LweKey &to,
+                             const TfheParams &params,
+                             uint64_t mask_seed, Rng &noise_rng)
+{
+    KeySwitchKey ksk;
+    ksk.in_dim_ = from.dim();
+    ksk.out_dim_ = to.dim();
+    ksk.g_ = GadgetParams{params.ks_base_bits, params.l_ksk};
+    const Rng mask_root(mask_seed);
+    ksk.rows_.reserve(size_t(from.dim()) * params.l_ksk);
+    for (uint32_t i = 0; i < from.dim(); ++i) {
+        for (uint32_t j = 1; j <= params.l_ksk; ++j) {
+            Torus32 msg = static_cast<uint32_t>(from.bit(i)) *
+                          ksk.g_.levelScale(j);
+            Rng mask_rng = mask_root.fork(
+                uint64_t(i) * params.l_ksk + (j - 1));
+            ksk.rows_.push_back(lweEncryptSeeded(
+                to, msg, params.lwe_noise, mask_rng, noise_rng));
+        }
+    }
+    return ksk;
+}
+
+KeySwitchKey
+KeySwitchKey::fromSeededBodies(uint32_t in_dim, uint32_t out_dim,
+                               const GadgetParams &g, uint64_t mask_seed,
+                               const std::vector<Torus32> &bodies)
+{
+    panicIfNot(bodies.size() == size_t(in_dim) * g.levels,
+               "ksk fromSeededBodies: body count mismatch");
+    const Rng mask_root(mask_seed);
+    std::vector<LweCiphertext> rows;
+    rows.reserve(bodies.size());
+    for (uint64_t r = 0; r < bodies.size(); ++r) {
+        LweCiphertext ct(out_dim);
+        // Same fork id as generateSeeded (i*levels + level == r) and
+        // the same mask draw order as lweEncryptSeeded.
+        Rng mask_rng = mask_root.fork(r);
+        lweFillMask(ct, mask_rng);
+        ct.b() = bodies[r];
+        rows.push_back(std::move(ct));
+    }
+    return fromRows(in_dim, out_dim, g, std::move(rows));
+}
+
+KeySwitchKey
 KeySwitchKey::fromRows(uint32_t in_dim, uint32_t out_dim,
                        const GadgetParams &g,
                        std::vector<LweCiphertext> rows)

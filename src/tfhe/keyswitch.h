@@ -42,6 +42,34 @@ class KeySwitchKey
     static KeySwitchKey generate(const LweKey &from, const LweKey &to,
                                  const TfheParams &params, Rng &rng);
 
+    /**
+     * Seeded-mask generation (lweEncryptSeeded per row): the mask of
+     * row (i, level) comes from fork i*l_ksk + level of the stream
+     * rooted at @p mask_seed; only noise draws from @p noise_rng. The
+     * key is fully determined by (mask_seed, bodies) -- the KSK2
+     * frame ships exactly that and fromSeededBodies() reconstructs it
+     * bit-identically.
+     */
+    static KeySwitchKey generateSeeded(const LweKey &from,
+                                       const LweKey &to,
+                                       const TfheParams &params,
+                                       uint64_t mask_seed,
+                                       Rng &noise_rng);
+
+    /**
+     * Rebuild a generateSeeded() key from its mask seed plus the
+     * shipped bodies: @p bodies holds in_dim*levels scalars, entry
+     * i*levels + level being b of row (i, level). Masks re-expand
+     * from per-row forks of @p mask_seed; needs no secret key. Panics
+     * on count mismatch -- callers feeding untrusted bytes validate
+     * shapes first (serialize.cpp does).
+     */
+    static KeySwitchKey fromSeededBodies(uint32_t in_dim,
+                                         uint32_t out_dim,
+                                         const GadgetParams &g,
+                                         uint64_t mask_seed,
+                                         const std::vector<Torus32> &bodies);
+
     /** Rebuild from raw rows (deserialization). */
     static KeySwitchKey fromRows(uint32_t in_dim, uint32_t out_dim,
                                  const GadgetParams &g,

@@ -69,6 +69,27 @@ lweEncrypt(const LweKey &key, Torus32 mu, double stddev, Rng &rng)
     return ct;
 }
 
+void
+lweFillMask(LweCiphertext &ct, Rng &mask_rng)
+{
+    for (uint32_t i = 0; i < ct.dim(); ++i)
+        ct.a(i) = mask_rng.uniformTorus32();
+}
+
+LweCiphertext
+lweEncryptSeeded(const LweKey &key, Torus32 mu, double stddev,
+                 Rng &mask_rng, Rng &noise_rng)
+{
+    LweCiphertext ct(key.dim());
+    lweFillMask(ct, mask_rng);
+    Torus32 dot = 0;
+    for (uint32_t i = 0; i < key.dim(); ++i)
+        if (key.bit(i))
+            dot += ct.a(i);
+    ct.b() = dot + mu + noise_rng.gaussianTorus32(stddev);
+    return ct;
+}
+
 Torus32
 lwePhase(const LweKey &key, const LweCiphertext &ct)
 {

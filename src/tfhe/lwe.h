@@ -78,6 +78,21 @@ class LweCiphertext
 LweCiphertext lweEncrypt(const LweKey &key, Torus32 mu, double stddev,
                          Rng &rng);
 
+/** Fill the @p n mask scalars of @p ct from @p mask_rng (n draws). */
+void lweFillMask(LweCiphertext &ct, Rng &mask_rng);
+
+/**
+ * Encrypt with the mask drawn from @p mask_rng and the noise from
+ * @p noise_rng. With the mask stream forked from a shippable seed
+ * (Rng::fork), the mask scalars are pure PRNG output any holder of the
+ * seed regenerates via lweFillMask -- only the body must travel, which
+ * is what the seeded KSK2 frame exploits. Bitwise identical to
+ * lweEncrypt when both streams sit at the equivalent positions.
+ */
+LweCiphertext lweEncryptSeeded(const LweKey &key, Torus32 mu,
+                               double stddev, Rng &mask_rng,
+                               Rng &noise_rng);
+
 /** Decrypt to the raw phase b - <a, s> (message + noise). */
 Torus32 lwePhase(const LweKey &key, const LweCiphertext &ct);
 

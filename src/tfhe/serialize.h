@@ -6,8 +6,23 @@
  * keys and ships ciphertexts plus the (public) bootstrapping and
  * keyswitching keys to the server. This module provides a compact,
  * versioned, little-endian binary format for every transferable
- * object. Each object is framed with a type tag so a stream can be
- * validated on read.
+ * object, built on a small FrameWriter/FrameReader layer (frame header
+ * = type tag + version; version-2 frames add length-checked sections).
+ *
+ * Two generations of evaluation-key frames coexist:
+ *
+ *  - v1 (`BSK1`/`EVK1`): the expanded format -- every mask and body
+ *    component travels. Kept as the legacy read/write path so old
+ *    blobs keep loading, and the only format bundles without mask
+ *    seeds can write.
+ *  - v2 (`BSK2`/`KSK2`/`EVK2`): the compressed format for keys from
+ *    the seeded keygen path. Mask components are pure PRNG output
+ *    regenerable from a shipped 64-bit seed (Rng::fork per row), so
+ *    the frame carries only seeds + body components: ~1/(k+1) of the
+ *    BSK and ~1/(n+1) of the KSK -- about a third of the EVK1 size at
+ *    paper set I. deserializeEvalKeys() re-expands the masks
+ *    deterministically; the rebuilt bundle is bit-identical to the
+ *    directly generated one (same process / same FFT kernel).
  */
 
 #ifndef STRIX_TFHE_SERIALIZE_H
@@ -16,6 +31,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <vector>
 
 #include "tfhe/eval_keys.h"
 #include "tfhe/integer.h"
@@ -24,21 +40,117 @@
 
 namespace strix {
 
-/** Format version written into every frame. */
+/** Format version written into every v1 frame. */
 inline constexpr uint32_t kSerializeVersion = 1;
+
+/** Format version of the seeded (compressed) frames. */
+inline constexpr uint32_t kSerializeVersionSeeded = 2;
 
 /** Frame type tags. */
 enum class SerialTag : uint32_t
 {
-    Params = 0x50415230,        // "PAR0"
-    LweKey = 0x4C4B4559,        // "LKEY"
-    LweCiphertext = 0x4C435431, // "LCT1"
-    GlweKey = 0x474B4559,       // "GKEY"
-    TorusPoly = 0x54504C59,     // "TPLY"
-    KeySwitchKey = 0x4B534B31,  // "KSK1"
-    EncryptedUint = 0x45554931, // "EUI1"
-    BootstrapKey = 0x42534B31,  // "BSK1"
-    EvalKeys = 0x45564B31,      // "EVK1"
+    Params = 0x50415230,           // "PAR0"
+    LweKey = 0x4C4B4559,           // "LKEY"
+    LweCiphertext = 0x4C435431,    // "LCT1"
+    GlweKey = 0x474B4559,          // "GKEY"
+    TorusPoly = 0x54504C59,        // "TPLY"
+    KeySwitchKey = 0x4B534B31,     // "KSK1"
+    EncryptedUint = 0x45554931,    // "EUI1"
+    BootstrapKey = 0x42534B31,     // "BSK1"
+    EvalKeys = 0x45564B31,         // "EVK1"
+    SeededKeySwitchKey = 0x4B534B32, // "KSK2"
+    SeededBootstrapKey = 0x42534B32, // "BSK2"
+    SeededEvalKeys = 0x45564B32,     // "EVK2"
+};
+
+/**
+ * Incremental frame writer: header (tag + version) up front, then
+ * little-endian primitives. Version-2 frames group their payload into
+ * length-prefixed sections ([id u32][length u64][payload]): the
+ * section payload is staged in memory by beginSection()/endSection()
+ * so the length prefix is exact, giving readers a checkable frame
+ * skeleton. Primitives outside a section write straight through --
+ * the v1 frames use only that raw mode, which keeps their byte layout
+ * identical to the historical ad-hoc writers.
+ */
+class FrameWriter
+{
+  public:
+    /** Write the frame header for @p tag at @p version. */
+    FrameWriter(std::ostream &os, SerialTag tag, uint32_t version);
+
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    /** Double by bit pattern (exact round-trip). */
+    void f64(double v);
+    void bytes(const void *data, size_t len);
+
+    /** Open section @p id; payload is staged until endSection(). */
+    void beginSection(uint32_t id);
+    /** Flush the staged section: id, byte length, payload. */
+    void endSection();
+
+  private:
+    std::ostream &os_;
+    bool in_section_ = false;
+    uint32_t section_id_ = 0;
+    std::vector<unsigned char> buf_;
+};
+
+/**
+ * Validating frame reader, the read-side twin of FrameWriter. The
+ * header constructor reads tag + version (either pinning an expected
+ * tag or exposing what it found, for multi-format dispatch). Inside a
+ * section every primitive is bounds-checked against the declared
+ * section length and leaveSection() demands exact consumption, so a
+ * tampered length field or a truncated/oversized payload throws
+ * std::runtime_error instead of desynchronizing the stream. All reads
+ * throw on truncation; nothing here ever panics on wire input.
+ */
+class FrameReader
+{
+  public:
+    /** Read a header, throwing unless it is @p expect at @p version. */
+    FrameReader(std::istream &is, SerialTag expect, uint32_t version,
+                const char *what);
+
+    /** Read any header; caller dispatches on tag()/version(). */
+    explicit FrameReader(std::istream &is);
+
+    uint32_t tag() const { return tag_; }
+    uint32_t version() const { return version_; }
+
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+    void bytes(void *out, size_t len);
+
+    /**
+     * Enter the next section, which must carry @p id and declare a
+     * length of at most @p max_len bytes (the caller's plausibility
+     * bound -- a hostile length field must never drive allocation).
+     */
+    void enterSection(uint32_t id, uint64_t max_len);
+
+    /** Bytes of the current section not yet consumed. */
+    uint64_t sectionRemaining() const { return remaining_; }
+
+    /** Close the section; throws unless it was consumed exactly. */
+    void leaveSection();
+
+  private:
+    std::istream &is_;
+    uint32_t tag_ = 0;
+    uint32_t version_ = 0;
+    bool in_section_ = false;
+    uint64_t remaining_ = 0;
+};
+
+/** Serialization format selector for EvalKeys bundles. */
+enum class EvalKeysFormat
+{
+    Expanded, //!< v1 `EVK1`: full mask + body material (legacy)
+    Seeded,   //!< v2 `EVK2`: mask seeds + body components (compressed)
 };
 
 // --- writers ---------------------------------------------------------
@@ -50,8 +162,18 @@ void serialize(std::ostream &os, const TorusPolynomial &poly);
 void serialize(std::ostream &os, const KeySwitchKey &ksk);
 void serialize(std::ostream &os, const EncryptedUint &x);
 void serialize(std::ostream &os, const BootstrappingKey &bsk);
-/** One frame bundling params + BSK + KSK: the shippable server keyset. */
+/**
+ * One frame bundling params + BSK + KSK: the shippable server keyset,
+ * in the expanded v1 format (equivalent to EvalKeysFormat::Expanded).
+ */
 void serialize(std::ostream &os, const EvalKeys &keys);
+/**
+ * Format-selecting EvalKeys writer. Seeded requires the bundle to
+ * carry mask seeds (keys.seeds(), i.e. it came from the seeded keygen
+ * path or an EVK2 frame); throws std::runtime_error otherwise.
+ */
+void serialize(std::ostream &os, const EvalKeys &keys,
+               EvalKeysFormat format);
 
 // --- readers (throw std::runtime_error on malformed input) -----------
 TfheParams deserializeParams(std::istream &is);
@@ -63,12 +185,15 @@ KeySwitchKey deserializeKeySwitchKey(std::istream &is);
 EncryptedUint deserializeEncryptedUint(std::istream &is);
 BootstrappingKey deserializeBootstrappingKey(std::istream &is);
 /**
- * Read an EvalKeys bundle, cross-validating the BSK and KSK shapes
- * against the embedded parameter frame (mismatches throw rather than
- * yielding a bundle that silently evaluates garbage). Returned behind
- * shared_ptr, ready to hand to any number of ServerContexts. The
- * frequency-domain BSK rows round-trip bit-exactly, so evaluation
- * under the deserialized bundle is bit-identical to the original.
+ * Read an EvalKeys bundle from either frame generation, auto-detected
+ * from the header: `EVK1` loads the expanded material directly, and
+ * `EVK2` re-expands every mask from the shipped seeds (bit-identical
+ * to the bundle the seeds came from) and keeps the seeds, so the
+ * result can re-serialize in either format. BSK/KSK shapes are
+ * cross-validated against the embedded parameter frame (mismatches
+ * throw rather than yielding a bundle that silently evaluates
+ * garbage). Returned behind shared_ptr, ready to hand to any number
+ * of ServerContexts.
  */
 std::shared_ptr<const EvalKeys> deserializeEvalKeys(std::istream &is);
 

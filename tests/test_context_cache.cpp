@@ -140,5 +140,165 @@ TEST(ContextCacheDeathTest, ServerContextRejectsNullBundle)
                  "ServerContext: null EvalKeys bundle");
 }
 
+// ---------------------------------------------------------------------------
+// Bytes-budgeted LRU eviction. Tests drop the returned shared_ptrs
+// (immediately, or by scope) where eviction is expected: an entry is
+// pinned -- never evictable -- while any external reference is alive.
+
+TEST(ContextCacheLru, StatsCountersTrack)
+{
+    ContextCache cache;
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_EQ(s.resident_bytes, 0u);
+    EXPECT_EQ(s.budget_bytes, 0u);
+
+    uint64_t bundle_bytes = 0;
+    {
+        auto keys = cache.getOrCreate(fastParams(), 1);
+        bundle_bytes = keys->residentBytes();
+    }
+    EXPECT_GT(bundle_bytes, 0u);
+    (void)cache.getOrCreate(fastParams(), 1); // hit
+    s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.resident_bytes, bundle_bytes);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().resident_bytes, 0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ContextCacheLru, BudgetEvictsLeastRecentlyUsed)
+{
+    ContextCache cache;
+    const uint64_t b =
+        cache.getOrCreate(fastParams(), 1)->residentBytes();
+    (void)cache.getOrCreate(fastParams(), 2);
+    (void)cache.getOrCreate(fastParams(), 3);
+    (void)cache.getOrCreate(fastParams(), 1); // touch: 2 is now LRU
+    ASSERT_EQ(cache.keygenCount(), 3u);
+
+    cache.setBudgetBytes(2 * b); // room for two of the three bundles
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.resident_bytes, 2 * b);
+
+    // Survivors must be the recently used seeds 1 and 3: looking them
+    // up again is a hit, while the evicted seed 2 re-runs keygen.
+    (void)cache.getOrCreate(fastParams(), 1);
+    (void)cache.getOrCreate(fastParams(), 3);
+    EXPECT_EQ(cache.keygenCount(), 3u);
+    (void)cache.getOrCreate(fastParams(), 2);
+    EXPECT_EQ(cache.keygenCount(), 4u);
+}
+
+TEST(ContextCacheLru, InsertionUnderBudgetEvictsEagerly)
+{
+    ContextCache cache;
+    const uint64_t b =
+        cache.getOrCreate(fastParams(), 1)->residentBytes();
+    cache.setBudgetBytes(b); // exactly one bundle fits
+    (void)cache.getOrCreate(fastParams(), 2);
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u) << "inserting 2 must evict 1";
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_LE(s.resident_bytes, b);
+    // Seed 2 -- the entry just built for the caller -- must survive.
+    (void)cache.getOrCreate(fastParams(), 2);
+    EXPECT_EQ(cache.keygenCount(), 2u);
+}
+
+TEST(ContextCacheLru, PinnedBundlesAreNeverEvicted)
+{
+    ContextCache cache;
+    auto pinned = cache.getOrCreate(fastParams(), 1);
+    const uint64_t b = pinned->residentBytes();
+    (void)cache.getOrCreate(fastParams(), 2);
+
+    // Room for one: the unpinned seed 2 goes, the pinned seed 1 stays.
+    cache.setBudgetBytes(b);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.getOrCreate(fastParams(), 1).get(), pinned.get());
+    EXPECT_EQ(cache.keygenCount(), 2u);
+
+    // Over budget with only pinned entries left: the cache must stay
+    // over budget rather than invalidate a live tenant.
+    cache.setBudgetBytes(b / 2);
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_GT(s.resident_bytes, s.budget_bytes);
+
+    // Unpinning makes it evictable on the next budget application.
+    pinned.reset();
+    cache.setBudgetBytes(b / 2);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ContextCacheLru, ZeroBudgetRestoresUnbounded)
+{
+    ContextCache cache;
+    const uint64_t b =
+        cache.getOrCreate(fastParams(), 1)->residentBytes();
+    cache.setBudgetBytes(b);
+    cache.setBudgetBytes(0);
+    for (uint64_t seed = 2; seed <= 5; ++seed)
+        (void)cache.getOrCreate(fastParams(), seed);
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_EQ(s.entries, 5u);
+}
+
+/**
+ * Eviction racing getOrCreate: threads churn a seed space that cannot
+ * fit the budget (every insert evicts) while one bundle stays pinned
+ * from the main thread. Exercises the built/pinned checks in the
+ * eviction scan against concurrent keygen publication; runs under the
+ * STRIX_TSAN CI leg. Tiny parameters keep the many keygens cheap.
+ */
+TEST(ContextCacheLru, ConcurrentChurnUnderBudgetPressure)
+{
+    const TfheParams tiny = testParams(16, 64, 1, 2, 8, 0.0);
+    constexpr int kThreads = 4;
+    constexpr int kIters = 16;
+    constexpr uint64_t kSeeds = 3;
+
+    ContextCache cache;
+    auto pinned = cache.getOrCreate(tiny, 0);
+    cache.setBudgetBytes(pinned->residentBytes()); // 1-bundle budget
+
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            ready.fetch_add(1);
+            while (ready.load() < kThreads) {
+            }
+            for (int i = 0; i < kIters; ++i) {
+                uint64_t seed = 1 + (uint64_t(t) + i) % kSeeds;
+                auto keys = cache.getOrCreate(tiny, seed);
+                ASSERT_NE(keys, nullptr);
+                EXPECT_EQ(keys->params().N, tiny.N);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    // The pinned bundle survived every eviction scan: same pointer,
+    // no regeneration for its seed.
+    EXPECT_EQ(cache.getOrCreate(tiny, 0).get(), pinned.get());
+    CacheStats s = cache.stats();
+    EXPECT_GT(s.evictions, 0u);
+    EXPECT_EQ(s.hits + s.misses, uint64_t(kThreads) * kIters + 2);
+}
+
 } // namespace
 } // namespace strix

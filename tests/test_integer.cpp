@@ -144,13 +144,13 @@ TEST(Integer, PbsCostModel)
 TEST(Integer, NoisyAdditionAtSetI)
 {
     // Real noise spot check: one 8-bit addition at parameter set I,
-    // through the TfheContext facade (client() + implicit server view).
-    TfheContext ctx(paramsSetI(), 8642);
-    IntegerOps ops(ctx);
-    auto a = ops.encrypt(ctx.client(), 173, 4);
-    auto b = ops.encrypt(ctx.client(), 91, 4);
-    EXPECT_EQ(ops.decrypt(ctx.client(), ops.add(a, b)),
-              (173u + 91u) % 256);
+    // on the split API (ClientKeyset + ServerContext).
+    ClientKeyset client(paramsSetI(), 8642);
+    ServerContext server(client.evalKeys());
+    IntegerOps ops(server);
+    auto a = ops.encrypt(client, 173, 4);
+    auto b = ops.encrypt(client, 91, 4);
+    EXPECT_EQ(ops.decrypt(client, ops.add(a, b)), (173u + 91u) % 256);
 }
 
 } // namespace

@@ -541,5 +541,216 @@ TEST(SerializeEvalKeys, MismatchedKskIsRejected)
     EXPECT_THROW(deserializeEvalKeys(ss), std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Seeded (EVK2) frames: compressed bundles must round-trip to
+// bit-identical keys, re-serialize byte-exactly, beat the expanded
+// frame on size, and reject the same hostile inputs as EVK1.
+
+/** The tiny bundle's bytes in the seeded v2 format. */
+std::string
+seededBytes(const EvalKeys &keys)
+{
+    std::stringstream ss;
+    serialize(ss, keys, EvalKeysFormat::Seeded);
+    return ss.str();
+}
+
+TEST(SerializeEvk2, FunctionalRoundTrip)
+{
+    // A server standing on a bundle re-expanded from seeds must
+    // produce ciphertexts bit-identical to the original keyset's.
+    test::TestKeys keys(testParams(32, 256, 1, 3, 8, 0.0),
+                        test::kSeedSerialize);
+    std::stringstream wire;
+    serialize(wire, *keys.client.evalKeys(), EvalKeysFormat::Seeded);
+
+    std::shared_ptr<const EvalKeys> shipped = deserializeEvalKeys(wire);
+    ASSERT_NE(shipped, nullptr);
+    ServerContext remote(shipped);
+
+    const uint64_t space = 8;
+    auto square = [](int64_t v) { return (v * v) % 8; };
+    for (int64_t m = 0; m < 4; ++m) {
+        auto ct = keys.client.encryptInt(m, space);
+        LweCiphertext here = keys.server.applyLut(ct, space, square);
+        LweCiphertext there = remote.applyLut(ct, space, square);
+        EXPECT_EQ(here.raw(), there.raw()) << "m=" << m;
+        EXPECT_EQ(keys.client.decryptInt(there, space), (m * m) % 8);
+    }
+}
+
+TEST(SerializeEvk2, RebuiltBundleIsBitIdenticalToOriginal)
+{
+    // The EVK1 frame carries every FFT-domain BSK row and every KSK
+    // entry verbatim, so EVK1(rebuilt) == EVK1(original) pins the
+    // rebuilt bundle bit-identical across the whole key material --
+    // and doubles as the cross-version compatibility check.
+    const EvalKeys &orig = tinyEvalKeys();
+    std::stringstream wire(seededBytes(orig));
+    std::shared_ptr<const EvalKeys> rebuilt = deserializeEvalKeys(wire);
+    ASSERT_NE(rebuilt, nullptr);
+    EXPECT_EQ(frameBytes(*rebuilt), frameBytes(orig));
+}
+
+TEST(SerializeEvk2, ReserializeIsByteExact)
+{
+    // v2 -> bundle -> v2 must reproduce the frame byte-for-byte (the
+    // rebuilt bundle keeps its mask seeds).
+    const std::string bytes = seededBytes(tinyEvalKeys());
+    std::stringstream ss(bytes);
+    std::shared_ptr<const EvalKeys> back = deserializeEvalKeys(ss);
+    ASSERT_NE(back, nullptr);
+    ASSERT_TRUE(back->seeds().has_value());
+    EXPECT_EQ(seededBytes(*back), bytes);
+}
+
+TEST(SerializeEvk2, RandomShapeRoundTripSweep)
+{
+    // Byte-exact v2 re-serialization and EVK1 bit-identity across
+    // random small key shapes.
+    Rng rng(909);
+    for (int iter = 0; iter < 4; ++iter) {
+        uint32_t n = 4 + uint32_t(rng.uniformBelow(12));
+        uint32_t big_n = 16u << rng.uniformBelow(3);
+        uint32_t k = 1 + uint32_t(rng.uniformBelow(2));
+        uint32_t l = 1 + uint32_t(rng.uniformBelow(3));
+        ClientKeyset client(testParams(n, big_n, k, l, 8, 0.0),
+                            2000 + uint64_t(iter));
+
+        const std::string bytes = seededBytes(*client.evalKeys());
+        std::stringstream ss(bytes);
+        std::shared_ptr<const EvalKeys> back = deserializeEvalKeys(ss);
+        ASSERT_NE(back, nullptr);
+        EXPECT_EQ(seededBytes(*back), bytes)
+            << "n=" << n << " N=" << big_n << " k=" << k << " l=" << l;
+        EXPECT_EQ(frameBytes(*back), frameBytes(*client.evalKeys()))
+            << "n=" << n << " N=" << big_n << " k=" << k << " l=" << l;
+    }
+}
+
+TEST(SerializeEvk2, CompressesWellUnderTheExpandedFrame)
+{
+    // The acceptance bar is <= 55% of EVK1; the seeded frame drops all
+    // mask material (~1/(k+1) of the BSK, ~1/(n+1) of the KSK), which
+    // lands well under that even at tiny shapes.
+    const EvalKeys &keys = tinyEvalKeys();
+    const size_t v1 = frameBytes(keys).size();
+    const size_t v2 = seededBytes(keys).size();
+    EXPECT_LE(double(v2), 0.55 * double(v1))
+        << "v1=" << v1 << " v2=" << v2;
+}
+
+TEST(SerializeEvk2, ExpandedOnlyBundleRefusesSeededFormat)
+{
+    // A bundle loaded from an EVK1 frame carries no mask seeds, so it
+    // can only re-serialize expanded; asking for Seeded must throw
+    // rather than invent seeds.
+    std::stringstream wire(frameBytes(tinyEvalKeys()));
+    std::shared_ptr<const EvalKeys> back = deserializeEvalKeys(wire);
+    ASSERT_NE(back, nullptr);
+    EXPECT_FALSE(back->seeds().has_value());
+    std::stringstream out;
+    EXPECT_THROW(serialize(out, *back, EvalKeysFormat::Seeded),
+                 std::runtime_error);
+    // Expanded still works and matches the original frame.
+    std::stringstream out1;
+    serialize(out1, *back, EvalKeysFormat::Expanded);
+    EXPECT_EQ(out1.str(), frameBytes(tinyEvalKeys()));
+}
+
+TEST(SerializeEvk2, StrictPrefixSampleThrows)
+{
+    // Same sampling strategy as the EVK1 sweep: dense over the header
+    // and shape sections, strided + random over the bodies, and the
+    // final bytes.
+    const std::string bytes = seededBytes(tinyEvalKeys());
+    ASSERT_GT(bytes.size(), 512u);
+
+    std::vector<size_t> cuts;
+    for (size_t c = 0; c < 256; ++c)
+        cuts.push_back(c);
+    for (size_t c = 256; c < bytes.size(); c += 499)
+        cuts.push_back(c);
+    Rng rng(1010);
+    for (int i = 0; i < 64; ++i)
+        cuts.push_back(rng.uniformBelow(bytes.size()));
+    for (size_t back = 1; back <= 16; ++back)
+        cuts.push_back(bytes.size() - back);
+
+    for (size_t cut : cuts) {
+        std::stringstream ss(bytes.substr(0, cut));
+        EXPECT_THROW(deserializeEvalKeys(ss), std::runtime_error)
+            << "cut=" << cut;
+    }
+}
+
+TEST(SerializeEvk2, EveryHeaderBitFlipThrows)
+{
+    // Outer EVK2 header plus the nested params header. Note the EVK1
+    // and EVK2 tags differ in two bits, so no single flip can silently
+    // cross frame generations.
+    const std::string bytes = seededBytes(tinyEvalKeys());
+    ASSERT_GE(bytes.size(), 16u);
+    for (size_t bit = 0; bit < 128; ++bit) {
+        std::string corrupted = bytes;
+        corrupted[bit / 8] =
+            static_cast<char>(corrupted[bit / 8] ^ (1 << (bit % 8)));
+        std::stringstream ss(corrupted);
+        EXPECT_THROW(deserializeEvalKeys(ss), std::runtime_error)
+            << "bit " << bit;
+    }
+}
+
+TEST(SerializeEvk2, TamperedSectionLengthThrows)
+{
+    // The BSK2 SHAPE section sits right after the nested params frame:
+    // [id u32][length u64][payload]. Corrupting the declared length --
+    // short, long, or hostile-huge -- must be rejected by the section
+    // bounds checks, never trusted for allocation.
+    const EvalKeys &keys = tinyEvalKeys();
+    const std::string bytes = seededBytes(keys);
+    const size_t params_len = frameBytes(keys.params()).size();
+    // outer header (8) + params frame + BSK2 header (8) + section id.
+    const size_t len_off = 8 + params_len + 8 + 4;
+    ASSERT_LE(len_off + 8, bytes.size());
+
+    for (uint64_t bad : {uint64_t{0}, uint64_t{27}, uint64_t{29},
+                         uint64_t{1} << 40, ~uint64_t{0}}) {
+        std::string corrupted = bytes;
+        std::memcpy(&corrupted[len_off], &bad, sizeof(bad));
+        std::stringstream ss(corrupted);
+        EXPECT_THROW(deserializeEvalKeys(ss), std::runtime_error)
+            << "len=" << bad;
+    }
+}
+
+TEST(SerializeEvk2, RandomByteFlipsNeverCrash)
+{
+    // Body corruption may parse (freq-domain doubles / raw Torus32
+    // bodies: flips change values, not structure) or throw
+    // std::runtime_error; anything else is a bug.
+    const std::string base = seededBytes(tinyEvalKeys());
+    Rng rng(1111);
+    for (int iter = 0; iter < 60; ++iter) {
+        std::string corrupted = base;
+        size_t flips = 1 + rng.uniformBelow(4);
+        for (size_t f = 0; f < flips; ++f) {
+            size_t pos = rng.uniformBelow(corrupted.size());
+            corrupted[pos] = static_cast<char>(
+                corrupted[pos] ^
+                static_cast<char>(1 + rng.uniformBelow(255)));
+        }
+        std::stringstream ss(corrupted);
+        try {
+            std::shared_ptr<const EvalKeys> back =
+                deserializeEvalKeys(ss);
+            ASSERT_NE(back, nullptr);
+            EXPECT_EQ(back->bsk().n(), back->params().n);
+        } catch (const std::runtime_error &) {
+            // Rejected: fine.
+        }
+    }
+}
+
 } // namespace
 } // namespace strix
