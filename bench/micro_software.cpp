@@ -27,6 +27,8 @@
 #include "tfhe/context_cache.h"
 #include "tfhe/gates.h"
 #include "tfhe/serialize.h"
+#include "workloads/circuit.h"
+#include "workloads/circuit_analysis.h"
 
 using namespace strix;
 
@@ -324,6 +326,67 @@ BM_ContextCacheHit(benchmark::State &state)
     state.SetLabel("cached EvalKeys lookup");
 }
 BENCHMARK(BM_ContextCacheHit);
+
+/**
+ * Naive-vs-planned circuit evaluation A/B on the 8-bit ripple-carry
+ * adder: the naive row bootstraps all 37 gates sequentially; the
+ * planned row runs the CircuitAnalyzer plan (majority fusion + XOR
+ * elision + per-level bootstrapBatch sweeps). Both rows carry their
+ * PBS count as a counter so the CI summary can print the elision
+ * ratio next to the wall-time speedup. Same small-but-real PBS shape
+ * as the cache rows; the plan itself is parameter-checked at set I in
+ * test_circuit_analysis.
+ */
+struct CircuitBench
+{
+    CircuitBench()
+        : client(cacheBenchParams(), 0xC13C),
+          server(client.evalKeys()), circuit(buildAdder(8)),
+          plan(analyzeCircuit(circuit, cacheBenchParams()))
+    {
+        for (uint32_t i = 0; i < circuit.numInputs(); ++i)
+            inputs.push_back(client.encryptBit((i & 1) != 0));
+    }
+    ClientKeyset client;
+    ServerContext server;
+    Circuit circuit;
+    CircuitPlan plan;
+    std::vector<LweCiphertext> inputs;
+};
+
+CircuitBench &
+circuitBench()
+{
+    static CircuitBench bench;
+    return bench;
+}
+
+void
+BM_CircuitNaive(benchmark::State &state)
+{
+    auto &b = circuitBench();
+    for (auto _ : state) {
+        auto out = b.circuit.evalEncrypted(b.server, b.inputs);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["pbs"] = double(b.circuit.pbsCount());
+    state.SetLabel("adder8, every gate bootstrapped");
+}
+BENCHMARK(BM_CircuitNaive)->Unit(benchmark::kMillisecond);
+
+void
+BM_CircuitPlanned(benchmark::State &state)
+{
+    auto &b = circuitBench();
+    for (auto _ : state) {
+        auto out = b.circuit.evalEncrypted(b.server, b.inputs, b.plan);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["pbs"] = double(b.plan.pbsCount());
+    state.counters["pbs_elided"] = double(b.plan.elidedPbs());
+    state.SetLabel(b.plan.summary());
+}
+BENCHMARK(BM_CircuitPlanned)->Unit(benchmark::kMillisecond);
 
 /** Counting sink: serialization cost without buffer-growth noise. */
 class CountingBuf : public std::streambuf

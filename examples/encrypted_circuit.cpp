@@ -17,6 +17,7 @@
 #include "common/table.h"
 #include "strix/accelerator.h"
 #include "workloads/circuit.h"
+#include "workloads/circuit_analysis.h"
 #include "workloads/circuit_client.h"
 
 using namespace strix;
@@ -58,17 +59,42 @@ main()
                 static_cast<unsigned long long>(adder.pbsCount()),
                 adder.depth());
 
+    // The static noise-budget analyzer elides the PBS of XOR chains
+    // and fuses the carry majority idiom; both paths run below and
+    // must agree bit for bit after decryption.
+    CircuitPlan plan = analyzeCircuit(adder, paramsSetI());
+    std::printf("plan:  %s\n", plan.summary().c_str());
+
     bool all_ok = true;
     for (auto [a, b] : {std::pair<int, int>{5, 3}, {7, 7}, {0, 6}}) {
         auto in = toBits(a, 3);
         auto bb = toBits(b, 3);
         in.insert(in.end(), bb.begin(), bb.end());
-        uint64_t got = fromBits(evalEncrypted(adder, client, server, in));
-        std::printf("  %d + %d = %llu (expect %d) %s\n", a, b,
-                    static_cast<unsigned long long>(got), a + b,
-                    got == uint64_t(a + b) ? "ok" : "MISMATCH");
-        all_ok &= got == uint64_t(a + b);
+        std::vector<LweCiphertext> enc;
+        for (bool bit : in)
+            enc.push_back(client.encryptBit(bit));
+        auto decode = [&](const std::vector<LweCiphertext> &cts) {
+            std::vector<bool> bits;
+            for (const auto &ct : cts)
+                bits.push_back(client.decryptBit(ct));
+            return fromBits(bits);
+        };
+        uint64_t naive = decode(adder.evalEncrypted(server, enc));
+        uint64_t planned =
+            decode(adder.evalEncrypted(server, enc, plan));
+        const bool ok =
+            naive == uint64_t(a + b) && planned == naive;
+        std::printf("  %d + %d = %llu naive / %llu planned "
+                    "(expect %d) %s\n",
+                    a, b, static_cast<unsigned long long>(naive),
+                    static_cast<unsigned long long>(planned), a + b,
+                    ok ? "ok" : "MISMATCH");
+        all_ok &= ok;
     }
+    std::printf("naive %llu PBS vs planned %llu PBS (%llu elided)\n",
+                static_cast<unsigned long long>(plan.naivePbsCount()),
+                static_cast<unsigned long long>(plan.pbsCount()),
+                static_cast<unsigned long long>(plan.elidedPbs()));
 
     // Part 2: schedule realistic circuit workloads on the platforms.
     std::printf("\n== Circuit workloads scheduled on the platform "

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "workloads/circuit_analysis.h"
 
 namespace strix {
 
@@ -89,26 +90,7 @@ Circuit::pbsCount() const
 std::vector<uint32_t>
 Circuit::levels() const
 {
-    std::vector<uint32_t> lvl(nodes_.size(), 0);
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-        const Node &n = nodes_[i];
-        switch (n.op) {
-          case GateOp::Input:
-          case GateOp::Const:
-            lvl[i] = 0;
-            break;
-          case GateOp::Not:
-            lvl[i] = lvl[n.a]; // free, stays on its operand's level
-            break;
-          case GateOp::Mux:
-            lvl[i] =
-                std::max(lvl[n.a], std::max(lvl[n.b], lvl[n.c])) + 1;
-            break;
-          default:
-            lvl[i] = std::max(lvl[n.a], lvl[n.b]) + 1;
-        }
-    }
-    return lvl;
+    return CircuitAnalyzer::naiveLevels(*this);
 }
 
 uint32_t

@@ -33,6 +33,8 @@
 
 namespace strix {
 
+class CircuitPlan; // workloads/circuit_analysis.h
+
 /** Gate kinds supported by the netlist. */
 enum class GateOp
 {
@@ -65,6 +67,20 @@ class Circuit
     }
 
     const std::string &name() const { return name_; }
+
+    /** One netlist node (read-only view for analysis passes). */
+    struct Node
+    {
+        GateOp op;
+        Wire a = 0, b = 0, c = 0; //!< c = MUX's third operand
+        bool const_value = false;
+    };
+
+    /** Read a node by wire index (for CircuitAnalyzer). */
+    const Node &node(Wire w) const { return nodes_[w]; }
+
+    /** Primary-input wires in encryption order. */
+    const std::vector<Wire> &inputWires() const { return inputs_; }
 
     /** Add a primary input; returns its wire. */
     Wire input(const std::string &label = "");
@@ -110,20 +126,52 @@ class Circuit
                   const std::vector<LweCiphertext> &inputs) const;
 
     /**
+     * Plan-driven homomorphic evaluation: executes @p plan (from
+     * CircuitAnalyzer, see workloads/circuit_analysis.h) level by
+     * level, landing all surviving PBS of a level in one
+     * bootstrapBatch sweep and evaluating elided gates as free LWE
+     * linear combinations. Panics if the plan is infeasible or was
+     * built for a different circuit. Outputs are decode-identical to
+     * the naive path (and bit-identical for MUX-free circuits when
+     * the plan elides nothing). Defined in circuit_analysis.cpp.
+     */
+    std::vector<LweCiphertext>
+    evalEncrypted(const ServerContext &server,
+                  const std::vector<LweCiphertext> &inputs,
+                  const CircuitPlan &plan) const;
+
+    /**
+     * Async plan-driven evaluation: per level, every surviving PBS is
+     * submitted through ServerContext::submitBootstrap, so with a
+     * BatchExecutor attached the circuit's PBS stream coalesces with
+     * every other session on the same EvalKeys bundle. Same results
+     * as the synchronous plan overload. Defined in
+     * circuit_analysis.cpp.
+     */
+    std::vector<LweCiphertext>
+    evalEncryptedAsync(const ServerContext &server,
+                       const std::vector<LweCiphertext> &inputs,
+                       const CircuitPlan &plan) const;
+
+    /**
      * Lower to a layered PBS/KS workload graph: gates at the same
      * dependency level are independent and batch into one layer.
      */
     WorkloadGraph toWorkloadGraph() const;
 
-  private:
-    struct Node
-    {
-        GateOp op;
-        Wire a = 0, b = 0, c = 0; //!< c = MUX's third operand
-        bool const_value = false;
-    };
+    /**
+     * Lower the *planned* circuit: layers follow the plan's
+     * levelization and count only surviving bootstraps. Defined in
+     * circuit_analysis.cpp.
+     */
+    WorkloadGraph toWorkloadGraph(const CircuitPlan &plan) const;
 
-    /** Bootstrapped-gate level of each node (inputs/const/not = 0-ish). */
+  private:
+    /**
+     * Bootstrapped-gate level of each node (inputs/const/not =
+     * 0-ish). Delegates to CircuitAnalyzer::naiveLevels -- the single
+     * level computation shared with the planner.
+     */
     std::vector<uint32_t> levels() const;
 
     std::string name_;

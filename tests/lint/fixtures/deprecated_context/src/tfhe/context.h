@@ -1,0 +1,4 @@
+// Fixture stub of the deprecated combined facade header.
+#ifndef FIXTURE_TFHE_CONTEXT_H
+#define FIXTURE_TFHE_CONTEXT_H
+#endif

@@ -1,0 +1,3 @@
+// Negative fixture: a test TU reaching for the deprecated facade
+// instead of the split ClientKeyset/ServerContext types.
+#include "tfhe/context.h"

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Self-test for tools/lint/strix_lint.py.
 
-Asserts the three behaviors the CI lint job depends on:
+Asserts the behaviors the CI lint job depends on:
 
-  1. the real src/ tree passes (exit 0);
+  1. the real src/ tree passes (exit 0), including the repo-wide
+     [deprecated-context] scan over tests/, examples/ and bench/;
   2. the committed negative fixtures fail (exit 1) with a file:line
      diagnostic -- a secret-flow violation reporting its include
-     chain, and a poly -> tfhe upward include;
+     chain, a poly -> tfhe upward include, and a test TU including
+     the deprecated tfhe/context.h facade;
   3. a stale allowlist entry (a file that exists but no longer
      includes client_keyset.h) fails, so the allowlist cannot rot.
 
@@ -57,6 +59,25 @@ class StrixLintTest(unittest.TestCase):
         self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
         self.assertIn("poly/fft.cpp:3: [layering]", r.stdout)
         self.assertIn("poly/ may not include tfhe/", r.stdout)
+
+    def test_real_tree_passes_repo_wide(self):
+        # The repo-wide scan adds tests/, examples/ and bench/ to the
+        # [deprecated-context] rule; the real tree must stay clean
+        # (only the allowlisted facade-coverage test includes the
+        # deprecated header).
+        r = run_lint("--src", "src", "--repo", ".")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("OK", r.stdout)
+
+    def test_deprecated_context_include_rejected(self):
+        fixture = os.path.join(FIXTURES, "deprecated_context")
+        r = run_lint("--src", os.path.join(fixture, "src"),
+                     "--repo", fixture, "--allowlist=")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn(
+            "tests/bad_context_test.cpp:3: [deprecated-context]",
+            r.stdout)
+        self.assertIn("ClientKeyset + ServerContext", r.stdout)
 
     def test_stale_allowlist_entry_rejected(self):
         # poly/fft.h exists in the real tree but does not include

@@ -7,7 +7,6 @@
 #include <gtest/gtest.h>
 
 #include "support/test_util.h"
-#include "tfhe/context.h"
 #include "tfhe/integer.h"
 
 namespace strix {

@@ -9,6 +9,8 @@
 
 #include "support/test_util.h"
 #include "tfhe/noise.h"
+#include "workloads/circuit.h"
+#include "workloads/circuit_analysis.h"
 
 namespace strix {
 namespace {
@@ -64,6 +66,81 @@ TEST(Noise, LinearCombinationEmpirical)
         NoiseModel::linearCombination({1, 2}, {NoiseModel(p).freshLwe(),
                                                NoiseModel(p).freshLwe()});
     EXPECT_NEAR(stats.variance / expect, 1.0, 0.15);
+}
+
+TEST(NoiseDeathTest, LinearCombinationSizeMismatchPanics)
+{
+    // The analytic model is only meaningful when every weight pairs
+    // with a variance; a silent zip-to-shortest would understate the
+    // noise a circuit plan certifies against.
+    EXPECT_DEATH(NoiseModel::linearCombination({1, 2}, {1.0}),
+                 "mismatch");
+    EXPECT_DEATH(NoiseModel::linearCombination({1}, {1.0, 2.0}),
+                 "mismatch");
+}
+
+/** Split keyset at real set-I noise for the planned-chain tests. */
+test::TestKeys &
+setIKeys()
+{
+    static test::TestKeys keys(paramsSetI(), 23);
+    return keys;
+}
+
+/**
+ * Evaluate @p c under @p plan on pinned-seed random inputs and check,
+ * for every primary output, (a) the measured phase error stays within
+ * the analyzer's z-sigma per-wire bound and (b) the planned bits
+ * decode identically to the naive path.
+ */
+void
+checkPlannedChain(const Circuit &c, int sweeps, uint64_t seed)
+{
+    test::TestKeys &keys = setIKeys();
+    CircuitPlan plan = analyzeCircuit(c, keys.server.params());
+    ASSERT_TRUE(plan.feasible()) << plan.summary();
+
+    Rng rng(seed);
+    for (int s = 0; s < sweeps; ++s) {
+        std::vector<bool> bits(c.numInputs());
+        std::vector<LweCiphertext> enc;
+        for (size_t i = 0; i < bits.size(); ++i) {
+            bits[i] = rng.uniformBit() != 0;
+            enc.push_back(keys.client.encryptBit(bits[i]));
+        }
+        auto expected = c.evalPlain(bits);
+        auto naive = c.evalEncrypted(keys.server, enc);
+        auto planned = c.evalEncrypted(keys.server, enc, plan);
+        ASSERT_EQ(planned.size(), c.numOutputs());
+        for (size_t i = 0; i < planned.size(); ++i) {
+            const Wire w = c.outputs()[i];
+            // Decode-identity: planned == naive == plain.
+            EXPECT_EQ(keys.client.decryptBit(planned[i]), expected[i])
+                << "sweep " << s << " output " << i;
+            EXPECT_EQ(keys.client.decryptBit(naive[i]), expected[i])
+                << "sweep " << s << " output " << i;
+            // Measured phase error within the predicted bound: the
+            // nominal phase is +-amp for the wire's encoding, and the
+            // analyzer certifies z sigmas of worst-case noise.
+            const bool wide = plan.node(w).encoding == WireEncoding::Wide4;
+            const Torus32 mu = encodeMessage(1, wide ? 4 : 8);
+            const Torus32 nominal = expected[i] ? mu : 0u - mu;
+            const double err = std::abs(torus32ToDouble(
+                lwePhase(keys.client.lweKey(), planned[i]) - nominal));
+            EXPECT_LT(err, plan.z() * plan.predictedStddev(w))
+                << "sweep " << s << " output " << i << " wire " << w;
+        }
+    }
+}
+
+TEST(Noise, PlannedAdderChainWithinPredictedBound)
+{
+    checkPlannedChain(buildAdder(3), 4, 29);
+}
+
+TEST(Noise, PlannedComparatorChainWithinPredictedBound)
+{
+    checkPlannedChain(buildLessThan(3), 4, 31);
 }
 
 TEST(Noise, ExternalProductBoundHoldsEmpirically)

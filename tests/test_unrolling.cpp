@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "strix/accelerator.h"
-#include "tfhe/context.h"
+#include "tfhe/bootstrap.h"
 
 namespace strix {
 namespace {
