@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Ablation: end-to-end serving through the StrixServer daemon.
+ *
+ * Drives a live loopback StrixServer with real MSG1 frames and real
+ * software PBS (toy set n=48 N=512) in two client shapes:
+ *
+ *   BM_ServerPerCall        one connection, strictly serial call()s:
+ *                           every request pays the full round trip
+ *                           plus a lonely width-1 executor sweep
+ *                           (the flush delay in full).
+ *   BM_ServerBatched/<s>    s pipelined sessions, each keeping a
+ *                           window of requests outstanding; the
+ *                           server coalesces them into full-width
+ *                           sweeps. The <s>x2 variant splits the
+ *                           sessions across two tenants with
+ *                           different key bundles -- the multi-tenant
+ *                           serving claim (per-bundle shards batch
+ *                           independently, one executor).
+ *
+ * Every reply is decode-checked against the expected LUT output, so
+ * the throughput numbers cannot silently come from wrong answers.
+ *
+ * Flags:
+ *   --measured       run the measured load (this bench has no
+ *                    analytic section; without the flag it only
+ *                    prints what it would do, so the plain ctest
+ *                    smoke stays instant).
+ *   --smoke          trim request counts (used by ctest).
+ *   --json <file>    write rows as JSON; CI's bench job uploads this
+ *                    in the `bench-results` artifact.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_flags.h"
+#include "common/table.h"
+#include "net/client.h"
+#include "server/server.h"
+#include "server/wire_codec.h"
+#include "tfhe/bootstrap.h"
+#include "tfhe/context_cache.h"
+
+using namespace strix;
+
+namespace {
+
+constexpr uint64_t kSpace = 8;
+constexpr int kSessions = 4; //!< pipelined connections per batched row
+constexpr size_t kWindow = 8; //!< requests in flight per session
+
+using BenchClock = std::chrono::steady_clock;
+
+uint64_t
+microsSince(BenchClock::time_point t0)
+{
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            BenchClock::now() - t0)
+            .count());
+}
+
+int64_t
+triple(int64_t v)
+{
+    return (3 * v) % int64_t(kSpace);
+}
+
+/** One row of the report (printed and emitted as JSON). */
+struct Row
+{
+    std::string name;
+    double req_per_s = 0; //!< decode-checked replies / wall time
+    double p50_us = 0;    //!< send -> reply latency
+    double p99_us = 0;
+    double speedup = 1;   //!< throughput vs BM_ServerPerCall
+};
+
+double
+percentile(std::vector<uint64_t> lat_us, double p)
+{
+    if (lat_us.empty())
+        return 0.0;
+    std::sort(lat_us.begin(), lat_us.end());
+    size_t idx = size_t(p * double(lat_us.size() - 1) + 0.5);
+    return double(lat_us[std::min(idx, lat_us.size() - 1)]);
+}
+
+std::shared_ptr<const ClientKeyset>
+keysetFor(uint64_t seed)
+{
+    return ContextCache::global().getOrCreateKeyset(testParams(48, 512),
+                                                    seed);
+}
+
+/** Pre-encoded Bootstrap request with its expected decode. */
+struct Prepared
+{
+    std::vector<uint8_t> payload;
+    int64_t expect = 0;
+};
+
+std::vector<Prepared>
+prepare(const ClientKeyset &keyset, int count)
+{
+    const TfheParams &p = keyset.evalKeys()->params();
+    const TorusPolynomial tv = makeIntTestVector(p.N, kSpace, triple);
+    std::vector<Prepared> out;
+    out.reserve(size_t(count));
+    for (int i = 0; i < count; ++i) {
+        const int64_t m = i % int64_t(kSpace);
+        out.push_back({encodeBootstrapPayload(
+                           keyset.encryptInt(m, kSpace), tv),
+                       triple(m)});
+    }
+    return out;
+}
+
+/** Decode-check one Ok reply; returns false on any mismatch. */
+bool
+checkReply(const StrixClient::Reply &r, const ClientKeyset &keyset,
+           int64_t expect)
+{
+    if (!r.ok)
+        return false;
+    std::vector<LweCiphertext> out = decodeCiphertexts(r.payload);
+    return out.size() == 1 &&
+           keyset.decryptInt(out[0], kSpace) == expect;
+}
+
+bool
+registerTenant(StrixClient &client, uint64_t tenant,
+               const ClientKeyset &keyset)
+{
+    StrixClient::Reply r = client.call(
+        MsgType::RegisterTenant, tenant,
+        encodeEvalKeysPayload(*keyset.evalKeys(),
+                              EvalKeysFormat::Seeded));
+    return r.ok;
+}
+
+/** Serial closed-loop client: one request in flight, ever. */
+bool
+runPerCall(uint16_t port, uint64_t tenant, const ClientKeyset &keyset,
+           const std::vector<Prepared> &reqs, double &secs,
+           std::vector<uint64_t> &lat_us)
+{
+    StrixClient client;
+    if (!client.connectLoopback(port))
+        return false;
+    auto t0 = BenchClock::now();
+    for (const Prepared &req : reqs) {
+        const uint64_t sent = microsSince(t0);
+        StrixClient::Reply r =
+            client.call(MsgType::Bootstrap, tenant, req.payload);
+        if (!checkReply(r, keyset, req.expect))
+            return false;
+        lat_us.push_back(microsSince(t0) - sent);
+    }
+    secs = double(microsSince(t0)) * 1e-6;
+    return true;
+}
+
+/**
+ * @p sessions pipelined connections, session s serving tenant
+ * `tenants[s % tenants.size()]`, each keeping kWindow requests in
+ * flight. Replies may arrive out of submission order; latency is
+ * matched by request id.
+ */
+bool
+runBatched(uint16_t port, int sessions,
+           const std::vector<uint64_t> &tenants,
+           const std::vector<const ClientKeyset *> &keysets,
+           const std::vector<Prepared> &reqs, double &secs,
+           std::vector<uint64_t> &lat_us)
+{
+    std::vector<std::vector<uint64_t>> per_thread((size_t(sessions)));
+    std::vector<char> ok(size_t(sessions), 1);
+    auto t0 = BenchClock::now();
+    std::vector<std::thread> threads;
+    for (int s = 0; s < sessions; ++s) {
+        threads.emplace_back([&, s] {
+            const uint64_t tenant = tenants[size_t(s) % tenants.size()];
+            const ClientKeyset &keyset =
+                *keysets[size_t(s) % keysets.size()];
+            StrixClient client;
+            if (!client.connectLoopback(port)) {
+                ok[size_t(s)] = 0;
+                return;
+            }
+            std::map<uint64_t, std::pair<uint64_t, int64_t>> open;
+            auto harvest = [&] {
+                StrixClient::Reply r;
+                if (!client.recvReply(r))
+                    return false;
+                auto it = open.find(r.request_id);
+                if (it == open.end() ||
+                    !checkReply(r, keyset, it->second.second))
+                    return false;
+                per_thread[size_t(s)].push_back(microsSince(t0) -
+                                                it->second.first);
+                open.erase(it);
+                return true;
+            };
+            for (const Prepared &req : reqs) {
+                const uint64_t id = client.send(MsgType::Bootstrap,
+                                                tenant, req.payload);
+                if (id == 0) {
+                    ok[size_t(s)] = 0;
+                    return;
+                }
+                open.emplace(id,
+                             std::make_pair(microsSince(t0), req.expect));
+                while (open.size() >= kWindow)
+                    if (!harvest()) {
+                        ok[size_t(s)] = 0;
+                        return;
+                    }
+            }
+            while (!open.empty())
+                if (!harvest()) {
+                    ok[size_t(s)] = 0;
+                    return;
+                }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    secs = double(microsSince(t0)) * 1e-6;
+    for (size_t s = 0; s < per_thread.size(); ++s) {
+        if (!ok[s])
+            return false;
+        lat_us.insert(lat_us.end(), per_thread[s].begin(),
+                      per_thread[s].end());
+    }
+    return true;
+}
+
+/** Measured load against one fresh server; returns the rows. */
+bool
+run(bool smoke, std::vector<Row> &rows)
+{
+    // Same executor policy for every row: the ablation is the client
+    // shape (serial vs pipelined), not a server retune. A serial
+    // caller never fills the batch and eats flush_delay_us per
+    // request; pipelined sessions fill it and sweep immediately.
+    StrixServer::Options opts;
+    opts.exec.target_batch = kWindow;
+    opts.exec.flush_delay_us = 1000;
+    StrixServer server(opts);
+    if (!server.start()) {
+        std::fprintf(stderr, "server failed to start\n");
+        return false;
+    }
+
+    auto keyset1 = keysetFor(9001);
+    auto keyset2 = keysetFor(9002);
+    StrixClient admin;
+    if (!admin.connectLoopback(server.port()) ||
+        !registerTenant(admin, 1, *keyset1) ||
+        !registerTenant(admin, 2, *keyset2)) {
+        std::fprintf(stderr, "tenant registration failed\n");
+        return false;
+    }
+
+    const int per_session = smoke ? 16 : 64;
+    const std::vector<Prepared> reqs1 = prepare(*keyset1, per_session);
+    const std::vector<Prepared> reqs2 = prepare(*keyset2, per_session);
+
+    // -- serial per-call baseline -------------------------------------
+    {
+        Row r;
+        r.name = "BM_ServerPerCall";
+        std::vector<uint64_t> lat;
+        double secs = 0;
+        if (!runPerCall(server.port(), 1, *keyset1, reqs1, secs, lat)) {
+            std::fprintf(stderr, "per-call run failed\n");
+            return false;
+        }
+        r.req_per_s = double(per_session) / secs;
+        r.p50_us = percentile(lat, 0.50);
+        r.p99_us = percentile(lat, 0.99);
+        rows.push_back(r);
+    }
+    const double baseline = rows[0].req_per_s;
+
+    // -- pipelined sessions, one tenant (cross-connection batching) ---
+    {
+        Row r;
+        r.name = "BM_ServerBatched/" + std::to_string(kSessions);
+        std::vector<uint64_t> lat;
+        double secs = 0;
+        if (!runBatched(server.port(), kSessions, {1}, {keyset1.get()},
+                        reqs1, secs, lat)) {
+            std::fprintf(stderr, "batched run failed\n");
+            return false;
+        }
+        r.req_per_s = double(kSessions) * per_session / secs;
+        r.p50_us = percentile(lat, 0.50);
+        r.p99_us = percentile(lat, 0.99);
+        r.speedup = r.req_per_s / baseline;
+        rows.push_back(r);
+    }
+
+    // -- pipelined sessions across two tenants (two key bundles) ------
+    {
+        Row r;
+        r.name = "BM_ServerBatched/" + std::to_string(kSessions) + "x2";
+        std::vector<uint64_t> lat;
+        double secs = 0;
+        // Half the sessions serve tenant 2 with its own bundle and
+        // its own pre-encrypted requests; the halves run concurrently
+        // so both bundles' shards are live in the one executor.
+        std::vector<uint64_t> lat1, lat2;
+        double secs1 = 0, secs2 = 0;
+        bool ok1 = false, ok2 = false;
+        std::thread t1([&] {
+            ok1 = runBatched(server.port(), kSessions / 2, {1},
+                             {keyset1.get()}, reqs1, secs1, lat1);
+        });
+        std::thread t2([&] {
+            ok2 = runBatched(server.port(), kSessions / 2, {2},
+                             {keyset2.get()}, reqs2, secs2, lat2);
+        });
+        t1.join();
+        t2.join();
+        if (!ok1 || !ok2) {
+            std::fprintf(stderr, "multi-tenant run failed\n");
+            return false;
+        }
+        secs = std::max(secs1, secs2);
+        lat = lat1;
+        lat.insert(lat.end(), lat2.begin(), lat2.end());
+        r.req_per_s = double(kSessions) * per_session / secs;
+        r.p50_us = percentile(lat, 0.50);
+        r.p99_us = percentile(lat, 0.99);
+        r.speedup = r.req_per_s / baseline;
+        rows.push_back(r);
+    }
+
+    server.stop();
+    return true;
+}
+
+void
+print(const std::vector<Row> &rows)
+{
+    TextTable t;
+    t.header({"load", "req/s", "p50 us", "p99 us", "vs per-call"});
+    for (const Row &r : rows)
+        t.row({r.name, TextTable::num(r.req_per_s, 0),
+               TextTable::num(r.p50_us, 0), TextTable::num(r.p99_us, 0),
+               TextTable::num(r.speedup, 2) + "x"});
+    t.print();
+    std::printf("\nReading: the serial client pays round trip + the "
+                "executor's flush delay on every request; pipelined "
+                "sessions fill the batch window so the server sweeps "
+                "full-width immediately. The x2 row splits the "
+                "sessions across two tenants with different key "
+                "bundles -- per-bundle shards batch independently "
+                "inside one executor.\n");
+}
+
+bool
+writeJson(const std::string &path, const std::vector<Row> &rows,
+          bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"binary\": \"ablation_serving\",\n"
+                 "  \"mode\": \"measured\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"sessions\": %d,\n"
+                 "  \"window\": %zu,\n"
+                 "  \"rows\": [",
+                 smoke ? "true" : "false", kSessions, kWindow);
+    for (size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(f,
+                     "%s\n    {\"name\": \"%s\", \"req_per_s\": %.2f, "
+                     "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                     "\"speedup\": %.3f}",
+                     i ? "," : "", rows[i].name.c_str(),
+                     rows[i].req_per_s, rows[i].p50_us, rows[i].p99_us,
+                     rows[i].speedup);
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool measured_mode = false;
+    bool smoke = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--measured")) {
+            measured_mode = true;
+        } else if (!std::strcmp(argv[i], "--smoke")) {
+            smoke = true;
+        } else if (!matchJsonFlag(argc, argv, i, json_path)) {
+            std::fprintf(stderr, "usage: ablation_serving [--measured] "
+                                 "[--smoke] [--json <file>]\n");
+            return 2;
+        }
+    }
+
+    std::printf("=== Ablation: serving daemon -- serial calls vs "
+                "pipelined multi-tenant sessions ===\n\n");
+    if (!measured_mode) {
+        std::printf("(analytic section: none; pass --measured to "
+                    "drive a live loopback StrixServer with real "
+                    "PBS)\n");
+        return 0;
+    }
+
+    std::printf("-- measured: %d sessions x window %zu, software PBS "
+                "(toy set n=48 N=512), decode-checked --\n\n",
+                kSessions, kWindow);
+    std::vector<Row> rows;
+    if (!run(smoke, rows))
+        return 1;
+    print(rows);
+    if (!json_path.empty() && !writeJson(json_path, rows, smoke))
+        return 1;
+    return 0;
+}

@@ -21,6 +21,7 @@
 #include <sstream>
 
 #include "strix/accelerator.h"
+#include "tfhe/client_keyset.h"
 #include "tfhe/gates.h"
 #include "tfhe/serialize.h"
 

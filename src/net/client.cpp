@@ -1,0 +1,128 @@
+/**
+ * @file
+ * StrixClient implementation.
+ */
+
+#include "net/client.h"
+
+#include <stdexcept>
+
+namespace strix {
+
+bool
+StrixClient::connect(const std::string &host, uint16_t port)
+{
+    conn_ = TcpConn::connect(host, port);
+    decoder_ = FrameDecoder();
+    return conn_.valid();
+}
+
+bool
+StrixClient::connectLoopback(uint16_t port)
+{
+    return connect("127.0.0.1", port);
+}
+
+uint64_t
+StrixClient::send(MsgType type, uint64_t tenant,
+                  std::vector<uint8_t> payload, uint64_t deadline_us)
+{
+    if (!conn_.valid())
+        return 0;
+    WireMessage msg;
+    msg.type = type;
+    msg.tenant = tenant;
+    msg.request_id = next_id_++;
+    msg.deadline_us = deadline_us;
+    msg.payload = std::move(payload);
+    const std::vector<uint8_t> frame = encodeMessage(msg);
+    if (!conn_.writeFull(frame.data(), frame.size())) {
+        conn_.close();
+        return 0;
+    }
+    return msg.request_id;
+}
+
+bool
+StrixClient::recvReply(Reply &out)
+{
+    out = Reply();
+    if (!conn_.valid())
+        return false;
+    WireMessage msg;
+    for (;;) {
+        bool have = false;
+        try {
+            have = decoder_.next(msg);
+        } catch (const std::runtime_error &) {
+            conn_.close();
+            return false; // server sent malformed framing
+        }
+        if (have)
+            break;
+        uint8_t chunk[16 * 1024];
+        size_t got = 0;
+        if (conn_.readSome(chunk, sizeof(chunk), got) !=
+            TcpConn::IoResult::Ok) {
+            conn_.close();
+            return false;
+        }
+        decoder_.feed(chunk, got);
+    }
+    out.request_id = msg.request_id;
+    if (msg.type == MsgType::Ok) {
+        out.ok = true;
+        out.payload = std::move(msg.payload);
+        return true;
+    }
+    if (msg.type == MsgType::Error) {
+        try {
+            ErrorInfo info = decodeErrorPayload(msg.payload);
+            out.error = info.code;
+            out.error_text = std::move(info.text);
+        } catch (const std::runtime_error &) {
+            out.error = WireError::Protocol;
+            out.error_text = "malformed error payload";
+        }
+        return true;
+    }
+    out.error = WireError::Protocol;
+    out.error_text = "unexpected reply type";
+    return true;
+}
+
+StrixClient::Reply
+StrixClient::call(MsgType type, uint64_t tenant,
+                  std::vector<uint8_t> payload, uint64_t deadline_us)
+{
+    Reply reply;
+    const uint64_t id =
+        send(type, tenant, std::move(payload), deadline_us);
+    if (id == 0) {
+        reply.error = WireError::Protocol;
+        reply.error_text = "connection closed";
+        return reply;
+    }
+    if (!recvReply(reply)) {
+        reply = Reply();
+        reply.error = WireError::Protocol;
+        reply.error_text = "connection closed";
+        return reply;
+    }
+    if (reply.request_id != id) {
+        reply.ok = false;
+        reply.error = WireError::Protocol;
+        reply.error_text = "reply id mismatch (pipelined caller "
+                           "should use send/recvReply)";
+    }
+    return reply;
+}
+
+bool
+StrixClient::ping()
+{
+    Reply r = call(MsgType::Ping, 0, {});
+    return r.ok;
+}
+
+} // namespace strix

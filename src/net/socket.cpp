@@ -1,0 +1,350 @@
+/**
+ * @file
+ * POSIX TCP primitives implementation.
+ *
+ * Error taxonomy: transient kernel-buffer conditions surface as
+ * WouldBlock, orderly shutdown as Eof, and everything else as Error;
+ * EINTR never escapes. Writes use send(MSG_NOSIGNAL) so a peer reset
+ * is an Error return, not a process-killing SIGPIPE.
+ */
+
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace strix {
+
+namespace {
+
+bool
+setFdNonBlocking(int fd, bool on)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+bool
+setFdNoDelay(int fd, bool on)
+{
+    const int v = on ? 1 : 0;
+    return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &v,
+                        sizeof(v)) == 0;
+}
+
+} // namespace
+
+// --- TcpConn ---------------------------------------------------------
+
+TcpConn &
+TcpConn::operator=(TcpConn &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+TcpConn::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+TcpConn::setNonBlocking(bool on)
+{
+    return valid() && setFdNonBlocking(fd_, on);
+}
+
+bool
+TcpConn::setNoDelay(bool on)
+{
+    return valid() && setFdNoDelay(fd_, on);
+}
+
+TcpConn::IoResult
+TcpConn::readSome(void *buf, size_t cap, size_t &got)
+{
+    got = 0;
+    if (!valid())
+        return IoResult::Error;
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, cap, 0);
+        if (n > 0) {
+            got = static_cast<size_t>(n);
+            return IoResult::Ok;
+        }
+        if (n == 0)
+            return IoResult::Eof;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoResult::WouldBlock;
+        return IoResult::Error;
+    }
+}
+
+TcpConn::IoResult
+TcpConn::writeSome(const void *buf, size_t len, size_t &put)
+{
+    put = 0;
+    if (!valid())
+        return IoResult::Error;
+    if (len == 0)
+        return IoResult::Ok;
+    for (;;) {
+        const ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+        if (n >= 0) {
+            put = static_cast<size_t>(n);
+            return IoResult::Ok;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return IoResult::WouldBlock;
+        return IoResult::Error;
+    }
+}
+
+bool
+TcpConn::readFull(void *buf, size_t len)
+{
+    auto *p = static_cast<unsigned char *>(buf);
+    size_t off = 0;
+    while (off < len) {
+        size_t got = 0;
+        switch (readSome(p + off, len - off, got)) {
+        case IoResult::Ok:
+            off += got;
+            break;
+        case IoResult::WouldBlock: {
+            // Blocking-mode sockets should not get here, but a caller
+            // may hand us a non-blocking fd: wait for readability.
+            struct pollfd pfd = {fd_, POLLIN, 0};
+            (void)::poll(&pfd, 1, -1);
+            break;
+        }
+        default:
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+TcpConn::writeFull(const void *buf, size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(buf);
+    size_t off = 0;
+    while (off < len) {
+        size_t put = 0;
+        switch (writeSome(p + off, len - off, put)) {
+        case IoResult::Ok:
+            off += put;
+            break;
+        case IoResult::WouldBlock: {
+            struct pollfd pfd = {fd_, POLLOUT, 0};
+            (void)::poll(&pfd, 1, -1);
+            break;
+        }
+        default:
+            return false;
+        }
+    }
+    return true;
+}
+
+TcpConn
+TcpConn::connect(const std::string &host, uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return TcpConn();
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return TcpConn();
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                       sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        ::close(fd);
+        return TcpConn();
+    }
+    setFdNoDelay(fd, true);
+    return TcpConn(fd);
+}
+
+TcpConn
+TcpConn::connectLoopback(uint16_t port)
+{
+    return connect("127.0.0.1", port);
+}
+
+// --- TcpListener -----------------------------------------------------
+
+TcpListener &
+TcpListener::operator=(TcpListener &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        port_ = other.port_;
+        other.fd_ = -1;
+        other.port_ = 0;
+    }
+    return *this;
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        port_ = 0;
+    }
+}
+
+TcpListener
+TcpListener::listenLoopback(uint16_t port, int backlog)
+{
+    TcpListener l;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return l;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, backlog) != 0 || !setFdNonBlocking(fd, true)) {
+        ::close(fd);
+        return l;
+    }
+    // Resolve the kernel-assigned port for port-0 binds.
+    struct sockaddr_in bound;
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&bound),
+                      &blen) != 0) {
+        ::close(fd);
+        return l;
+    }
+    l.fd_ = fd;
+    l.port_ = ntohs(bound.sin_port);
+    return l;
+}
+
+TcpConn
+TcpListener::accept()
+{
+    if (!valid())
+        return TcpConn();
+    for (;;) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) {
+            setFdNonBlocking(fd, true);
+            setFdNoDelay(fd, true);
+            return TcpConn(fd);
+        }
+        if (errno == EINTR)
+            continue;
+        return TcpConn(); // EAGAIN (none pending) or a transient error
+    }
+}
+
+// --- Poller ----------------------------------------------------------
+
+void
+Poller::clear()
+{
+    slots_.clear();
+}
+
+void
+Poller::add(int fd, bool want_read, bool want_write)
+{
+    struct pollfd p;
+    p.fd = fd;
+    p.events = 0;
+    p.revents = 0;
+    if (want_read)
+        p.events |= POLLIN;
+    if (want_write)
+        p.events |= POLLOUT;
+    slots_.push_back(p);
+}
+
+int
+Poller::wait(int timeout_ms)
+{
+    if (slots_.empty())
+        return 0;
+    for (;;) {
+        const int n = ::poll(slots_.data(), slots_.size(), timeout_ms);
+        if (n >= 0)
+            return n;
+        if (errno != EINTR)
+            return 0;
+    }
+}
+
+const struct pollfd *
+Poller::find(int fd) const
+{
+    for (const struct pollfd &s : slots_)
+        if (s.fd == fd)
+            return &s;
+    return nullptr;
+}
+
+bool
+Poller::readable(int fd) const
+{
+    const struct pollfd *s = find(fd);
+    return s != nullptr && (s->revents & (POLLIN | POLLHUP)) != 0;
+}
+
+bool
+Poller::writable(int fd) const
+{
+    const struct pollfd *s = find(fd);
+    return s != nullptr && (s->revents & POLLOUT) != 0;
+}
+
+bool
+Poller::errored(int fd) const
+{
+    const struct pollfd *s = find(fd);
+    return s != nullptr &&
+           (s->revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+}
+
+} // namespace strix

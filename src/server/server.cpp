@@ -1,0 +1,537 @@
+/**
+ * @file
+ * StrixServer implementation: one poll loop, one circuit worker, and
+ * the shared BatchExecutor doing the actual PBS work.
+ */
+
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "server/wire_codec.h"
+#include "tfhe/bootstrap.h"
+#include "tfhe/server_context.h"
+#include "workloads/circuit_analysis.h"
+
+namespace strix {
+
+namespace {
+
+bool
+futureReady(const std::future<LweCiphertext> &f)
+{
+    return f.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+}
+
+bool
+futureReady(const std::future<std::vector<LweCiphertext>> &f)
+{
+    return f.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+}
+
+} // namespace
+
+StrixServer::StrixServer(Options opts,
+                         std::shared_ptr<WaitableClock> clock)
+    : opts_(opts),
+      clock_(clock ? std::move(clock)
+                   : std::make_shared<SteadyWaitableClock>()),
+      executor_(std::make_shared<BatchExecutor>(opts.exec, clock_))
+{
+    cache_.setBudgetBytes(opts_.cache_budget_bytes);
+}
+
+StrixServer::StrixServer() : StrixServer(Options()) {}
+
+StrixServer::~StrixServer()
+{
+    stop();
+}
+
+std::string
+StrixServer::tenantKey(uint64_t tenant)
+{
+    return std::to_string(tenant);
+}
+
+bool
+StrixServer::start()
+{
+    panicIfNot(!running_.load() && !loop_.joinable(),
+               "StrixServer: start() called twice");
+    listener_ = TcpListener::listenLoopback(opts_.port);
+    if (!listener_.valid())
+        return false;
+    port_ = listener_.port();
+    running_.store(true);
+    circuit_thread_ = std::thread([this] { circuitWorker(); });
+    loop_ = std::thread([this] { run(); });
+    return true;
+}
+
+void
+StrixServer::stop()
+{
+    stop_requested_.store(true);
+    if (loop_.joinable())
+        loop_.join();
+    {
+        MutexLock lock(circuit_m_);
+        circuit_stop_ = true;
+    }
+    circuit_cv_.notify_all();
+    if (circuit_thread_.joinable())
+        circuit_thread_.join();
+    executor_->shutdown();
+    running_.store(false);
+}
+
+StrixServer::Stats
+StrixServer::stats() const
+{
+    Stats s;
+    s.conns_accepted = conns_accepted_.load();
+    s.requests = requests_.load();
+    s.ok_replies = ok_replies_.load();
+    s.error_replies = error_replies_.load();
+    s.busy_rejects = busy_rejects_.load();
+    s.deadline_misses = deadline_misses_.load();
+    s.protocol_errors = protocol_errors_.load();
+    return s;
+}
+
+void
+StrixServer::circuitWorker()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            MutexLock lock(circuit_m_);
+            circuit_cv_.wait(lock, [&] {
+                circuit_m_.assertHeld();
+                return circuit_stop_ || !circuit_q_.empty();
+            });
+            if (circuit_q_.empty())
+                return; // stop requested and queue drained
+            job = std::move(circuit_q_.front());
+            circuit_q_.pop_front();
+        }
+        job();
+    }
+}
+
+void
+StrixServer::sendOk(ConnState &c, const WireMessage &m,
+                    std::vector<uint8_t> payload, uint64_t now_us)
+{
+    WireMessage reply;
+    reply.type = MsgType::Ok;
+    reply.tenant = m.tenant;
+    reply.request_id = m.request_id;
+    reply.payload = std::move(payload);
+    c.out.queue(encodeMessage(reply), now_us);
+    ok_replies_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+StrixServer::sendErr(ConnState &c, uint64_t tenant, uint64_t request_id,
+                     WireError code, const std::string &text,
+                     uint64_t now_us)
+{
+    c.out.queue(encodeError(tenant, request_id, code, text), now_us);
+    error_replies_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+StrixServer::handleRegister(ConnState &c, const WireMessage &m,
+                            uint64_t now_us)
+{
+    std::shared_ptr<const EvalKeys> keys;
+    try {
+        keys = decodeEvalKeysPayload(m.payload);
+    } catch (const std::exception &e) {
+        sendErr(c, m.tenant, m.request_id, WireError::BadPayload,
+                e.what(), now_us);
+        return;
+    }
+    // Unpin idle tenants' bundles before the insert: the executor
+    // keeps a shard (and a strong bundle reference) per key bundle it
+    // has served, which would otherwise make every previously-served
+    // tenant unevictable and defeat the budget.
+    executor_->releaseIdleShards();
+    cache_.getOrInsert(tenantKey(m.tenant), std::move(keys));
+    sendOk(c, m, {}, now_us);
+}
+
+void
+StrixServer::handleCompute(ConnState &c, WireMessage &&m,
+                           uint64_t now_us)
+{
+    if (m.payload.size() > opts_.max_request_payload_bytes) {
+        sendErr(c, m.tenant, m.request_id, WireError::PayloadTooLarge,
+                "request payload over the compute cap", now_us);
+        return;
+    }
+    if (pendings_.size() >= opts_.max_queue_depth) {
+        busy_rejects_.fetch_add(1, std::memory_order_relaxed);
+        sendErr(c, m.tenant, m.request_id, WireError::Busy,
+                "server queue full; retry with backoff", now_us);
+        return;
+    }
+    size_t &tenant_inflight = inflight_[m.tenant];
+    if (tenant_inflight >= opts_.max_inflight_per_tenant) {
+        if (tenant_inflight == 0)
+            inflight_.erase(m.tenant);
+        busy_rejects_.fetch_add(1, std::memory_order_relaxed);
+        sendErr(c, m.tenant, m.request_id, WireError::Busy,
+                "tenant in-flight cap reached; retry with backoff",
+                now_us);
+        return;
+    }
+    std::shared_ptr<const EvalKeys> bundle =
+        cache_.lookup(tenantKey(m.tenant));
+    if (!bundle) {
+        if (tenant_inflight == 0)
+            inflight_.erase(m.tenant);
+        sendErr(c, m.tenant, m.request_id, WireError::UnknownTenant,
+                "tenant not registered (or evicted); re-register",
+                now_us);
+        return;
+    }
+    const TfheParams &p = bundle->params();
+
+    Pending pend;
+    pend.conn_id = c.id;
+    pend.tenant = m.tenant;
+    pend.request_id = m.request_id;
+    pend.deadline_abs_us =
+        m.deadline_us != 0 ? now_us + m.deadline_us : 0;
+    try {
+        switch (m.type) {
+        case MsgType::Bootstrap: {
+            BootstrapRequest req = decodeBootstrapPayload(m.payload);
+            if (req.ct.dim() != p.n || req.tv.size() != p.N)
+                throw std::runtime_error(
+                    "request shape does not match tenant parameters");
+            pend.single = executor_->submit(bundle, std::move(req.ct),
+                                            std::move(req.tv));
+            break;
+        }
+        case MsgType::ApplyLut: {
+            ApplyLutRequest req = decodeApplyLutPayload(m.payload);
+            if (req.ct.dim() != p.n)
+                throw std::runtime_error(
+                    "request shape does not match tenant parameters");
+            TorusPolynomial tv = makeIntTestVector(
+                p.N, req.msg_space,
+                [t = std::move(req.table)](int64_t v) {
+                    return t[static_cast<size_t>(v) % t.size()];
+                });
+            pend.single = executor_->submit(bundle, std::move(req.ct),
+                                            std::move(tv));
+            break;
+        }
+        case MsgType::EvalCircuit: {
+            CircuitRequest req = decodeCircuitPayload(m.payload);
+            for (const LweCiphertext &ct : req.inputs)
+                if (ct.dim() != p.n)
+                    throw std::runtime_error(
+                        "input ciphertext does not match tenant "
+                        "parameters");
+            CircuitPlan plan = analyzeCircuit(req.circuit, p);
+            if (!plan.feasible()) {
+                std::ostringstream os;
+                os << "no feasible noise plan:";
+                for (const std::string &d : plan.diagnostics())
+                    os << " " << d << ";";
+                if (tenant_inflight == 0)
+                    inflight_.erase(m.tenant);
+                sendErr(c, m.tenant, m.request_id,
+                        WireError::Infeasible, os.str(), now_us);
+                return;
+            }
+            // The worker owns bundle + request for the eval's whole
+            // lifetime (pinning the tenant resident); its per-level
+            // PBS stream feeds the shared executor, coalescing with
+            // the Bootstrap/ApplyLut traffic of every session.
+            auto task = std::make_shared<
+                std::packaged_task<std::vector<LweCiphertext>()>>(
+                [executor = executor_, bundle,
+                 circuit = std::move(req.circuit),
+                 inputs = std::move(req.inputs),
+                 plan = std::move(plan)] {
+                    ServerContext ctx(bundle);
+                    ctx.attachExecutor(executor);
+                    return circuit.evalEncryptedAsync(ctx, inputs,
+                                                      plan);
+                });
+            pend.is_many = true;
+            pend.many = task->get_future();
+            {
+                MutexLock lock(circuit_m_);
+                circuit_q_.push_back([task] { (*task)(); });
+            }
+            circuit_cv_.notify_one();
+            break;
+        }
+        default:
+            panic("handleCompute: unreachable type");
+        }
+    } catch (const std::exception &e) {
+        if (tenant_inflight == 0)
+            inflight_.erase(m.tenant);
+        sendErr(c, m.tenant, m.request_id, WireError::BadPayload,
+                e.what(), now_us);
+        return;
+    }
+    ++tenant_inflight;
+    pendings_.push_back(std::move(pend));
+}
+
+void
+StrixServer::handleMessage(ConnState &c, WireMessage &&m,
+                           uint64_t now_us)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const bool draining = stop_requested_.load();
+    switch (m.type) {
+    case MsgType::Ping:
+        sendOk(c, m, std::move(m.payload), now_us); // echo
+        break;
+    case MsgType::RegisterTenant:
+        if (draining) {
+            sendErr(c, m.tenant, m.request_id,
+                    WireError::ShuttingDown, "server is draining",
+                    now_us);
+            break;
+        }
+        handleRegister(c, m, now_us);
+        break;
+    case MsgType::Bootstrap:
+    case MsgType::ApplyLut:
+    case MsgType::EvalCircuit:
+        if (draining) {
+            sendErr(c, m.tenant, m.request_id,
+                    WireError::ShuttingDown, "server is draining",
+                    now_us);
+            break;
+        }
+        handleCompute(c, std::move(m), now_us);
+        break;
+    default:
+        sendErr(c, m.tenant, m.request_id, WireError::UnknownType,
+                "unknown message type", now_us);
+        break;
+    }
+}
+
+bool
+StrixServer::serviceReadable(ConnState &c, uint64_t now_us)
+{
+    if (rbuf_.empty())
+        rbuf_.resize(64 * 1024);
+    for (;;) {
+        size_t got = 0;
+        const TcpConn::IoResult r =
+            c.conn.readSome(rbuf_.data(), rbuf_.size(), got);
+        if (r == TcpConn::IoResult::WouldBlock)
+            return true;
+        if (r != TcpConn::IoResult::Ok)
+            return false; // Eof / Error: drop the connection
+        try {
+            c.dec.feed(rbuf_.data(), got);
+            WireMessage m;
+            while (c.dec.next(m))
+                handleMessage(c, std::move(m), now_us);
+        } catch (const std::exception &e) {
+            // Malformed outer framing: no trustworthy resync point.
+            // Answer with a structured error frame, then close once
+            // it has flushed -- hostile bytes never crash the loop.
+            protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+            sendErr(c, 0, 0, WireError::Protocol, e.what(), now_us);
+            c.closing = true;
+            return true;
+        }
+    }
+}
+
+void
+StrixServer::acceptPending(uint64_t /*now_us*/)
+{
+    for (;;) {
+        TcpConn nc = listener_.accept();
+        if (!nc.valid())
+            return;
+        const uint64_t id = next_conn_id_++;
+        ConnState st;
+        st.id = id;
+        st.conn = std::move(nc);
+        st.dec = FrameDecoder(opts_.limits);
+        st.out = BufferedSender(opts_.send);
+        conns_.emplace(id, std::move(st));
+        conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+StrixServer::completeFinished(uint64_t now_us)
+{
+    for (auto it = pendings_.begin(); it != pendings_.end();) {
+        Pending &pend = *it;
+        const bool ready = pend.is_many ? futureReady(pend.many)
+                                        : futureReady(pend.single);
+        if (!ready) {
+            ++it;
+            continue;
+        }
+        std::vector<LweCiphertext> cts;
+        std::string fail;
+        try {
+            if (pend.is_many)
+                cts = pend.many.get();
+            else
+                cts.push_back(pend.single.get());
+        } catch (const std::exception &e) {
+            fail = e.what();
+        }
+        const uint64_t done_us = clock_->nowMicros();
+        const bool missed = pend.deadline_abs_us != 0 &&
+                            done_us > pend.deadline_abs_us;
+        if (missed)
+            deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+        auto cit = conns_.find(pend.conn_id);
+        if (cit != conns_.end() && !cit->second.closing) {
+            ConnState &c = cit->second;
+            if (!fail.empty()) {
+                sendErr(c, pend.tenant, pend.request_id,
+                        WireError::Internal, fail, now_us);
+            } else if (missed) {
+                sendErr(c, pend.tenant, pend.request_id,
+                        WireError::DeadlineExceeded,
+                        "completed after the request deadline",
+                        now_us);
+            } else {
+                WireMessage reply;
+                reply.tenant = pend.tenant;
+                reply.request_id = pend.request_id;
+                sendOk(c, reply, encodeCiphertexts(cts), now_us);
+            }
+        }
+        auto fit = inflight_.find(pend.tenant);
+        if (fit != inflight_.end() && --fit->second == 0)
+            inflight_.erase(fit);
+        it = pendings_.erase(it);
+    }
+}
+
+void
+StrixServer::flushSenders(uint64_t now_us)
+{
+    std::vector<uint64_t> dead;
+    for (auto &[id, c] : conns_) {
+        if (!c.out.empty() && c.out.wantFlush(now_us)) {
+            const TcpConn::IoResult r = c.out.flushTo(c.conn);
+            if (r == TcpConn::IoResult::Eof ||
+                r == TcpConn::IoResult::Error) {
+                dead.push_back(id);
+                continue;
+            }
+        }
+        if (c.closing && c.out.empty())
+            dead.push_back(id);
+    }
+    for (uint64_t id : dead)
+        conns_.erase(id);
+}
+
+int
+StrixServer::pollTimeoutMs(uint64_t now_us) const
+{
+    // Idle heartbeat also bounds how fast stop() is noticed.
+    uint64_t wait_us = 20 * 1000;
+    // Outstanding futures have no fd; poll them at ms granularity
+    // (PBS work is ms-scale at the paper parameter sets).
+    if (!pendings_.empty())
+        wait_us = std::min<uint64_t>(wait_us, 1000);
+    for (const auto &[id, c] : conns_) {
+        (void)id;
+        // A sender past its trigger is waiting on POLLOUT, not time.
+        if (c.out.empty() || c.out.wantFlush(now_us))
+            continue;
+        const uint64_t deadline = c.out.flushDeadline();
+        wait_us = std::min<uint64_t>(
+            wait_us, deadline > now_us ? deadline - now_us : 0);
+    }
+    return static_cast<int>((wait_us + 999) / 1000);
+}
+
+void
+StrixServer::run()
+{
+    Poller poller;
+    for (;;) {
+        const bool draining = stop_requested_.load();
+        uint64_t now_us = clock_->nowMicros();
+        // Drain must not depend on the executor's own flush policy: a
+        // long flush_delay_us would strand admitted work (and us)
+        // forever. Force everything queued due each pass; the circuit
+        // worker's next per-level submissions get caught next pass.
+        if (draining && !pendings_.empty())
+            executor_->flushNow();
+        completeFinished(now_us);
+        flushSenders(now_us);
+        if (draining && pendings_.empty()) {
+            bool flushed = true;
+            for (const auto &[id, c] : conns_) {
+                (void)id;
+                if (!c.out.empty())
+                    flushed = false;
+            }
+            if (flushed)
+                break;
+        }
+        poller.clear();
+        if (!draining)
+            poller.add(listener_.fd(), true, false);
+        for (const auto &[id, c] : conns_) {
+            (void)id;
+            poller.add(c.conn.fd(), !draining && !c.closing,
+                       !c.out.empty());
+        }
+        poller.wait(pollTimeoutMs(now_us));
+        now_us = clock_->nowMicros();
+        if (!draining && poller.readable(listener_.fd()))
+            acceptPending(now_us);
+        std::vector<uint64_t> dead;
+        for (auto &[id, c] : conns_) {
+            const int fd = c.conn.fd();
+            if (poller.errored(fd)) {
+                dead.push_back(id);
+                continue;
+            }
+            if (poller.writable(fd)) {
+                const TcpConn::IoResult r = c.out.flushTo(c.conn);
+                if (r == TcpConn::IoResult::Eof ||
+                    r == TcpConn::IoResult::Error) {
+                    dead.push_back(id);
+                    continue;
+                }
+            }
+            if (!c.closing && poller.readable(fd) &&
+                !serviceReadable(c, now_us))
+                dead.push_back(id);
+        }
+        for (uint64_t id : dead)
+            conns_.erase(id);
+    }
+    conns_.clear();
+    listener_.close();
+}
+
+} // namespace strix

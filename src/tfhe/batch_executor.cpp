@@ -107,7 +107,7 @@ BatchExecutor::dispatchLoop()
                 reason = &stats_.size_flushes;
                 break;
             }
-            if (stopping_) {
+            if (stopping_ || flush_now_) {
                 due = &sh;
                 reason = &stats_.drain_flushes;
                 break;
@@ -140,9 +140,11 @@ BatchExecutor::dispatchLoop()
             stats_.swept_lwes += take;
             ++*reason;
 
+            due->sweeping = true; // pins the shard across the unlock
             lock.unlock();
             runSweep(*due, std::move(batch)); // fill continues meanwhile
             lock.lock();
+            due->sweeping = false;
 
             stats_.completed += take;
             in_flight_ -= take;
@@ -153,6 +155,7 @@ BatchExecutor::dispatchLoop()
 
         if (stopping_)
             return; // every queue empty, nothing in flight
+        flush_now_ = false; // queues momentarily empty: latch satisfied
         lock.unlock();
         if (next_deadline == kNoDeadline)
             clock_->wait();
@@ -187,6 +190,24 @@ BatchExecutor::runSweep(Shard &shard, std::vector<Request> batch)
     }
 }
 
+size_t
+BatchExecutor::releaseIdleShards()
+{
+    MutexLock lock(m_);
+    size_t released = 0;
+    for (auto it = shards_.begin(); it != shards_.end();) {
+        Shard &sh = *it->second;
+        if (sh.fill.empty() && !sh.sweeping) {
+            it = shards_.erase(it);
+            ++released;
+        } else {
+            ++it;
+        }
+    }
+    stats_.shards = shards_.size();
+    return released;
+}
+
 void
 BatchExecutor::drain()
 {
@@ -195,6 +216,16 @@ BatchExecutor::drain()
         m_.assertHeld(); // the wait runs its predicate locked
         return in_flight_ == 0;
     });
+}
+
+void
+BatchExecutor::flushNow()
+{
+    {
+        MutexLock lock(m_);
+        flush_now_ = true;
+    }
+    clock_->signal();
 }
 
 void

@@ -141,12 +141,32 @@ class BatchExecutor
     void drain() STRIX_EXCLUDES(m_);
 
     /**
+     * Mark everything currently queued as due and wake the dispatcher
+     * (non-blocking); requests submitted later fall back to the
+     * normal triggers. A serving layer's shutdown drain calls this
+     * each pass so pending responses are fulfilled promptly even
+     * under a very long flush_delay_us policy. Sweeps this forces are
+     * counted as drain_flushes.
+     */
+    void flushNow() STRIX_EXCLUDES(m_);
+
+    /**
      * Stop accepting submissions, flush everything still queued
      * (futures are fulfilled, not dropped), and join the dispatcher.
      * Idempotent and safe to call concurrently; the destructor calls
      * it. Submitting afterwards panics.
      */
     void shutdown() STRIX_EXCLUDES(m_, join_mutex_);
+
+    /**
+     * Release shards whose fill queue is empty and whose sweep is not
+     * currently running, dropping the executor's reference to their
+     * EvalKeys bundle. A serving layer calls this after budget-driven
+     * key eviction so a departed tenant's bundle does not stay pinned
+     * by the executor forever; the shard is recreated transparently
+     * on that bundle's next submit. Returns the shards released.
+     */
+    size_t releaseIdleShards() STRIX_EXCLUDES(m_);
 
     /** Snapshot of the counters. */
     Stats stats() const STRIX_EXCLUDES(m_);
@@ -167,8 +187,11 @@ class BatchExecutor
      * Per-params-shard state: the key bundle, a private ServerContext
      * whose pool runs this shard's sweeps, and the fill queue the
      * dispatcher swaps batches out of. Shards are created on first
-     * submit and live until shutdown, so raw Shard pointers taken
-     * under the lock stay valid while the dispatcher runs.
+     * submit and live until shutdown or releaseIdleShards(); the
+     * dispatcher marks a shard `sweeping` under the lock before
+     * running its sweep unlocked, and release skips sweeping shards,
+     * so raw Shard pointers the dispatcher holds across the unlocked
+     * sweep stay valid.
      */
     struct Shard
     {
@@ -182,6 +205,9 @@ class BatchExecutor
         // BatchExecutor member that provably holds m_ (submit and the
         // locked sections of dispatchLoop); runSweep never touches it.
         std::deque<Request> fill;
+        // Guarded by m_ like fill: true while the dispatcher runs
+        // this shard's sweep outside the lock.
+        bool sweeping = false;
     };
 
     void dispatchLoop() STRIX_EXCLUDES(m_);
@@ -202,6 +228,7 @@ class BatchExecutor
     Stats stats_ STRIX_GUARDED_BY(m_);
     uint64_t in_flight_ STRIX_GUARDED_BY(m_) = 0; //!< submitted - completed
     bool stopping_ STRIX_GUARDED_BY(m_) = false;
+    bool flush_now_ STRIX_GUARDED_BY(m_) = false; //!< force-flush latch
     CondVar drained_cv_; //!< signaled at in_flight_ == 0
 
     Mutex join_mutex_;       //!< serializes concurrent shutdown()s

@@ -1,6 +1,7 @@
 /**
  * @file
- * ContextCache implementation.
+ * ContextCache implementation: keygen keys + secret-side ownership
+ * over the EvalKeyCache engine.
  */
 
 #include "tfhe/context_cache.h"
@@ -47,149 +48,25 @@ ContextCache::global()
     return cache;
 }
 
-std::shared_ptr<ContextCache::Entry>
-ContextCache::entryFor(const std::string &key)
-{
-    {
-        SharedReaderLock read(index_mutex_);
-        // Look up through a const alias: a reader lock only grants
-        // shared access to entries_, and the analysis (correctly)
-        // rejects the non-const find() overload under it.
-        const auto &index = entries_;
-        auto it = index.find(key);
-        if (it != index.end())
-            return it->second;
-    }
-    SharedWriterLock write(index_mutex_);
-    auto [it, inserted] = entries_.try_emplace(key);
-    if (inserted)
-        it->second = std::make_shared<Entry>();
-    return it->second;
-}
-
 std::shared_ptr<const ClientKeyset>
 ContextCache::getOrCreateKeyset(const TfheParams &params, uint64_t seed)
 {
-    const std::string key = cacheKey(params, seed);
-    std::shared_ptr<Entry> entry = entryFor(key);
-    bool built_now = false;
-    std::call_once(entry->once, [&] {
-        entry->keyset = std::make_shared<const ClientKeyset>(params, seed);
-        // Release-store after the keyset write: the eviction scan
-        // (which never passes through this call_once) acquires
-        // `built` before touching `keyset`.
-        entry->built.store(true, std::memory_order_release);
-        keygens_.fetch_add(1, std::memory_order_relaxed);
-        built_now = true;
-    });
-    // Stamp recency from the global clock; an atomic per-entry stamp
-    // keeps the hit path on the reader lock (entryFor) -- no list to
-    // reorder, so no writer lock on hits.
-    entry->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
-                           std::memory_order_relaxed);
-    if (built_now)
-        accountAndEvict(key, entry);
-    else
-        hits_.fetch_add(1, std::memory_order_relaxed);
-    return entry->keyset;
+    EvalKeyCache::Built built =
+        cache_.getOrBuild(cacheKey(params, seed), [&] {
+            auto keyset =
+                std::make_shared<const ClientKeyset>(params, seed);
+            // Park the keyset as the entry's opaque owner: it stays
+            // alive with the bundle and pins the entry while any
+            // caller still holds it.
+            return EvalKeyCache::Built{keyset->evalKeys(), keyset};
+        });
+    return std::static_pointer_cast<const ClientKeyset>(built.owner);
 }
 
 std::shared_ptr<const EvalKeys>
 ContextCache::getOrCreate(const TfheParams &params, uint64_t seed)
 {
     return getOrCreateKeyset(params, seed)->evalKeys();
-}
-
-void
-ContextCache::accountAndEvict(const std::string &key,
-                              const std::shared_ptr<Entry> &entry)
-{
-    SharedWriterLock write(index_mutex_);
-    // clear() may have raced the keygen: if the slot no longer holds
-    // this entry, the caller keeps an unaccounted orphan bundle and
-    // the cache owes nothing for it.
-    auto it = entries_.find(key);
-    if (it == entries_.end() || it->second != entry)
-        return;
-    const uint64_t bytes = entry->keyset->evalKeys()->residentBytes();
-    entry->bytes.store(bytes, std::memory_order_relaxed);
-    resident_bytes_ += bytes;
-    evictIfOver(entry.get());
-}
-
-void
-ContextCache::evictIfOver(const Entry *exclude)
-{
-    while (budget_bytes_ != 0 && resident_bytes_ > budget_bytes_) {
-        auto victim = entries_.end();
-        uint64_t victim_tick = 0;
-        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            Entry &e = *it->second;
-            if (&e == exclude)
-                continue; // the bundle being returned right now
-            // Unbuilt entries hold no accounted bytes (keygen still
-            // running or pending); acquire pairs with the
-            // release-store in getOrCreateKeyset.
-            if (!e.built.load(std::memory_order_acquire))
-                continue;
-            // Pinned: some caller still holds the keyset or its
-            // EvalKeys bundle beyond the cache's own references.
-            // Evicting it would not invalidate them (shared_ptr),
-            // but an active tenant must stay resident.
-            if (e.keyset.use_count() > 1 ||
-                e.keyset->evalKeys().use_count() > 1)
-                continue;
-            const uint64_t tick =
-                e.last_used.load(std::memory_order_relaxed);
-            if (victim == entries_.end() || tick < victim_tick) {
-                victim = it;
-                victim_tick = tick;
-            }
-        }
-        if (victim == entries_.end())
-            return; // everything left is pinned or building
-        resident_bytes_ -=
-            victim->second->bytes.load(std::memory_order_relaxed);
-        entries_.erase(victim);
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
-}
-
-void
-ContextCache::setBudgetBytes(uint64_t budget)
-{
-    SharedWriterLock write(index_mutex_);
-    budget_bytes_ = budget;
-    evictIfOver(nullptr);
-}
-
-CacheStats
-ContextCache::stats() const
-{
-    CacheStats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = keygens_.load(std::memory_order_relaxed);
-    s.evictions = evictions_.load(std::memory_order_relaxed);
-    SharedReaderLock read(index_mutex_);
-    s.resident_bytes = resident_bytes_;
-    s.entries = entries_.size();
-    s.budget_bytes = budget_bytes_;
-    return s;
-}
-
-size_t
-ContextCache::size() const
-{
-    SharedReaderLock read(index_mutex_);
-    return entries_.size();
-}
-
-void
-ContextCache::clear()
-{
-    SharedWriterLock write(index_mutex_);
-    entries_.clear();
-    resident_bytes_ = 0;
 }
 
 } // namespace strix

@@ -11,59 +11,37 @@
  * ClientKeyset it came from, generating each distinct (params, seed)
  * bundle exactly once no matter how many threads ask concurrently.
  *
- * Memory accounting: a multi-tenant server holding one bundle per
- * resident tenant is bounded by key memory, not compute (a set-I
- * bundle is ~48 MiB resident; see EvalKeys::residentBytes). Under a
- * setBudgetBytes() budget the cache runs as an LRU: when built
- * entries exceed the budget, the least-recently-used *unpinned*
- * bundles are evicted until it fits. An entry is pinned while any
- * external shared_ptr to its keyset or EvalKeys bundle is alive --
- * eviction never invalidates outstanding references (shared_ptr
- * semantics guarantee validity; the pin check keeps actively-used
- * tenants resident so they are not silently regenerated). CacheStats
- * exposes hits/misses/evictions/resident bytes for observability.
+ * The budgeted-LRU machinery itself lives one layer down in
+ * EvalKeyCache (eval_key_cache.h), which holds only public EvalKeys
+ * bundles; this facade adds the secret side, parking each generated
+ * ClientKeyset as the entry's opaque owner handle. Memory accounting,
+ * eviction, pinning, and CacheStats semantics are EvalKeyCache's: a
+ * multi-tenant holder of one bundle per resident tenant is bounded by
+ * key memory, not compute (a set-I bundle is ~48 MiB resident; see
+ * EvalKeys::residentBytes), and under a setBudgetBytes() budget the
+ * least-recently-used *unpinned* entries are evicted until it fits.
+ * An entry is pinned while any external shared_ptr to its keyset or
+ * EvalKeys bundle is alive -- eviction never invalidates outstanding
+ * references.
  *
  * Trust model: the cache holds ClientKeysets -- secret keys -- so it
  * lives on the key-owning side (a client runtime, a test/bench
  * harness, a trusted session broker). An evaluation-only server never
- * needs it: servers receive EvalKeys bundles, shared in-process or
- * deserialized off the wire.
- *
- * Synchronization follows the PR 2 plan-cache discipline: lookups of
- * an already-built entry take a shared (reader) lock on the index --
- * never the keygen path -- and first touch is double-checked: the
- * entry slot is claimed under the exclusive lock, but the keygen
- * itself runs under a per-entry once-flag *outside* the index lock,
- * so building set-IV keys for one tenant never blocks cache hits for
- * another. LRU recency is tracked with per-entry atomic ticks (a hit
- * holds only the reader lock, so it cannot reorder a list); eviction
- * scans run under the writer lock.
+ * needs it and must not include this header (lint-enforced): servers
+ * receive EvalKeys bundles -- shared in-process or deserialized off
+ * the wire -- and budget them with EvalKeyCache directly.
  */
 
 #ifndef STRIX_TFHE_CONTEXT_CACHE_H
 #define STRIX_TFHE_CONTEXT_CACHE_H
 
-#include <atomic>
-#include <map>
 #include <memory>
-#include <mutex> // std::once_flag / std::call_once
 #include <string>
 
-#include "common/sync.h"
 #include "tfhe/client_keyset.h"
+#include "tfhe/eval_key_cache.h"
 
 namespace strix {
-
-/** Point-in-time ContextCache observability counters. */
-struct CacheStats
-{
-    uint64_t hits = 0;       //!< lookups served from a built entry
-    uint64_t misses = 0;     //!< lookups that ran keygen
-    uint64_t evictions = 0;  //!< entries evicted under budget pressure
-    uint64_t resident_bytes = 0; //!< bytes of built, resident bundles
-    uint64_t entries = 0;    //!< entries resident (built or building)
-    uint64_t budget_bytes = 0;   //!< configured budget (0 = unbounded)
-};
 
 /** Process-wide cache of deterministic (params, seed) keysets. */
 class ContextCache
@@ -95,6 +73,35 @@ class ContextCache
     getOrCreateKeyset(const TfheParams &params, uint64_t seed);
 
     /**
+     * Adopt an externally-built bundle under the caller-chosen
+     * @p params_key, so adopted keys participate in the same LRU
+     * budgeting and CacheStats as keygen entries. Idempotent: an
+     * already-resident key returns the *existing* bundle (a hit) and
+     * drops @p bundle. Namespaced apart from keygen keys. This is
+     * EvalKeyCache::getOrInsert on the shared engine -- a serving
+     * daemon (which must not include this secret-side header) calls
+     * that directly on its own EvalKeyCache instance.
+     */
+    std::shared_ptr<const EvalKeys>
+    getOrInsert(const std::string &params_key,
+                std::shared_ptr<const EvalKeys> bundle)
+    {
+        return cache_.getOrInsert(params_key, std::move(bundle));
+    }
+
+    /**
+     * The bundle previously adopted under @p params_key, or nullptr if
+     * it was never inserted or has been evicted under budget pressure
+     * (the caller should treat that as "tenant must re-register").
+     * A hit stamps LRU recency.
+     */
+    std::shared_ptr<const EvalKeys>
+    lookup(const std::string &params_key)
+    {
+        return cache_.lookup(params_key);
+    }
+
+    /**
      * Cap the resident bytes of built bundles (EvalKeys::residentBytes
      * accounting); 0 restores the unbounded default. Applies
      * immediately: if built entries already exceed the new budget,
@@ -102,74 +109,29 @@ class ContextCache
      * under pinning -- if every entry is pinned, the cache stays over
      * budget rather than invalidating live tenants.
      */
-    void setBudgetBytes(uint64_t budget) STRIX_EXCLUDES(index_mutex_);
+    void setBudgetBytes(uint64_t budget)
+    {
+        cache_.setBudgetBytes(budget);
+    }
 
     /** Current counters (hits/misses/evictions/resident bytes). */
-    CacheStats stats() const STRIX_EXCLUDES(index_mutex_);
+    CacheStats stats() const { return cache_.stats(); }
 
     /** Entries resident (built or being built). */
-    size_t size() const;
+    size_t size() const { return cache_.size(); }
 
     /** Cold key generations performed so far (misses). */
-    uint64_t keygenCount() const { return keygens_.load(); }
+    uint64_t keygenCount() const { return cache_.buildCount(); }
 
     /**
      * Drop every cached entry. Outstanding shared_ptrs stay valid;
      * later lookups regenerate. Intended for tests and memory-
      * pressure hooks, not steady-state serving.
      */
-    void clear();
+    void clear() { cache_.clear(); }
 
   private:
-    /**
-     * One cache slot. The once-flag serializes keygen per entry;
-     * `keyset` is written exactly once under it and is safe to read
-     * without the index lock afterwards (call_once publishes for
-     * threads that pass through it; the eviction scan, which does
-     * not, synchronizes through `built` instead: store-release after
-     * the keyset write, load-acquire before reading it). `last_used`
-     * and `bytes` are atomics because the hit path stamps recency
-     * under only a reader lock.
-     */
-    struct Entry
-    {
-        std::once_flag once;
-        std::shared_ptr<const ClientKeyset> keyset;
-        std::atomic<bool> built{false};
-        std::atomic<uint64_t> last_used{0};
-        std::atomic<uint64_t> bytes{0};
-    };
-
-    std::shared_ptr<Entry> entryFor(const std::string &key)
-        STRIX_EXCLUDES(index_mutex_);
-
-    /**
-     * Post-keygen accounting: charge the freshly built @p entry's
-     * resident bytes (re-checking it still occupies @p key -- a
-     * concurrent clear() may have dropped it, leaving an orphan the
-     * caller still holds) and evict down to budget.
-     */
-    void accountAndEvict(const std::string &key,
-                         const std::shared_ptr<Entry> &entry)
-        STRIX_EXCLUDES(index_mutex_);
-
-    /**
-     * Evict LRU unpinned built entries (never @p exclude, the entry
-     * the current caller is about to return) until resident bytes fit
-     * the budget or no candidate remains.
-     */
-    void evictIfOver(const Entry *exclude)
-        STRIX_REQUIRES(index_mutex_);
-
-    mutable SharedMutex index_mutex_;
-    std::map<std::string, std::shared_ptr<Entry>> entries_
-        STRIX_GUARDED_BY(index_mutex_);
-    uint64_t budget_bytes_ STRIX_GUARDED_BY(index_mutex_) = 0;
-    uint64_t resident_bytes_ STRIX_GUARDED_BY(index_mutex_) = 0;
-    std::atomic<uint64_t> keygens_{0};
-    std::atomic<uint64_t> hits_{0};
-    std::atomic<uint64_t> evictions_{0};
-    std::atomic<uint64_t> tick_{0}; //!< global LRU recency clock
+    EvalKeyCache cache_;
 };
 
 } // namespace strix

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * EncryptedUint: the radix-integer ciphertext container.
+ *
+ * Split out of tfhe/integer.h so pure data consumers (serialize.h,
+ * and through it the wire layer and serving daemon) can name the
+ * struct without pulling in the client-side encrypt/decrypt API and
+ * its secret-key header -- the lint-enforced secret-isolation
+ * boundary runs between this header and integer.h. Semantics
+ * (little-endian digits, centered LUT encoding with one headroom
+ * bit) are documented with the arithmetic in integer.h.
+ */
+
+#ifndef STRIX_TFHE_ENCRYPTED_UINT_H
+#define STRIX_TFHE_ENCRYPTED_UINT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tfhe/lwe.h"
+
+namespace strix {
+
+/** Little-endian encrypted unsigned integer. */
+struct EncryptedUint
+{
+    std::vector<LweCiphertext> digits; //!< LSB first
+    uint32_t digit_bits = 2;
+
+    uint32_t numDigits() const
+    {
+        return static_cast<uint32_t>(digits.size());
+    }
+};
+
+} // namespace strix
+
+#endif // STRIX_TFHE_ENCRYPTED_UINT_H

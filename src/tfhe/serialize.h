@@ -33,8 +33,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/frame.h"
+#include "tfhe/encrypted_uint.h"
 #include "tfhe/eval_keys.h"
-#include "tfhe/integer.h"
 #include "tfhe/keyswitch.h"
 #include "tfhe/params.h"
 
@@ -63,88 +64,9 @@ enum class SerialTag : uint32_t
     SeededEvalKeys = 0x45564B32,     // "EVK2"
 };
 
-/**
- * Incremental frame writer: header (tag + version) up front, then
- * little-endian primitives. Version-2 frames group their payload into
- * length-prefixed sections ([id u32][length u64][payload]): the
- * section payload is staged in memory by beginSection()/endSection()
- * so the length prefix is exact, giving readers a checkable frame
- * skeleton. Primitives outside a section write straight through --
- * the v1 frames use only that raw mode, which keeps their byte layout
- * identical to the historical ad-hoc writers.
- */
-class FrameWriter
-{
-  public:
-    /** Write the frame header for @p tag at @p version. */
-    FrameWriter(std::ostream &os, SerialTag tag, uint32_t version);
-
-    void u32(uint32_t v);
-    void u64(uint64_t v);
-    /** Double by bit pattern (exact round-trip). */
-    void f64(double v);
-    void bytes(const void *data, size_t len);
-
-    /** Open section @p id; payload is staged until endSection(). */
-    void beginSection(uint32_t id);
-    /** Flush the staged section: id, byte length, payload. */
-    void endSection();
-
-  private:
-    std::ostream &os_;
-    bool in_section_ = false;
-    uint32_t section_id_ = 0;
-    std::vector<unsigned char> buf_;
-};
-
-/**
- * Validating frame reader, the read-side twin of FrameWriter. The
- * header constructor reads tag + version (either pinning an expected
- * tag or exposing what it found, for multi-format dispatch). Inside a
- * section every primitive is bounds-checked against the declared
- * section length and leaveSection() demands exact consumption, so a
- * tampered length field or a truncated/oversized payload throws
- * std::runtime_error instead of desynchronizing the stream. All reads
- * throw on truncation; nothing here ever panics on wire input.
- */
-class FrameReader
-{
-  public:
-    /** Read a header, throwing unless it is @p expect at @p version. */
-    FrameReader(std::istream &is, SerialTag expect, uint32_t version,
-                const char *what);
-
-    /** Read any header; caller dispatches on tag()/version(). */
-    explicit FrameReader(std::istream &is);
-
-    uint32_t tag() const { return tag_; }
-    uint32_t version() const { return version_; }
-
-    uint32_t u32();
-    uint64_t u64();
-    double f64();
-    void bytes(void *out, size_t len);
-
-    /**
-     * Enter the next section, which must carry @p id and declare a
-     * length of at most @p max_len bytes (the caller's plausibility
-     * bound -- a hostile length field must never drive allocation).
-     */
-    void enterSection(uint32_t id, uint64_t max_len);
-
-    /** Bytes of the current section not yet consumed. */
-    uint64_t sectionRemaining() const { return remaining_; }
-
-    /** Close the section; throws unless it was consumed exactly. */
-    void leaveSection();
-
-  private:
-    std::istream &is_;
-    uint32_t tag_ = 0;
-    uint32_t version_ = 0;
-    bool in_section_ = false;
-    uint64_t remaining_ = 0;
-};
+// FrameWriter/FrameReader (the byte layer these formats are built on)
+// live in common/frame.h; the enum-tag constructor overloads accept
+// SerialTag values directly, so call sites are unchanged.
 
 /** Serialization format selector for EvalKeys bundles. */
 enum class EvalKeysFormat

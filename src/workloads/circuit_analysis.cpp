@@ -249,6 +249,16 @@ CircuitAnalyzer::plan() const
     std::vector<Wire> ops;
     std::vector<std::pair<Wire, int32_t>> terms;
     std::vector<Wire> pinned; // un-elided by the relaxation loop
+    // CheapestSufficient trial machinery. A trial pins one candidate
+    // from the violation cone and lets the next loop pass *be* the
+    // simulation (same eligibility / forward-pass / budget code): an
+    // empty violation list accepts the pin, otherwise the next
+    // candidate is tried, and when no single pin suffices the greedy
+    // fallback below takes over on the recomputed base state.
+    std::deque<Wire> trial_cands;
+    bool trialing = false;
+    bool trials_exhausted = false;
+    constexpr size_t kMaxTrials = 64;
     for (;;) {
         // Structural elision eligibility under the current fusion
         // state: every consumer takes wide wires (XOR-shaped, or a
@@ -391,6 +401,22 @@ CircuitAnalyzer::plan() const
                 violations.push_back(
                     {w, true, sd, budget, amplitude(a.enc[w])});
         }
+        if (trialing) {
+            trialing = false;
+            if (violations.empty())
+                break; // the trial pin restored every budget: keep it
+            pinned.pop_back(); // trial failed; back to the base pins
+            if (!trial_cands.empty()) {
+                pinned.push_back(trial_cands.front());
+                trial_cands.pop_front();
+                trialing = true;
+                continue;
+            }
+            // No single pin suffices. Recompute the base state so the
+            // greedy fallback reverts against honest numbers.
+            trials_exhausted = true;
+            continue;
+        }
         if (violations.empty())
             break; // feasible
 
@@ -410,6 +436,30 @@ CircuitAnalyzer::plan() const
                     queue.push_back(o);
                 }
         }
+        if (options_.unelide == UnelidePolicy::CheapestSufficient &&
+            !trials_exhausted) {
+            std::vector<Wire> cands;
+            for (Wire i = 0; i < nn; ++i)
+                if (in_cone[i] && a.elided[i])
+                    cands.push_back(i);
+            std::sort(cands.begin(), cands.end(),
+                      [&](Wire l, Wire r) {
+                          return a.var[l] != a.var[r]
+                                     ? a.var[l] > a.var[r]
+                                     : l < r;
+                      });
+            if (cands.size() > kMaxTrials)
+                cands.resize(kMaxTrials);
+            if (cands.size() > 1) {
+                trial_cands.assign(cands.begin() + 1, cands.end());
+                pinned.push_back(cands.front());
+                trialing = true;
+                continue;
+            }
+            // 0 or 1 candidate: the greedy revert below is already
+            // the cheapest move.
+        }
+        trials_exhausted = false;
         Wire best = 0;
         double best_var = -1.0;
         for (Wire i = 0; i < nn; ++i)

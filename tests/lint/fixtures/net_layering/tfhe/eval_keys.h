@@ -1,0 +1,7 @@
+// Fixture stand-in for the real tfhe/eval_keys.h.
+#ifndef FIXTURE_TFHE_EVAL_KEYS_H
+#define FIXTURE_TFHE_EVAL_KEYS_H
+struct EvalKeys
+{
+};
+#endif

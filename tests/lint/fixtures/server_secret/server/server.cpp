@@ -1,0 +1,12 @@
+// Fixture: a serving-daemon TU including the key-owning ContextCache
+// facade -- the closure walk must surface the chain down to
+// tfhe/client_keyset.h even though the include is indirect.
+#include "tfhe/context_cache.h"
+
+int
+serve()
+{
+    ClientKeyset keys; // and naming the secret type is its own hit
+    (void)keys;
+    return 0;
+}

@@ -1,0 +1,6 @@
+// Fixture stand-in for the real key-owning facade: what makes it
+// client-side is exactly this include.
+#ifndef FIXTURE_TFHE_CONTEXT_CACHE_H
+#define FIXTURE_TFHE_CONTEXT_CACHE_H
+#include "tfhe/client_keyset.h"
+#endif

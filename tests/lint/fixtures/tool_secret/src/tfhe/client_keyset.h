@@ -1,0 +1,7 @@
+// Fixture stand-in for the secret-key header.
+#ifndef FIXTURE_TFHE_CLIENT_KEYSET_H
+#define FIXTURE_TFHE_CLIENT_KEYSET_H
+struct ClientKeyset
+{
+};
+#endif

@@ -1,0 +1,9 @@
+// Fixture: an ops binary linking secret-key material into what must
+// be an evaluation-only deployment artifact.
+#include "tfhe/client_keyset.h"
+
+int
+main()
+{
+    return 0;
+}

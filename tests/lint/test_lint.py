@@ -79,6 +79,47 @@ class StrixLintTest(unittest.TestCase):
             r.stdout)
         self.assertIn("ClientKeyset + ServerContext", r.stdout)
 
+    def test_net_layering_violation_rejected(self):
+        # The wire layer may only include common/: a net/ TU reaching
+        # into tfhe/ breaks the below-the-crypto contract.
+        src = os.path.join(FIXTURES, "net_layering")
+        r = run_lint("--src", src, "--allowlist=")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("net/socket.cpp:3: [layering]", r.stdout)
+        self.assertIn("net/ may not include tfhe/", r.stdout)
+
+    def test_server_secret_violation_rejected(self):
+        # A daemon TU including the key-owning ContextCache facade:
+        # the closure walk must print the chain down to the secret
+        # header, and naming the secret type is flagged separately.
+        src = os.path.join(FIXTURES, "server_secret")
+        r = run_lint("--src", src,
+                     "--allowlist=tfhe/context_cache.h")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("[secret-include]", r.stdout)
+        self.assertIn("server/server.cpp (server root)", r.stdout)
+        self.assertIn("-> tfhe/context_cache.h (included at "
+                      "server/server.cpp:4)", r.stdout)
+        self.assertIn("-> tfhe/client_keyset.h (included at "
+                      "tfhe/context_cache.h:5)", r.stdout)
+        self.assertIn("server/server.cpp:9: [secret-name]", r.stdout)
+
+    def test_tools_tree_joins_secret_checks_under_repo(self):
+        # With --repo, tools/ binaries are server-side closure roots:
+        # an ops tool including the secret header is rejected.
+        fixture = os.path.join(FIXTURES, "tool_secret")
+        r = run_lint("--src", os.path.join(fixture, "src"),
+                     "--repo", fixture, "--allowlist=")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("tools/key_dumper.cpp:3: [secret-direct]",
+                      r.stdout)
+        self.assertIn("tools/key_dumper.cpp (server root)", r.stdout)
+        # Without --repo the tools tree is out of scope: same src
+        # passes clean.
+        r = run_lint("--src", os.path.join(fixture, "src"),
+                     "--allowlist=")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
     def test_stale_allowlist_entry_rejected(self):
         # poly/fft.h exists in the real tree but does not include
         # client_keyset.h, so allowlisting it must fail as stale.

@@ -7,6 +7,8 @@
  * infeasible-budget diagnostics contract.
  */
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -311,6 +313,62 @@ TEST(CircuitAnalysisDeathTest, EvalRejectsForeignPlan)
     auto in = encryptBits(toBits(0, 8));
     EXPECT_DEATH(big.evalEncrypted(exactKeys().server, in, plan),
                  "another circuit");
+}
+
+TEST(CircuitAnalysis, CheapestSufficientUnelidePinsSharedTrunk)
+{
+    // Three elided XOR chains: a noisy decoy, a shared trunk, and a
+    // cheap arm. Both surviving bootstraps Xor(trunk, decoy) and
+    // Xor(trunk, cheap) overdraw a budget tuned so that un-eliding
+    // the shared trunk alone restores both, while the greedy
+    // max-variance policy pins the decoy first (fixing only one
+    // sink) and must spend a second PBS on the trunk anyway.
+    const NoiseModel model(paramsSetI());
+    const double V = 100.0 * std::max({model.pbsOutput(),
+                                       model.freshLwe(),
+                                       model.modSwitch()});
+    // A chain of k XORs over variance-V inputs accumulates 4V(k+1):
+    // decoy 20V > trunk 16V > cheap 12V. Budget b^2 = 26V sits
+    // between the unpinned linear forms (36V, 28V) and the
+    // trunk-pinned ones (~20V, ~12V), with modSwitch/pbsOutput terms
+    // at most V/25 of slack.
+    Circuit c("unelide");
+    auto chain = [&c](int stages) {
+        Wire w = c.gate(GateOp::Xor, c.input(), c.input());
+        for (int i = 1; i < stages; ++i)
+            w = c.gate(GateOp::Xor, w, c.input());
+        return w;
+    };
+    Wire decoy = chain(4);
+    Wire trunk = chain(3);
+    Wire cheap = chain(2);
+    // Built first = lower wire id = the front violation the revert
+    // step reasons about; its cone holds both decoy and trunk.
+    Wire x1 = c.gate(GateOp::Xor, trunk, decoy);
+    Wire x2 = c.gate(GateOp::Xor, trunk, cheap);
+    c.output(c.gate(GateOp::And, x1, c.input()));
+    c.output(c.gate(GateOp::And, x2, c.input()));
+
+    AnalysisOptions opts;
+    opts.input_variance = V;
+    opts.z = 0.25 / std::sqrt(26.0 * V); // decodableStddev(2,z)^2=26V
+
+    AnalysisOptions greedy = opts;
+    greedy.unelide = UnelidePolicy::MaxVariance;
+    CircuitPlan legacy = analyzeCircuit(c, paramsSetI(), greedy);
+    ASSERT_TRUE(legacy.feasible()) << legacy.summary();
+    CircuitPlan cost = analyzeCircuit(c, paramsSetI(), opts);
+    ASSERT_TRUE(cost.feasible()) << cost.summary();
+
+    // One shared pin beats two greedy ones: x1 + x2 + two output
+    // Ands + trunk = 5 PBS, versus greedy's decoy + trunk = 6.
+    EXPECT_EQ(cost.pbsCount(), 5u) << cost.summary();
+    EXPECT_EQ(legacy.pbsCount(), 6u) << legacy.summary();
+    EXPECT_LT(cost.pbsCount(), legacy.pbsCount());
+    EXPECT_EQ(cost.node(trunk).action, PlanAction::Bootstrap);
+    EXPECT_EQ(cost.node(decoy).action, PlanAction::Linear);
+    EXPECT_EQ(legacy.node(trunk).action, PlanAction::Bootstrap);
+    EXPECT_EQ(legacy.node(decoy).action, PlanAction::Bootstrap);
 }
 
 TEST(CircuitAnalysis, PredictedStddevTracksEncodingAndSummary)

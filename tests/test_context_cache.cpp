@@ -9,6 +9,7 @@
  */
 
 #include <atomic>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -16,6 +17,7 @@
 
 #include "support/test_util.h"
 #include "tfhe/context_cache.h"
+#include "tfhe/serialize.h"
 #include "tfhe/server_context.h"
 
 namespace strix {
@@ -298,6 +300,142 @@ TEST(ContextCacheLru, ConcurrentChurnUnderBudgetPressure)
     CacheStats s = cache.stats();
     EXPECT_GT(s.evictions, 0u);
     EXPECT_EQ(s.hits + s.misses, uint64_t(kThreads) * kIters + 2);
+}
+
+// ---------------------------------------------------------------------------
+// getOrInsert: externally-deserialized bundles (the serving daemon's
+// RegisterTenant path) adopted into the same LRU budgeting and
+// CacheStats as keygen entries.
+
+/**
+ * A bundle with no owner but the adopting cache and whoever holds the
+ * returned pointer -- the wire shape: serialize a generated bundle and
+ * re-expand it into a fresh allocation.
+ */
+std::shared_ptr<const EvalKeys>
+externalBundle(uint64_t seed)
+{
+    auto keys = ContextCache::global().getOrCreate(fastParams(), seed);
+    std::ostringstream os;
+    serialize(os, *keys, EvalKeysFormat::Seeded);
+    std::istringstream is(os.str());
+    return deserializeEvalKeys(is);
+}
+
+TEST(ContextCacheInsert, AdoptsBundleAndHitsOnRepeat)
+{
+    ContextCache cache;
+    auto bundle = externalBundle(71);
+    const uint64_t b = bundle->residentBytes();
+
+    auto adopted = cache.getOrInsert("tenant-a", bundle);
+    EXPECT_EQ(adopted.get(), bundle.get());
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.inserts, 1u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u) << "an insert is not a keygen miss";
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.resident_bytes, b);
+    EXPECT_EQ(cache.keygenCount(), 0u);
+
+    // Idempotent re-registration: a second upload under the same key
+    // returns the *resident* bundle and drops the new copy.
+    auto other = externalBundle(71);
+    auto again = cache.getOrInsert("tenant-a", other);
+    EXPECT_EQ(again.get(), bundle.get());
+    EXPECT_NE(again.get(), other.get());
+    s = cache.stats();
+    EXPECT_EQ(s.inserts, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.resident_bytes, b) << "no double accounting";
+}
+
+TEST(ContextCacheInsert, LookupMissesThenHitsThenServes)
+{
+    ContextCache cache;
+    EXPECT_EQ(cache.lookup("tenant-a"), nullptr);
+
+    auto bundle = externalBundle(72);
+    (void)cache.getOrInsert("tenant-a", bundle);
+    auto found = cache.lookup("tenant-a");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found.get(), bundle.get());
+
+    // The adopted bundle must actually evaluate.
+    auto keyset =
+        ContextCache::global().getOrCreateKeyset(fastParams(), 72);
+    ServerContext server(found);
+    auto ct = keyset->encryptInt(3, 8);
+    auto out = server.applyLut(ct, 8,
+                               [](int64_t v) { return (v * 2) % 8; });
+    EXPECT_EQ(keyset->decryptInt(out, 8), 6);
+}
+
+TEST(ContextCacheInsert, ExternalKeysAreNamespacedFromKeygen)
+{
+    ContextCache cache;
+    (void)cache.getOrCreate(fastParams(), 73);
+    // A hostile (or merely unlucky) params_key cannot collide with a
+    // keygen entry, whatever string it is.
+    (void)cache.getOrInsert("n=48 N=512", externalBundle(73));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.keygenCount(), 1u);
+    EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(ContextCacheInsert, BudgetPressureEvictsIdleTenant)
+{
+    ContextCache cache;
+    uint64_t b = 0;
+    {
+        auto bundle = externalBundle(74);
+        b = bundle->residentBytes();
+        (void)cache.getOrInsert("tenant-a", bundle);
+    } // tenant A is now idle: no external references
+    cache.setBudgetBytes(b + b / 2); // room for one bundle, not two
+
+    // Registering B under pressure evicts idle A...
+    auto b_bundle = externalBundle(75);
+    auto b_res = cache.getOrInsert("tenant-b", b_bundle);
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(cache.lookup("tenant-a"), nullptr)
+        << "A must re-register";
+    EXPECT_NE(cache.lookup("tenant-b"), nullptr);
+
+    // ...while B -- still referenced here, an active tenant -- is
+    // pinned even when the budget drops below its size.
+    cache.setBudgetBytes(b / 2);
+    s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_GT(s.resident_bytes, s.budget_bytes);
+
+    // Dropping the last external reference makes B evictable.
+    b_bundle.reset();
+    b_res.reset();
+    cache.setBudgetBytes(b / 2);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ContextCacheInsert, LruOrderSpansKeygenAndInsertedEntries)
+{
+    ContextCache cache;
+    const uint64_t b =
+        cache.getOrCreate(fastParams(), 76)->residentBytes();
+    (void)cache.getOrInsert("tenant-a", externalBundle(77));
+    (void)cache.getOrCreate(fastParams(), 76); // keygen entry is MRU
+
+    cache.setBudgetBytes(b); // room for one: the idle external goes
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(cache.lookup("tenant-a"), nullptr);
+    (void)cache.getOrCreate(fastParams(), 76);
+    EXPECT_EQ(cache.keygenCount(), 1u) << "keygen entry survived";
 }
 
 } // namespace

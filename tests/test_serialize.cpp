@@ -12,6 +12,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "tfhe/integer.h"
 #include "tfhe/serialize.h"
 #include "support/test_util.h"
 

@@ -8,15 +8,22 @@ with --repo, the tests/, examples/ and bench/ trees):
 
        common -> poly -> tfhe -> {strix, workloads, baselines}
        common -> sim  -> strix
+       common -> net  -> server <- {tfhe, workloads}
 
    A file in layer L may only include headers from the layers L is
    allowed to depend on. An upward or sideways include (poly including
-   tfhe/, common including anything) is a violation.
+   tfhe/, common including anything, net/ including tfhe/ -- the wire
+   layer moves opaque bytes and must stay below the crypto) is a
+   violation.
 
 2. Secret isolation. `tfhe/client_keyset.h` holds the secret keys.
    Server-side translation units -- server_context, batch_executor,
-   eval_keys, gates, bootstrap, and everything they transitively
-   include -- must not include it, and must not name `ClientKeyset`.
+   eval_keys, gates, bootstrap, everything under net/ and server/
+   (the serving daemon), every tools/ TU when --repo is given, and
+   everything those transitively include -- must not include it, and
+   must not name `ClientKeyset`. In particular the daemon must not
+   include the key-owning tfhe/context_cache.h facade: its include of
+   the secret header makes the closure walk fail with the chain.
    Client-facing facades that legitimately bridge the two halves are
    listed in an explicit allowlist; the allowlist itself is checked
    for freshness (an entry that no longer includes client_keyset.h is
@@ -46,12 +53,15 @@ from collections import deque
 # Layer -> layers it may include from (itself always allowed).
 LAYER_DEPS = {
     "common": set(),
+    "net": {"common"},
     "poly": {"common"},
     "sim": {"common"},
     "tfhe": {"common", "poly"},
     "strix": {"common", "poly", "sim", "tfhe"},
     "workloads": {"common", "poly", "sim", "strix", "tfhe"},
     "baselines": {"common", "poly", "sim", "strix", "tfhe"},
+    "server": {"common", "net", "poly", "sim", "strix", "tfhe",
+               "workloads"},
 }
 
 SECRET_HEADER = "tfhe/client_keyset.h"
@@ -93,6 +103,11 @@ SERVER_ROOTS = [
     "tfhe/gates",
     "tfhe/bootstrap",
 ]
+
+# Whole directories that are server-side in their entirety: every TU
+# of the wire layer and the serving daemon (plus, when --repo merges
+# them in, the tools/ binaries) is a closure root.
+SERVER_ROOT_DIRS = ("net", "server", "tools")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 
@@ -177,12 +192,16 @@ def server_closure(files):
     """
     queue = deque()
     seen = {}
+    roots = []
     for root in SERVER_ROOTS:
         for ext in (".h", ".cpp"):
-            rel = root + ext
-            if rel in files and rel not in seen:
-                seen[rel] = (None, 0)
-                queue.append(rel)
+            roots.append(root + ext)
+    roots += [rel for rel in sorted(files)
+              if layer_of(rel) in SERVER_ROOT_DIRS]
+    for rel in roots:
+        if rel in files and rel not in seen:
+            seen[rel] = (None, 0)
+            queue.append(rel)
     while queue:
         cur = queue.popleft()
         for line_no, inc in files[cur]["includes"]:
@@ -359,6 +378,16 @@ def main():
         allowlist = [a for a in args.allowlist.split(",") if a]
 
     files = scan_tree(args.src)
+    src_files = dict(files)  # for the compile-commands cross-check
+    # With --repo, the daemon binaries under tools/ join the layering
+    # and secret checks as server-side closure roots: a tool that
+    # touched secret-key headers would ship key material in an
+    # evaluation-only binary.
+    if args.repo:
+        tools_root = os.path.join(args.repo, "tools")
+        if os.path.isdir(tools_root):
+            for rel, info in scan_tree(tools_root).items():
+                files[f"tools/{rel}"] = info
     violations = check_layering(files)
     violations += check_secret_isolation(files, allowlist)
 
@@ -379,7 +408,7 @@ def main():
     violations += check_deprecated_context(all_files)
     if args.compile_commands:
         cc_violations, warnings = check_compile_commands(
-            files, args.compile_commands, args.src)
+            src_files, args.compile_commands, args.src)
         violations += cc_violations
         for w in warnings:
             print(w)
